@@ -1,0 +1,97 @@
+package astro
+
+import (
+	"testing"
+)
+
+const demoSrc = `
+func kernel(n int) {
+	var i int;
+	var x float = 1.0;
+	for (i = 0; i < n; i = i + 1) { x = x * 1.000001 + 0.5; }
+}
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < threads; i = i + 1) { spawn kernel(scale); }
+	join();
+	sleep_ms(1);
+}
+`
+
+func TestFacadePipeline(t *testing.T) {
+	mod, err := Compile("demo", demoSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := NewProgram(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := prog.Phases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %v", phases)
+	}
+	agent := prog.NewAgent(7)
+	stats, pol, err := prog.Train(agent, TrainConfig{Episodes: 3, Seed: 5, Args: []int64{20000, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %v", stats)
+	}
+	static, err := prog.StaticBinary(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(static, RunConfig{Args: []int64{20000, 4}, Seed: 9, UseGTS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeS <= 0 || res.EnergyJ <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	hybrid, err := prog.HybridBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := Run(hybrid, RunConfig{
+		Args: []int64{20000, 4}, Seed: 9, UseGTS: true,
+		Hybrid: prog.NewHybridRuntime(agent, pol),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.TimeS <= 0 {
+		t.Fatal("hybrid run degenerate")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) < 15 {
+		t.Fatalf("only %d benchmarks", len(names))
+	}
+	mod, args, err := Benchmark("spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(mod, RunConfig{Args: args, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("no instructions retired")
+	}
+	if _, _, err := Benchmark("not-a-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if OdroidXU4().NumConfigs() != 24 {
+		t.Error("XU4 configs")
+	}
+	if JetsonTK1().MaxBig() != 4 {
+		t.Error("TK1 shape")
+	}
+}

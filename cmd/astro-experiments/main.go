@@ -1,0 +1,137 @@
+// Command astro-experiments regenerates every table and figure of the
+// paper's evaluation. With -scale paper it reproduces the EXPERIMENTS.md
+// numbers; -scale small is a fast smoke run.
+//
+// Usage:
+//
+//	astro-experiments [-scale small|paper] [-fig 1|3|4|6|9|10|11|table1|headline|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"astro/internal/experiments"
+)
+
+func main() {
+	scaleStr := flag.String("scale", "small", "experiment scale: small or paper")
+	fig := flag.String("fig", "all", "which artifact: 1,3,4,6,9,10,11,table1,headline,all")
+	flag.Parse()
+
+	sc := experiments.Small
+	if *scaleStr == "paper" {
+		sc = experiments.Paper
+	} else if *scaleStr != "small" {
+		fmt.Fprintln(os.Stderr, "astro-experiments: -scale must be small or paper")
+		os.Exit(2)
+	}
+
+	if err := run(sc, *fig); err != nil {
+		fmt.Fprintln(os.Stderr, "astro-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sc experiments.Scale, fig string) error {
+	var f9 *experiments.Fig9Result
+	var f10 *experiments.Fig10Result
+	var f11 *experiments.Fig11Result
+
+	section := func(name string, f func() (string, error)) error {
+		if fig != "all" && fig != name {
+			return nil
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := section("1", func() (string, error) {
+		r, err := experiments.Fig1(sc)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("3", func() (string, error) {
+		r, err := experiments.Fig3(sc)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("4", func() (string, error) {
+		r, err := experiments.Fig4(sc)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("6", func() (string, error) {
+		r, err := experiments.Fig6()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("9", func() (string, error) {
+		r, err := experiments.Fig9(sc)
+		if err != nil {
+			return "", err
+		}
+		f9 = r
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("10", func() (string, error) {
+		r, err := experiments.Fig10(sc)
+		if err != nil {
+			return "", err
+		}
+		f10 = r
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("11", func() (string, error) {
+		r, err := experiments.Fig11()
+		if err != nil {
+			return "", err
+		}
+		f11 = r
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("table1", func() (string, error) {
+		return experiments.RenderTable1(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("headline", func() (string, error) {
+		if f9 == nil && f10 == nil && f11 == nil {
+			return "(headline needs figures 9/10/11 in the same invocation)", nil
+		}
+		return experiments.MakeHeadline(f9, f10, f11).Render(), nil
+	}); err != nil {
+		return err
+	}
+	return nil
+}

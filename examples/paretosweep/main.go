@@ -1,0 +1,44 @@
+// Paretosweep explores the Fig. 1 scenario: run one benchmark across every
+// hardware configuration of the Odroid XU4 and print the energy/time
+// frontier, showing that the best-time, best-energy and best-EDP
+// configurations differ.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"astro"
+	"astro/internal/tablefmt"
+)
+
+func main() {
+	bench := "streamcluster"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	mod, args, err := astro.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat := astro.OdroidXU4()
+	tb := tablefmt.NewTable("config", "time (ms)", "energy (J)", "EDP")
+	bestT, bestE := astro.Config{}, astro.Config{}
+	var tMin, eMin float64
+	for _, cfg := range plat.Configs() {
+		res, err := astro.Run(mod, astro.RunConfig{Args: args, Seed: 3, InitialConfig: cfg, UseGTS: true})
+		if err != nil {
+			log.Fatalf("%v: %v", cfg, err)
+		}
+		tb.Row(cfg.String(), res.TimeS*1000, res.EnergyJ, res.EnergyJ*res.TimeS)
+		if tMin == 0 || res.TimeS < tMin {
+			tMin, bestT = res.TimeS, cfg
+		}
+		if eMin == 0 || res.EnergyJ < eMin {
+			eMin, bestE = res.EnergyJ, cfg
+		}
+	}
+	fmt.Printf("%s across %d configurations:\n%s\n", bench, plat.NumConfigs(), tb.String())
+	fmt.Printf("best time: %v (%.3f ms), best energy: %v (%.4f J)\n", bestT, tMin*1000, bestE, eMin)
+}

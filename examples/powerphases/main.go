@@ -1,0 +1,22 @@
+// Powerphases reproduces the Fig. 2/3 scenario: the matrix-multiplication
+// program's power profile on the Jetson TK1, sampled at the JetsonLeap
+// apparatus's rate, with the program's phases visible as plateaus and
+// valleys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astro/internal/experiments"
+)
+
+func main() {
+	r, err := experiments.Fig3(experiments.Small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Render())
+	min, max := r.PhaseRange()
+	fmt.Printf("phase power spread: %.3f W (valleys) .. %.3f W (plateaus)\n", min, max)
+}

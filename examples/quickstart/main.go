@@ -1,0 +1,68 @@
+// Quickstart: compile a small astc program, inspect its phases the way the
+// Phase-Extractor does, run it on the simulated Odroid XU4, and print the
+// outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"astro"
+)
+
+const src = `
+var data [512]float;
+
+func fill(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 8) {
+		data[i] = read_float();
+		data[i + 1] = read_float();
+		data[i + 2] = read_float();
+		data[i + 3] = read_float();
+		data[i + 4] = read_float();
+		data[i + 5] = read_float();
+		data[i + 6] = read_float();
+		data[i + 7] = read_float();
+	}
+}
+
+func crunch(n int) float {
+	var i int;
+	var acc float = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + sqrt(data[i % 512] * data[i % 512] + 1.0);
+	}
+	return acc;
+}
+
+func main(scale int, threads int) {
+	fill(512);
+	print_float(crunch(scale));
+	sleep_ms(1);
+}
+`
+
+func main() {
+	mod, err := astro.Compile("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := astro.NewProgram(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("static program phases (Sec. 3.1.1):")
+	for name, phase := range prog.Phases() {
+		fmt.Printf("  %-8s -> %v\n", name, phase)
+	}
+
+	res, err := astro.Run(mod, astro.RunConfig{
+		Args: []int64{40000, 1}, Seed: 1, UseGTS: true, CaptureOutput: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nran on %v: %.3f ms, %.4f J, %.1f MIPS, output=%v\n",
+		res.FinalConfig, res.TimeS*1000, res.EnergyJ, res.MIPS(), res.Output)
+}

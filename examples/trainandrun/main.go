@@ -1,0 +1,55 @@
+// Trainandrun walks the full Astro pipeline on a bundled benchmark:
+// feature mining, Q-learning episodes, policy extraction, static
+// imprinting, and a final comparison against the GTS baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"astro"
+)
+
+func main() {
+	bench := "hotspot"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	mod, args, err := astro.Benchmark(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := astro.NewProgram(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training Astro on %s %v...\n", bench, args)
+	agent := prog.NewAgent(42)
+	stats, pol, err := prog.Train(agent, astro.TrainConfig{Episodes: 10, Seed: 42, Args: args})
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, last := stats[0], stats[len(stats)-1]
+	fmt.Printf("episode 0: %.3f ms   episode %d: %.3f ms (convergence)\n",
+		first.TimeS*1000, last.Episode, last.TimeS*1000)
+	for p, cfg := range pol.PerPhase {
+		fmt.Printf("  phase %d -> %v\n", p, cfg)
+	}
+
+	static, err := prog.StaticBinary(pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gts, err := astro.Run(mod, astro.RunConfig{Args: args, Seed: 99, UseGTS: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ast, err := astro.Run(static, astro.RunConfig{Args: args, Seed: 99, UseGTS: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGTS baseline:  %.3f ms, %.4f J\nAstro static:  %.3f ms, %.4f J  (%+.1f%% time, %+.1f%% energy)\n",
+		gts.TimeS*1000, gts.EnergyJ, ast.TimeS*1000, ast.EnergyJ,
+		100*(ast.TimeS/gts.TimeS-1), 100*(ast.EnergyJ/gts.EnergyJ-1))
+}

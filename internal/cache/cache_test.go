@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	bad := [][3]int{
+		{0, 4, 64},
+		{1024, 0, 64},
+		{1024, 4, 0},
+		{1024, 4, 48},    // line size not power of two
+		{1000, 4, 64},    // does not divide
+		{64 * 12, 4, 64}, // 3 sets, not power of two
+	}
+	for _, g := range bad {
+		if _, err := New(g[0], g[1], g[2]); err == nil {
+			t.Errorf("New(%v) accepted", g)
+		}
+	}
+	if _, err := New(32*1024, 4, 64); err != nil {
+		t.Errorf("32KB 4-way rejected: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(3, 3, 3)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(1024, 2, 64)
+	if c.Access(0x100) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x13f) { // same 64B line as 0x100
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(0x140) { // next line
+		t.Fatal("different line hit")
+	}
+	h, m := c.Stats()
+	if h != 2 || m != 2 {
+		t.Fatalf("stats = %d/%d, want 2/2", h, m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 2 sets, 64B lines -> 256B cache. Lines mapping to set 0:
+	// addresses 0, 128, 256, ... (tag alternates).
+	c := MustNew(256, 2, 64)
+	c.Access(0)   // set0: [0]
+	c.Access(128) // set0: [128, 0]
+	c.Access(0)   // touch 0 -> [0, 128]
+	c.Access(256) // evict 128 -> [256, 0]
+	if !c.Probe(0) {
+		t.Error("0 should be resident (recently used)")
+	}
+	if c.Probe(128) {
+		t.Error("128 should be evicted (LRU)")
+	}
+	if !c.Probe(256) {
+		t.Error("256 should be resident")
+	}
+}
+
+func TestProbeDoesNotDisturb(t *testing.T) {
+	c := MustNew(256, 2, 64)
+	c.Access(0)
+	c.Access(128)
+	h0, m0 := c.Stats()
+	for i := 0; i < 10; i++ {
+		c.Probe(0)
+		c.Probe(512)
+	}
+	h1, m1 := c.Stats()
+	if h0 != h1 || m0 != m1 {
+		t.Error("Probe changed counters")
+	}
+	// LRU order unchanged: 0 is LRU, inserting a new line evicts it... no:
+	// order is [128, 0]; inserting 256 evicts 0.
+	c.Access(256)
+	if c.Probe(0) {
+		t.Error("probe must not refresh LRU position")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(1024, 4, 64)
+	for a := uint64(0); a < 1024; a += 64 {
+		c.Access(a)
+	}
+	c.Invalidate()
+	if c.Probe(0) || c.Probe(512) {
+		t.Error("lines survived invalidation")
+	}
+	c.ResetStats()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	// A working set that fits entirely in the cache must converge to ~100%
+	// hits; one that is 2x the cache size with LRU + sequential sweep must
+	// miss every access (the pathological LRU streaming case).
+	c := MustNew(4096, 4, 64)
+	small := make([]uint64, 0)
+	for a := uint64(0); a < 2048; a += 64 {
+		small = append(small, a)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, a := range small {
+			c.Access(a)
+		}
+	}
+	h, m := c.Stats()
+	if float64(h)/float64(h+m) < 0.6 {
+		t.Errorf("small working set hit rate %v too low", float64(h)/float64(h+m))
+	}
+
+	c2 := MustNew(4096, 4, 64)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 8192; a += 64 {
+			c2.Access(a)
+		}
+	}
+	h2, m2 := c2.Stats()
+	if h2 > m2/4 {
+		t.Errorf("streaming working set should mostly miss: %d hits %d misses", h2, m2)
+	}
+}
+
+// Property: hits+misses equals the number of Access calls; contents never
+// exceed capacity.
+func TestAccessCountInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(512, 2, 32)
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		h, m := c.Stats()
+		if h+m != uint64(len(addrs)) {
+			return false
+		}
+		resident := 0
+		for _, set := range c.sets {
+			if len(set) > c.ways {
+				return false
+			}
+			for _, l := range set {
+				if l.valid {
+					resident++
+				}
+			}
+		}
+		return resident <= 512/32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after accessing address A, an immediate re-access hits,
+// regardless of history.
+func TestRecencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := MustNew(2048, 4, 64)
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(1 << 20))
+		c.Access(a)
+		if !c.Probe(a) {
+			t.Fatalf("address %#x absent immediately after access", a)
+		}
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	l2 := MustNew(4096, 4, 64)
+	h := &Hierarchy{L1c: MustNew(512, 2, 64), L2c: l2}
+	if lvl := h.Access(0x40); lvl != Miss {
+		t.Fatalf("cold access = %v", lvl)
+	}
+	if lvl := h.Access(0x40); lvl != L1 {
+		t.Fatalf("second access = %v, want L1", lvl)
+	}
+	// Evict from tiny L1 by streaming, then re-access: should hit in L2.
+	for a := uint64(0x1000); a < 0x1000+2048; a += 64 {
+		h.Access(a)
+	}
+	if h.L1c.Probe(0x40) {
+		t.Fatal("0x40 should be gone from L1")
+	}
+	if lvl := h.Access(0x40); lvl != L2 {
+		t.Fatalf("re-access = %v, want L2", lvl)
+	}
+	// L1-only hierarchy.
+	solo := &Hierarchy{L1c: MustNew(512, 2, 64)}
+	if lvl := solo.Access(0x80); lvl != Miss {
+		t.Fatalf("solo cold = %v", lvl)
+	}
+	if lvl := solo.Access(0x80); lvl != L1 {
+		t.Fatalf("solo second = %v", lvl)
+	}
+	if Miss.String() != "DRAM" || L1.String() != "L1" || L2.String() != "L2" {
+		t.Error("Level strings")
+	}
+}

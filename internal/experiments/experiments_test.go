@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"astro/internal/features"
+	"astro/internal/hw"
+)
+
+func TestFig1SmallShape(t *testing.T) {
+	r, err := Fig1(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"freqmine", "streamcluster"} {
+		pts := r.Points[name]
+		if len(pts) != 24 {
+			t.Fatalf("%s: %d points, want 24", name, len(pts))
+		}
+		for _, p := range pts {
+			if p.ClockS <= 0 || p.EnergyJ <= 0 {
+				t.Errorf("%s %v: degenerate point %+v", name, p.Config, p)
+			}
+			if p.RelSD > 0.25 {
+				t.Errorf("%s %v: rel SD %.3f too high", name, p.Config, p.RelSD)
+			}
+		}
+	}
+	// Paper's observation: freqmine's best-time config uses several cores;
+	// streamcluster's does not benefit from many cores.
+	if r.BestT["freqmine"].Cores() < 3 {
+		t.Errorf("freqmine best-time config %v should use several cores", r.BestT["freqmine"])
+	}
+	if r.BestT["streamcluster"].Cores() > 2 {
+		t.Errorf("streamcluster best-time config %v should use few cores", r.BestT["streamcluster"])
+	}
+	// Best energy differs from best time for at least one benchmark
+	// (the energy/time trade-off of Fig. 1).
+	if r.BestT["freqmine"] == r.BestE["freqmine"] && r.BestT["streamcluster"] == r.BestE["streamcluster"] {
+		t.Error("no energy/time trade-off found in either benchmark")
+	}
+	if !strings.Contains(r.Render(), "best time") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestFig3PowerPhases(t *testing.T) {
+	r, err := Fig3(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series.Samples) < 50 {
+		t.Fatalf("only %d power samples", len(r.Series.Samples))
+	}
+	if len(r.Segments) < 3 {
+		t.Fatalf("only %d phase segments: %+v", len(r.Segments), r.Segments)
+	}
+	min, max := r.PhaseRange()
+	if !(max > min*1.1) {
+		t.Errorf("phase power range [%v, %v] too flat", min, max)
+	}
+	// The zoom must show big drawing clearly more than LITTLE (Fig. 3b).
+	if !(r.BigWatts > r.LittleWatts*1.2) {
+		t.Errorf("big %.3fW vs LITTLE %.3fW: no gap", r.BigWatts, r.LittleWatts)
+	}
+	out := r.Render()
+	for _, want := range []string{"FIG 3", "segment", "zoom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig4NoSingleWinner(t *testing.T) {
+	r, err := Fig4(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(r.Rows))
+	}
+	plat := hw.OdroidXU4()
+	for _, row := range r.Rows {
+		if !row.Best1.Valid(plat.MaxLittle(), plat.MaxBig()) || !row.Best5.Valid(plat.MaxLittle(), plat.MaxBig()) {
+			t.Errorf("%s: invalid best configs %v/%v", row.Benchmark, row.Best1, row.Best5)
+		}
+		if row.FastestS <= 0 {
+			t.Errorf("%s: degenerate fastest time", row.Benchmark)
+		}
+	}
+	if r.DistinctBest5() < 2 {
+		t.Errorf("single winner across all applications contradicts the paper's observation:\n%s", r.Render())
+	}
+}
+
+func TestFig6Mapping(t *testing.T) {
+	r, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cells != 36 {
+		t.Fatalf("cells = %d, want 36", r.Cells)
+	}
+	byName := map[string]Fig6Row{}
+	for _, row := range r.Rows {
+		byName[row.Function] = row
+		if row.CellID < 0 || row.CellID >= 36 {
+			t.Errorf("%s: cell id %d out of range", row.Function, row.CellID)
+		}
+	}
+	mul := byName["mul_matrix"]
+	if mul.Nesting != 3 {
+		t.Errorf("mul_matrix nesting = %d, want 3", mul.Nesting)
+	}
+	if mul.Phase != features.PhaseCPUBound {
+		t.Errorf("mul_matrix phase = %v", mul.Phase)
+	}
+	read := byName["read_matrix_a"]
+	if read.IOWeight < 10 {
+		t.Errorf("read_matrix_a IO weight = %v, want >= 10 (I/O in a loop)", read.IOWeight)
+	}
+	if read.Phase != features.PhaseIOBound {
+		t.Errorf("read_matrix_a phase = %v", read.Phase)
+	}
+	// Functions must not all land in one cell.
+	cells := map[int]bool{}
+	for _, row := range r.Rows {
+		cells[row.CellID] = true
+	}
+	if len(cells) < 2 {
+		t.Error("all functions in one feature cell")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports) != 8 {
+		t.Fatalf("%d reports, want 8", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if !(rep.Original < rep.Learning && rep.Learning < rep.Instrumented) {
+			t.Errorf("%s: sizes not increasing: %+v", rep.Name, rep)
+		}
+	}
+	if !strings.Contains(r.Render(), "FIG 11") {
+		t.Error("render broken")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 14 {
+		t.Fatalf("%d rows, want 14", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if !strings.Contains(last.Work, "Astro") || !last.Learn || !last.Runtime || !last.Auto || !last.Source {
+		t.Errorf("Astro row wrong: %+v", last)
+	}
+	// Astro must be the only hybrid learner (the paper's differentiator).
+	for _, r := range rows[:len(rows)-1] {
+		if r.Learn && strings.Contains(r.Level, "C") && strings.Contains(r.Level, "O") {
+			t.Errorf("%s also a hybrid learner, contradicting the taxonomy", r.Work)
+		}
+	}
+	if !strings.Contains(RenderTable1(), "TABLE 1") {
+		t.Error("render broken")
+	}
+}
+
+func TestHeadlineRender(t *testing.T) {
+	f11, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := MakeHeadline(nil, nil, f11)
+	out := h.Render()
+	for _, want := range []string{"RQ1", "RQ2", "RQ3", "RQ4", "RQ5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline missing %s", want)
+		}
+	}
+	if h.MeanLearningGrowthPct <= 0 {
+		t.Errorf("learning growth = %v", h.MeanLearningGrowthPct)
+	}
+}

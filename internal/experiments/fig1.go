@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"astro/internal/hw"
+	"astro/internal/stats"
+	"astro/internal/tablefmt"
+)
+
+// Fig1Point is one configuration's averaged outcome for one benchmark.
+type Fig1Point struct {
+	Config      hw.Config
+	CoreSeconds float64 // clock time x active cores (the paper's X axis)
+	ClockS      float64
+	EnergyJ     float64
+	RelSD       float64 // relative standard deviation of clock time
+}
+
+// Fig1Result reproduces Fig. 1: the energy-vs-time footprint of freqmine
+// and streamcluster across every hardware configuration.
+type Fig1Result struct {
+	Scale  Scale
+	Points map[string][]Fig1Point // benchmark -> per-config points
+	BestT  map[string]hw.Config
+	BestE  map[string]hw.Config
+	BestED map[string]hw.Config // best energy-delay product
+}
+
+// Fig1 runs the experiment. reps executions per configuration are averaged
+// (the paper uses 10; variance stays tiny, which TestFig1 verifies).
+func Fig1(sc Scale) (*Fig1Result, error) {
+	reps := 2
+	if sc == Paper {
+		reps = 5
+	}
+	plat := hw.OdroidXU4()
+	out := &Fig1Result{
+		Scale:  sc,
+		Points: map[string][]Fig1Point{},
+		BestT:  map[string]hw.Config{},
+		BestE:  map[string]hw.Config{},
+		BestED: map[string]hw.Config{},
+	}
+	for _, name := range []string{"freqmine", "streamcluster"} {
+		mod, spec, err := compileBench(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, cfg := range plat.Configs() {
+			var times, energies []float64
+			for r := 0; r < reps; r++ {
+				opts := simOpts(sc, int64(1000*r+13))
+				opts.Args = argsFor(sc, spec)
+				res, err := runFixed(mod, plat, cfg, opts)
+				if err != nil {
+					return nil, fmt.Errorf("fig1: %s on %v: %w", name, cfg, err)
+				}
+				times = append(times, res.TimeS)
+				energies = append(energies, res.EnergyJ)
+			}
+			mt := stats.Mean(times)
+			pt := Fig1Point{
+				Config:      cfg,
+				ClockS:      mt,
+				CoreSeconds: mt * float64(cfg.Cores()),
+				EnergyJ:     stats.Mean(energies),
+			}
+			if mt > 0 {
+				pt.RelSD = stats.StdDev(times) / mt
+			}
+			out.Points[name] = append(out.Points[name], pt)
+		}
+		out.BestT[name] = argbest(out.Points[name], func(p Fig1Point) float64 { return p.ClockS })
+		out.BestE[name] = argbest(out.Points[name], func(p Fig1Point) float64 { return p.EnergyJ })
+		out.BestED[name] = argbest(out.Points[name], func(p Fig1Point) float64 { return p.EnergyJ * p.ClockS })
+	}
+	return out, nil
+}
+
+func argbest(pts []Fig1Point, key func(Fig1Point) float64) hw.Config {
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if key(p) < key(best) {
+			best = p
+		}
+	}
+	return best.Config
+}
+
+// Render formats the experiment as tables plus an ASCII scatter per
+// benchmark.
+func (r *Fig1Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FIG 1 — Energy vs processing time across %d configurations (%s scale)\n\n",
+		len(r.Points["freqmine"]), r.Scale)
+	for _, name := range []string{"freqmine", "streamcluster"} {
+		tb := tablefmt.NewTable("config", "core-seconds", "clock (s)", "energy (J)", "relSD")
+		var pts []tablefmt.Point
+		for _, p := range r.Points[name] {
+			tb.Row(p.Config.String(), p.CoreSeconds, p.ClockS, p.EnergyJ, p.RelSD)
+			pts = append(pts, tablefmt.Point{X: p.CoreSeconds, Y: p.EnergyJ})
+		}
+		fmt.Fprintf(&sb, "%s:\n%s\n", name, tb.String())
+		sb.WriteString(tablefmt.Scatter(pts, 64, 12, "core-seconds", "energy (J)"))
+		fmt.Fprintf(&sb, "best time: %v   best energy: %v   best E*T: %v\n\n",
+			r.BestT[name], r.BestE[name], r.BestED[name])
+	}
+	return sb.String()
+}

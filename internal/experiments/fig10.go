@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"astro/internal/hw"
+	"astro/internal/rl"
+	"astro/internal/sched"
+	"astro/internal/sim"
+	"astro/internal/stats"
+	"astro/internal/tablefmt"
+)
+
+// Fig10Cell is one (benchmark, treatment) sample set.
+type Fig10Cell struct {
+	Times    []float64
+	Energies []float64
+}
+
+// Fig10Row is one benchmark's three-way comparison.
+type Fig10Row struct {
+	Benchmark string
+	GTS       Fig10Cell
+	Static    Fig10Cell
+	Hybrid    Fig10Cell
+
+	// Two-sided Mann-Whitney p-values against GTS, on runtimes (as the
+	// paper annotates its boxplots).
+	PStatic float64
+	PHybrid float64
+	// Energy p-values.
+	PStaticE float64
+	PHybridE float64
+}
+
+// Fig10Result reproduces Fig. 10 (Sec. 4.2): GTS vs Astro-static vs
+// Astro-hybrid on the device benchmarks, n samples each, with p-values.
+type Fig10Result struct {
+	Scale   Scale
+	Samples int
+	Rows    []Fig10Row
+}
+
+// fig10Benchmarks mirrors the paper's device-experiment set.
+var fig10Benchmarks = []string{
+	"hotspot3d", "cfd", "hotspot", "sradv2", "particlefilter", "bfs", "swaptions",
+}
+
+// Fig10 trains Astro per benchmark, extracts the static policy, and runs
+// the three treatments with per-sample seeds.
+func Fig10(sc Scale) (*Fig10Result, error) {
+	plat := hw.OdroidXU4()
+	n := samplesFor(sc)
+	out := &Fig10Result{Scale: sc, Samples: n}
+	for _, name := range fig10Benchmarks {
+		row, err := fig10One(plat, name, sc, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig10: %s: %w", name, err)
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+func fig10One(plat *hw.Platform, name string, sc Scale, n int) (*Fig10Row, error) {
+	art, err := prepare(name)
+	if err != nil {
+		return nil, err
+	}
+	args := argsFor(sc, art.spec)
+
+	// Train the Q-learner on the learning-instrumented binary, with finer
+	// checkpoints than evaluation so each episode yields more updates.
+	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: 301, LR: 0.05})
+	act := sched.NewAstro(agent, plat, true)
+	base := simOpts(sc, 0)
+	base.OS = sched.NewGTS()
+	base.CheckpointS /= 2
+	if _, err := sched.Train(art.learning, plat, act, sched.TrainOptions{
+		Episodes: episodesFor(sc),
+		Seed:     41,
+		Args:     args,
+		SimOpts:  base,
+	}); err != nil {
+		return nil, err
+	}
+	pol := sched.ExtractPolicyVisited(agent, plat, act.Visits())
+	staticMod, err := art.static(plat, pol)
+	if err != nil {
+		return nil, err
+	}
+
+	row := &Fig10Row{Benchmark: name}
+	sample := func(build func(seed int64) (*sim.Machine, error)) (Fig10Cell, error) {
+		var cell Fig10Cell
+		for s := 0; s < n; s++ {
+			m, err := build(int64(9000 + 97*s))
+			if err != nil {
+				return cell, err
+			}
+			res, err := m.Run()
+			if err != nil {
+				return cell, err
+			}
+			cell.Times = append(cell.Times, res.TimeS)
+			cell.Energies = append(cell.Energies, res.EnergyJ)
+		}
+		return cell, nil
+	}
+
+	// GTS baseline: all cores on, ARM's scheduler, no actuation.
+	if row.GTS, err = sample(func(seed int64) (*sim.Machine, error) {
+		o := simOpts(sc, seed)
+		o.Args = args
+		o.OS = sched.NewGTS()
+		return sim.New(art.plain, plat, o)
+	}); err != nil {
+		return nil, err
+	}
+	// Astro static: trained policy imprinted in the binary.
+	if row.Static, err = sample(func(seed int64) (*sim.Machine, error) {
+		o := simOpts(sc, seed)
+		o.Args = args
+		o.OS = sched.NewGTS()
+		return sim.New(staticMod, plat, o)
+	}); err != nil {
+		return nil, err
+	}
+	// Astro hybrid: determine-configuration calls consult the trained agent
+	// with the latest hardware phase.
+	if row.Hybrid, err = sample(func(seed int64) (*sim.Machine, error) {
+		o := simOpts(sc, seed)
+		o.Args = args
+		o.OS = sched.NewGTS()
+		hr := sched.NewHybridRuntime(agent, plat)
+		hr.Policy = pol
+		o.Hybrid = hr
+		return sim.New(art.hybrid, plat, o)
+	}); err != nil {
+		return nil, err
+	}
+
+	_, row.PStatic = stats.MannWhitneyU(row.Static.Times, row.GTS.Times)
+	_, row.PHybrid = stats.MannWhitneyU(row.Hybrid.Times, row.GTS.Times)
+	_, row.PStaticE = stats.MannWhitneyU(row.Static.Energies, row.GTS.Energies)
+	_, row.PHybridE = stats.MannWhitneyU(row.Hybrid.Energies, row.GTS.Energies)
+	return row, nil
+}
+
+// Wins counts the benchmarks where each Astro flavour beats GTS on mean
+// runtime and on mean energy.
+func (r *Fig10Result) Wins() (timeWins, energyWins int) {
+	for _, row := range r.Rows {
+		g := stats.Mean(row.GTS.Times)
+		if stats.Mean(row.Static.Times) < g || stats.Mean(row.Hybrid.Times) < g {
+			timeWins++
+		}
+		ge := stats.Mean(row.GTS.Energies)
+		if stats.Mean(row.Static.Energies) < ge || stats.Mean(row.Hybrid.Energies) < ge {
+			energyWins++
+		}
+	}
+	return
+}
+
+// Render formats the comparison.
+func (r *Fig10Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FIG 10 — GTS vs Astro static (S) vs hybrid (H), %d samples (%s scale)\n\n", r.Samples, r.Scale)
+	tb := tablefmt.NewTable("benchmark", "GTS time", "S time", "H time", "p(S)", "p(H)",
+		"GTS J", "S J", "H J", "pE(S)", "pE(H)")
+	for _, row := range r.Rows {
+		tb.Row(row.Benchmark,
+			stats.Mean(row.GTS.Times), stats.Mean(row.Static.Times), stats.Mean(row.Hybrid.Times),
+			row.PStatic, row.PHybrid,
+			stats.Mean(row.GTS.Energies), stats.Mean(row.Static.Energies), stats.Mean(row.Hybrid.Energies),
+			row.PStaticE, row.PHybridE)
+	}
+	sb.WriteString(tb.String())
+	tw, ew := r.Wins()
+	fmt.Fprintf(&sb, "\nRQ4: Astro (static or hybrid) faster than GTS on %d/%d benchmarks; more energy-efficient on %d/%d\n",
+		tw, len(r.Rows), ew, len(r.Rows))
+	return sb.String()
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"astro/internal/hw"
+	"astro/internal/powmon"
+	"astro/internal/tablefmt"
+)
+
+// Fig3Segment labels a stretch of the power profile with the program phase
+// active at its checkpoints.
+type Fig3Segment struct {
+	StartS, EndS float64
+	Label        string
+	MeanWatts    float64
+}
+
+// Fig3Result reproduces Fig. 3: the JetsonLeap-style power profile of the
+// matrix-multiplication program of Fig. 2 on the TK1 platform, plus the
+// big-vs-LITTLE zoom of its final (print) phase.
+type Fig3Result struct {
+	Scale    Scale
+	Series   *powmon.Series
+	Segments []Fig3Segment
+
+	// Zoom (Fig. 3b): the same program pinned to one big vs one LITTLE
+	// core; mean power of each during the run.
+	BigWatts    float64
+	LittleWatts float64
+}
+
+// Fig3 runs the power-profile experiment on the learning-instrumented
+// binary, so checkpoints carry the logged program phases that label the
+// profile's segments.
+func Fig3(sc Scale) (*Fig3Result, error) {
+	plat := hw.JetsonTK1()
+	art, err := prepare("matrixmul")
+	if err != nil {
+		return nil, err
+	}
+	opts := simOpts(sc, 5)
+	opts.Args = argsFor(sc, art.spec)
+	opts.SampleS = 50e-6 // the NI-6009's 1 kHz, on our scaled time axis
+	opts.CheckpointS = 200e-6
+	res, err := runFixed(art.learning, plat, hw.Config{Little: 1, Big: 4}, opts)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+	out := &Fig3Result{Scale: sc, Series: res.Samples}
+	// Build labelled segments by merging consecutive checkpoints with the
+	// same program phase.
+	var seg *Fig3Segment
+	flush := func(end float64) {
+		if seg != nil {
+			seg.EndS = end
+			win := res.Samples.Window(seg.StartS, end)
+			var sum float64
+			for _, s := range win {
+				sum += s.Watts
+			}
+			if len(win) > 0 {
+				seg.MeanWatts = sum / float64(len(win))
+			}
+			out.Segments = append(out.Segments, *seg)
+			seg = nil
+		}
+	}
+	for _, ck := range res.Checkpoints {
+		label := ck.ProgPhase.String()
+		if seg == nil || seg.Label != label {
+			flush(ck.TimeS - ck.DurS)
+			seg = &Fig3Segment{StartS: ck.TimeS - ck.DurS, Label: label}
+		}
+	}
+	flush(res.TimeS)
+
+	// Zoom: big vs LITTLE single-core runs of the same program. The
+	// program is wait-dominated, so compare the busy plateaus (mean of the
+	// top half of power samples), which is what Fig. 3b's zoom displays.
+	zoom := func(cfg hw.Config) (float64, error) {
+		o := simOpts(sc, 6)
+		o.Args = argsFor(sc, art.spec)
+		o.SampleS = 50e-6
+		r, err := runFixed(art.learning, plat, cfg, o)
+		if err != nil {
+			return 0, err
+		}
+		return plateauWatts(r.Samples), nil
+	}
+	if out.BigWatts, err = zoom(hw.Config{Big: 1}); err != nil {
+		return nil, fmt.Errorf("fig3 zoom big: %w", err)
+	}
+	if out.LittleWatts, err = zoom(hw.Config{Little: 1}); err != nil {
+		return nil, fmt.Errorf("fig3 zoom LITTLE: %w", err)
+	}
+	return out, nil
+}
+
+// plateauWatts returns the mean of the top decile of power samples — the
+// busy plateaus of a wait-dominated profile (the program spends most of its
+// time blocked on input, so lower quantiles are all idle board power).
+func plateauWatts(s *powmon.Series) float64 {
+	if s == nil || len(s.Samples) == 0 {
+		return 0
+	}
+	ws := make([]float64, len(s.Samples))
+	for i, x := range s.Samples {
+		ws[i] = x.Watts
+	}
+	sort.Float64s(ws)
+	top := ws[len(ws)*9/10:]
+	if len(top) == 0 {
+		top = ws
+	}
+	var sum float64
+	for _, w := range top {
+		sum += w
+	}
+	return sum / float64(len(top))
+}
+
+// PhaseRange returns the min and max of segment mean power, showing the
+// valleys (waiting) and plateaus (multiply) of the profile.
+func (r *Fig3Result) PhaseRange() (min, max float64) {
+	if len(r.Segments) == 0 {
+		return 0, 0
+	}
+	min, max = r.Segments[0].MeanWatts, r.Segments[0].MeanWatts
+	for _, s := range r.Segments[1:] {
+		if s.MeanWatts < min {
+			min = s.MeanWatts
+		}
+		if s.MeanWatts > max {
+			max = s.MeanWatts
+		}
+	}
+	return min, max
+}
+
+// Render formats the profile.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FIG 3 — Power profile of the Fig. 2 matrix program (TK1, %s scale)\n\n", r.Scale)
+	xs := make([]float64, len(r.Series.Samples))
+	ys := make([]float64, len(r.Series.Samples))
+	for i, s := range r.Series.Samples {
+		xs[i] = s.TimeS * 1000
+		ys[i] = s.Watts
+	}
+	sb.WriteString(tablefmt.Series(xs, ys, 72, 10, "power (W) over time (ms)"))
+	tb := tablefmt.NewTable("segment", "start (ms)", "end (ms)", "phase", "mean W")
+	for i, s := range r.Segments {
+		tb.Row(i, s.StartS*1000, s.EndS*1000, s.Label, s.MeanWatts)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(tb.String())
+	fmt.Fprintf(&sb, "\nFig 3b zoom — same program single-core: big %.3f W vs LITTLE %.3f W (ratio %.2fx)\n",
+		r.BigWatts, r.LittleWatts, r.BigWatts/r.LittleWatts)
+	return sb.String()
+}

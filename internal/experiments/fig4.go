@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"astro/internal/hw"
+	"astro/internal/tablefmt"
+)
+
+// Fig4Row is one application's best configurations under slowdown budgets.
+type Fig4Row struct {
+	Benchmark string
+	Fastest   hw.Config
+	FastestS  float64
+	Best1     hw.Config // min energy within 1% slowdown of fastest
+	Best5     hw.Config // min energy within 5% slowdown
+}
+
+// Fig4Result reproduces Fig. 4: for seven PARSEC applications, the
+// configuration that minimizes energy subject to a 1% / 5% slowdown bound
+// relative to the fastest configuration. The paper's point — there is no
+// single winner — shows up as distinct configurations per application.
+type Fig4Result struct {
+	Scale Scale
+	Rows  []Fig4Row
+}
+
+// fig4Benchmarks mirrors the applications in the paper's figure.
+var fig4Benchmarks = []string{
+	"blackscholes", "bodytrack", "facesim", "ferret", "streamcluster", "vips", "freqmine",
+}
+
+// Fig4 runs the sweep.
+func Fig4(sc Scale) (*Fig4Result, error) {
+	plat := hw.OdroidXU4()
+	out := &Fig4Result{Scale: sc}
+	for _, name := range fig4Benchmarks {
+		mod, spec, err := compileBench(name)
+		if err != nil {
+			return nil, err
+		}
+		type pt struct {
+			cfg  hw.Config
+			time float64
+			en   float64
+		}
+		var pts []pt
+		for _, cfg := range plat.Configs() {
+			opts := simOpts(sc, 17)
+			opts.Args = argsFor(sc, spec)
+			res, err := runFixed(mod, plat, cfg, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig4: %s on %v: %w", name, cfg, err)
+			}
+			pts = append(pts, pt{cfg, res.TimeS, res.EnergyJ})
+		}
+		fastest := pts[0]
+		for _, p := range pts[1:] {
+			if p.time < fastest.time {
+				fastest = p
+			}
+		}
+		pick := func(slack float64) hw.Config {
+			best := fastest
+			for _, p := range pts {
+				if p.time <= fastest.time*(1+slack) && p.en < best.en {
+					best = p
+				}
+			}
+			return best.cfg
+		}
+		out.Rows = append(out.Rows, Fig4Row{
+			Benchmark: name,
+			Fastest:   fastest.cfg,
+			FastestS:  fastest.time,
+			Best1:     pick(0.01),
+			Best5:     pick(0.05),
+		})
+	}
+	return out, nil
+}
+
+// DistinctBest5 counts how many different configurations win at the 5%
+// budget (the "no single winner" observation).
+func (r *Fig4Result) DistinctBest5() int {
+	seen := map[hw.Config]bool{}
+	for _, row := range r.Rows {
+		seen[row.Best5] = true
+	}
+	return len(seen)
+}
+
+// Render formats the result.
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FIG 4 — Best configurations under slowdown budgets (%s scale)\n\n", r.Scale)
+	tb := tablefmt.NewTable("benchmark", "fastest", "time (s)", "best @1% loss", "best @5% loss")
+	for _, row := range r.Rows {
+		tb.Row(row.Benchmark, row.Fastest.String(), row.FastestS, row.Best1.String(), row.Best5.String())
+	}
+	sb.WriteString(tb.String())
+	fmt.Fprintf(&sb, "\ndistinct winners at 5%% budget: %d of %d applications\n",
+		r.DistinctBest5(), len(r.Rows))
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"astro/internal/features"
+	"astro/internal/tablefmt"
+)
+
+// Fig6Row maps one function of the Fig. 2 program into the 3-feature space
+// of Example 3.4 (arithmetic density, I/O weight, nesting factor).
+type Fig6Row struct {
+	Function  string
+	ArithDens float64
+	IOWeight  float64
+	Nesting   int
+	Cell      [3]int // (arith, nesting, io) range indices
+	CellID    int
+	Phase     features.Phase
+}
+
+// Fig6Result reproduces Fig. 6: the function-to-program-phase mapping.
+type Fig6Result struct {
+	Rows  []Fig6Row
+	Cells int
+}
+
+// Fig6 runs the (purely static) analysis.
+func Fig6() (*Fig6Result, error) {
+	mod, _, err := compileBench("matrixmul")
+	if err != nil {
+		return nil, err
+	}
+	mi := features.AnalyzeModule(mod, features.Options{})
+	space := features.NewExample34Space()
+	out := &Fig6Result{Cells: space.Cells()}
+	for _, fi := range mi.Funcs {
+		a, n, io := space.Cube(fi.Vec)
+		out.Rows = append(out.Rows, Fig6Row{
+			Function:  fi.Name,
+			ArithDens: fi.Vec.ArithDens,
+			IOWeight:  fi.Vec.IOWeight,
+			Nesting:   fi.Vec.NestingFactor,
+			Cell:      [3]int{a, n, io},
+			CellID:    space.CellID(fi.Vec),
+			Phase:     fi.Phase,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the mapping.
+func (r *Fig6Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FIG 6 — Function -> phase mapping in the %d-cell feature space of Example 3.4\n\n", r.Cells)
+	tb := tablefmt.NewTable("function", "arith dens", "I/O weight", "nesting", "cell (a,n,io)", "cell id", "phase")
+	for _, row := range r.Rows {
+		tb.Row(row.Function, row.ArithDens, row.IOWeight, row.Nesting,
+			fmt.Sprintf("(%d,%d,%d)", row.Cell[0], row.Cell[1], row.Cell[2]), row.CellID, row.Phase.String())
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"astro/internal/stats"
+)
+
+// Headline summarizes the RQ1-RQ5 claims from the figure results, in the
+// same shape the paper states them (percentages relative to oracles,
+// baselines and GTS).
+type Headline struct {
+	// RQ1 (Fig. 9).
+	AstroVsOracleTTimePct   float64 // paper: ~ +10%
+	AstroVsOracleTEnergyPct float64 // paper: ~ +8%
+	AstroVsOracleEEnergyPct float64 // paper: ~ +15%
+	// RQ2 (Fig. 9).
+	FixedAllOnVsAstroTimePct float64 // paper: 4L4B ~ +45% slower
+	Fixed1LVsAstroTimeX      float64 // paper: 1L0B ~ 15x slower
+	Fixed1LVsAstroEnergyX    float64 // paper: ~3.6x more energy
+	// RQ3 (Fig. 9).
+	AstroVsHipsterTimePct   float64 // paper: Astro ~17% faster
+	AstroVsOctopusTimePct   float64 // paper: ~15% faster
+	AstroVsHipsterEnergyPct float64 // paper: ~ +6% more energy
+	AstroVsOctopusEnergyPct float64 // paper: ~ +4% more energy
+	// RQ4 (Fig. 10).
+	TimeWins, EnergyWins, Benchmarks int
+	// RQ5 (Fig. 11).
+	MeanLearningGrowthPct float64
+}
+
+// MakeHeadline derives the summary from completed experiments.
+func MakeHeadline(f9 *Fig9Result, f10 *Fig10Result, f11 *Fig11Result) *Headline {
+	h := &Headline{}
+	if f9 != nil {
+		a, ot, oe := f9.Row("Astro"), f9.Row("Oracle(T)"), f9.Row("Oracle(E)")
+		if a != nil && ot != nil {
+			h.AstroVsOracleTTimePct = 100 * (a.TimeS/ot.TimeS - 1)
+			h.AstroVsOracleTEnergyPct = 100 * (a.EnergyJ/ot.EnergyJ - 1)
+		}
+		if a != nil && oe != nil {
+			h.AstroVsOracleEEnergyPct = 100 * (a.EnergyJ/oe.EnergyJ - 1)
+		}
+		if f, s := f9.Row("4L4B"), f9.Row("1L0B"); a != nil && f != nil && s != nil {
+			h.FixedAllOnVsAstroTimePct = 100 * (f.TimeS/a.TimeS - 1)
+			h.Fixed1LVsAstroTimeX = s.TimeS / a.TimeS
+			h.Fixed1LVsAstroEnergyX = s.EnergyJ / a.EnergyJ
+		}
+		if hp, oc := f9.Row("Hipster"), f9.Row("Octopus-Man"); a != nil && hp != nil && oc != nil {
+			h.AstroVsHipsterTimePct = 100 * (1 - a.TimeS/hp.TimeS)
+			h.AstroVsOctopusTimePct = 100 * (1 - a.TimeS/oc.TimeS)
+			h.AstroVsHipsterEnergyPct = 100 * (a.EnergyJ/hp.EnergyJ - 1)
+			h.AstroVsOctopusEnergyPct = 100 * (a.EnergyJ/oc.EnergyJ - 1)
+		}
+	}
+	if f10 != nil {
+		h.TimeWins, h.EnergyWins = f10.Wins()
+		h.Benchmarks = len(f10.Rows)
+	}
+	if f11 != nil {
+		var growths []float64
+		for _, rep := range f11.Reports {
+			growths = append(growths, 100*float64(rep.Learning-rep.Original)/float64(rep.Original))
+		}
+		h.MeanLearningGrowthPct = stats.Mean(growths)
+	}
+	return h
+}
+
+// Render formats the headline summary.
+func (h *Headline) Render() string {
+	var sb strings.Builder
+	sb.WriteString("HEADLINE — paper claims vs this reproduction\n\n")
+	fmt.Fprintf(&sb, "RQ1  Astro vs Oracle(T) time:    paper ~ +10%%   measured %+.1f%%\n", h.AstroVsOracleTTimePct)
+	fmt.Fprintf(&sb, "RQ1  Astro vs Oracle(T) energy:  paper ~ +8%%    measured %+.1f%%\n", h.AstroVsOracleTEnergyPct)
+	fmt.Fprintf(&sb, "RQ1  Astro vs Oracle(E) energy:  paper ~ +15%%   measured %+.1f%%\n", h.AstroVsOracleEEnergyPct)
+	fmt.Fprintf(&sb, "RQ2  4L4B vs Astro time:         paper ~ +45%%   measured %+.1f%%\n", h.FixedAllOnVsAstroTimePct)
+	fmt.Fprintf(&sb, "RQ2  1L0B vs Astro:              paper ~15x time, 3.6x energy   measured %.1fx / %.1fx\n",
+		h.Fixed1LVsAstroTimeX, h.Fixed1LVsAstroEnergyX)
+	fmt.Fprintf(&sb, "RQ3  Astro faster than Hipster:  paper ~17%%     measured %+.1f%%\n", h.AstroVsHipsterTimePct)
+	fmt.Fprintf(&sb, "RQ3  Astro faster than Octopus:  paper ~15%%     measured %+.1f%%\n", h.AstroVsOctopusTimePct)
+	fmt.Fprintf(&sb, "RQ3  Astro energy vs Hipster:    paper ~ +6%%    measured %+.1f%%\n", h.AstroVsHipsterEnergyPct)
+	fmt.Fprintf(&sb, "RQ3  Astro energy vs Octopus:    paper ~ +4%%    measured %+.1f%%\n", h.AstroVsOctopusEnergyPct)
+	fmt.Fprintf(&sb, "RQ4  Astro beats GTS:            paper 6/7 time, 5/7 energy   measured %d/%d time, %d/%d energy\n",
+		h.TimeWins, h.Benchmarks, h.EnergyWins, h.Benchmarks)
+	fmt.Fprintf(&sb, "RQ5  learning-binary growth:     paper 'small'  measured mean %+.1f%%, library dominates final size\n",
+		h.MeanLearningGrowthPct)
+	return sb.String()
+}

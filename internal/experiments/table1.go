@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+
+	"astro/internal/tablefmt"
+)
+
+// Table1Row is one prior-work entry in the taxonomy.
+type Table1Row struct {
+	Work    string
+	Level   string // Architecture, OS, Compiler, Library and combinations
+	Source  bool   // requires/modifies source code
+	Auto    bool   // no user intervention
+	Runtime bool   // exploits runtime information
+	Learn   bool   // adapts a model to runtime conditions
+}
+
+// Table1 reproduces the paper's taxonomy of solutions to SPha (Table 1).
+// The data is the paper's own classification; it is included so the
+// generated report covers every table in the evaluation.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"Poesia et al. [24]", "C", true, true, false, true},
+		{"Barik et al. [2]", "C", true, true, true, false},
+		{"Rossbach et al. [26]", "C/L", true, false, true, false},
+		{"Luk et al. [16]", "C/L", true, false, true, false},
+		{"Joao et al. [13]", "A/L", true, false, false, false},
+		{"Lukefahr et al. [17]", "A", false, true, false, false},
+		{"Van Craeynest et al. [30]", "A", false, true, false, false},
+		{"Nishtala et al. (Hipster) [20]", "O", false, true, true, true},
+		{"Petrucci et al. (Octopus-Man) [22]", "O", false, true, true, false},
+		{"Augonnet et al. (StarPU) [1]", "L", true, false, false, false},
+		{"Piccoli et al. [23]", "O/C", true, true, true, false},
+		{"Tang et al. (ReQoS) [29]", "O/C", true, true, true, false},
+		{"Cong & Yuan [8]", "O/C", true, true, true, false},
+		{"Astro (this work)", "O/C", true, true, true, true},
+	}
+}
+
+// RenderTable1 formats the taxonomy.
+func RenderTable1() string {
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	var sb strings.Builder
+	sb.WriteString("TABLE 1 — Taxonomy of solutions to SPha (paper's classification)\n\n")
+	tb := tablefmt.NewTable("work", "level", "source", "auto", "runtime", "learn")
+	for _, r := range Table1() {
+		tb.Row(r.Work, r.Level, yn(r.Source), yn(r.Auto), yn(r.Runtime), yn(r.Learn))
+	}
+	sb.WriteString(tb.String())
+	sb.WriteString("\nAstro is the only hybrid (O/C) approach that also learns from runtime conditions.\n")
+	return sb.String()
+}

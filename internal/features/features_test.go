@@ -1,0 +1,287 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+
+	"astro/internal/ir"
+	"astro/internal/lang"
+)
+
+func analyze(t *testing.T, src string, opts Options) *ModuleInfo {
+	t.Helper()
+	m, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return AnalyzeModule(m, opts)
+}
+
+func phaseOf(t *testing.T, mi *ModuleInfo, name string) Phase {
+	t.Helper()
+	i, ok := mi.Module.FuncIndex[name]
+	if !ok {
+		t.Fatalf("function %q missing", name)
+	}
+	return mi.Funcs[i].Phase
+}
+
+const phasesSrc = `
+var data [1024]float;
+var buf [1024]float;
+var tmp [1024]float;
+var out [1024]float;
+mutex m;
+barrier gate;
+
+// CPU bound: dense float arithmetic.
+func compute(n int) float {
+	var acc float = 0.0;
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + float(i) * 1.5 - acc / 2.5 + float(i * i);
+	}
+	return acc;
+}
+
+// IO bound: memory traffic plus file reads dominate (fills four arrays per
+// iteration, like the paper's readMatrix).
+func slurp(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		data[i] = read_float();
+		buf[i] = read_float();
+		tmp[i] = read_float();
+		out[i] = read_float();
+	}
+}
+
+// Blocked: waits on a barrier.
+func rendezvous() {
+	barrier_wait(gate);
+}
+
+// Blocked: sleeps.
+func nap() {
+	sleep_ms(10);
+}
+
+// Blocked: network wait.
+func poll() {
+	var x int = net_recv();
+	print_int(x);
+}
+
+// Lock-dominated: more than half the body is lock traffic.
+func hotlock() {
+	lock(m);
+	unlock(m);
+}
+
+func main(scale int, threads int) {
+	compute(scale);
+	slurp(scale);
+	rendezvous();
+	nap();
+	poll();
+	hotlock();
+}
+`
+
+func TestClassifyPhases(t *testing.T) {
+	mi := analyze(t, phasesSrc, Options{})
+	cases := map[string]Phase{
+		"compute":    PhaseCPUBound,
+		"slurp":      PhaseIOBound,
+		"rendezvous": PhaseBlocked,
+		"nap":        PhaseBlocked,
+		"poll":       PhaseBlocked,
+	}
+	for name, want := range cases {
+		if got := phaseOf(t, mi, name); got != want {
+			i := mi.Module.FuncIndex[name]
+			t.Errorf("%s: phase %v, want %v (vec %+v)", name, got, want, mi.Funcs[i].Vec)
+		}
+	}
+}
+
+func TestLockDensityBlocks(t *testing.T) {
+	mi := analyze(t, phasesSrc, Options{})
+	i := mi.Module.FuncIndex["hotlock"]
+	v := mi.Funcs[i].Vec
+	if v.LockDens <= 0.5 {
+		t.Fatalf("hotlock LockDens = %v, expected > 0.5 (total %d)", v.LockDens, v.Total)
+	}
+	if mi.Funcs[i].Phase != PhaseBlocked {
+		t.Errorf("hotlock phase = %v, want Blocked", mi.Funcs[i].Phase)
+	}
+}
+
+func TestDensitiesSumAtMostOne(t *testing.T) {
+	mi := analyze(t, phasesSrc, Options{})
+	for _, f := range mi.Funcs {
+		sum := f.Vec.IODens + f.Vec.MemDens + f.Vec.IntDens + f.Vec.FPDens + f.Vec.LockDens
+		if sum > 1.0000001 {
+			t.Errorf("%s: densities sum to %v > 1 (%+v)", f.Name, sum, f.Vec)
+		}
+	}
+}
+
+func TestNestingFactorAndIOWeight(t *testing.T) {
+	mi := analyze(t, `
+func flat() { print_int(1); }
+func onedeep(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) { print_int(i); }
+}
+func twodeep(n int) {
+	var i int;
+	var j int;
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) { print_int(j); }
+		print_int(i);
+	}
+}
+func main() { flat(); onedeep(3); twodeep(3); }
+`, Options{})
+	get := func(name string) Vector {
+		return mi.Funcs[mi.Module.FuncIndex[name]].Vec
+	}
+	if v := get("flat"); v.NestingFactor != 0 || v.IOWeight != 1 {
+		t.Errorf("flat: %+v", v)
+	}
+	if v := get("onedeep"); v.NestingFactor != 1 || v.IOWeight != 10 {
+		t.Errorf("onedeep: nesting=%d ioweight=%v", v.NestingFactor, v.IOWeight)
+	}
+	if v := get("twodeep"); v.NestingFactor != 2 || v.IOWeight != 110 {
+		t.Errorf("twodeep: nesting=%d ioweight=%v, want 2 and 110", v.NestingFactor, v.IOWeight)
+	}
+}
+
+func TestTransitiveBlockingPropagation(t *testing.T) {
+	src := `
+func helper() { sleep_ms(5); }
+func caller() {
+	var i int;
+	for (i = 0; i < 100; i = i + 1) { helper(); }
+}
+func spawner() { spawn helper; }
+func main() { caller(); }
+`
+	// spawn needs a call: fix source (spawn helper() requires parens).
+	src = `
+func helper() { sleep_ms(5); }
+func caller() {
+	var i int;
+	for (i = 0; i < 100; i = i + 1) { helper(); }
+}
+func spawner() { spawn helper(); }
+func main() { caller(); spawner(); }
+`
+	direct := analyze(t, src, Options{})
+	if p := phaseOf(t, direct, "caller"); p == PhaseBlocked {
+		t.Errorf("without transitivity caller should not be Blocked")
+	}
+	trans := analyze(t, src, Options{Transitive: true})
+	if p := phaseOf(t, trans, "caller"); p != PhaseBlocked {
+		t.Errorf("with transitivity caller = %v, want Blocked", p)
+	}
+	// Spawning a blocking function does not block the spawner.
+	if p := phaseOf(t, trans, "spawner"); p == PhaseBlocked {
+		t.Errorf("spawner should not inherit Blocked through spawn")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	mi := analyze(t, phasesSrc, Options{})
+	h := mi.Histogram()
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != len(mi.Funcs) {
+		t.Errorf("histogram total %d != %d funcs", total, len(mi.Funcs))
+	}
+	if h[PhaseBlocked] < 3 {
+		t.Errorf("blocked count = %d, want >= 3", h[PhaseBlocked])
+	}
+}
+
+func TestRangeIndex(t *testing.T) {
+	bounds := []float64{0.25, 0.5}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-1, 0}, {0, 0}, {0.249, 0}, {0.25, 1}, {0.49, 1}, {0.5, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := RangeIndex(c.v, bounds); got != c.want {
+			t.Errorf("RangeIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRangeIndexPropertyMonotone(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return RangeIndex(a, bounds) <= RangeIndex(b, bounds)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExample34Space(t *testing.T) {
+	s := NewExample34Space()
+	if s.Cells() != 36 {
+		t.Fatalf("Cells = %d, want 36 (paper: 3x3x4)", s.Cells())
+	}
+	// Function main of Fig. 6: ArithDens in [0,.25), IOWeight in [0,1),
+	// Nesting in [0,1] -> cell (0,0,0).
+	v := Vector{ArithDens: 0.1, NestingFactor: 1, IOWeight: 0.5}
+	a, n, io := s.Cube(v)
+	if a != 0 || n != 0 || io != 0 {
+		t.Errorf("Cube = (%d,%d,%d), want (0,0,0)", a, n, io)
+	}
+	if id := s.CellID(v); id != 0 {
+		t.Errorf("CellID = %d, want 0", id)
+	}
+	// All cell ids must be unique and within range.
+	seen := map[int]bool{}
+	for a := 0; a < 3; a++ {
+		for n := 0; n < 3; n++ {
+			for io := 0; io < 4; io++ {
+				v := Vector{
+					ArithDens:     []float64{0.1, 0.3, 0.7}[a],
+					NestingFactor: []int{0, 2, 5}[n],
+					IOWeight:      []float64{0, 5, 50, 500}[io],
+				}
+				id := s.CellID(v)
+				if id < 0 || id >= s.Cells() {
+					t.Fatalf("CellID out of range: %d", id)
+				}
+				if seen[id] {
+					t.Fatalf("duplicate cell id %d", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+}
+
+func TestEmptyFunctionVector(t *testing.T) {
+	m := ir.NewModule("e")
+	b := ir.NewBuilder(m, "empty", nil, ir.TVoid)
+	b.Ret(ir.NoReg)
+	v := Extract(m.Funcs[0])
+	if v.IODens != 0 || v.MemDens != 0 || v.IntDens != 0 || v.FPDens != 0 {
+		t.Errorf("empty function has nonzero densities: %+v", v)
+	}
+	if Classify(v) != PhaseOther {
+		t.Errorf("empty function phase = %v, want Other", Classify(v))
+	}
+}

@@ -1,0 +1,54 @@
+package features
+
+// Feature ranges, per Definition 3.3: contiguous intervals partitioning a
+// feature's domain into equivalence classes. RangeIndex is the generic
+// bucketing primitive used both here and by internal/perfmon for hardware
+// phases.
+
+// RangeIndex returns the index of the half-open interval containing v, given
+// ascending interior boundaries. With boundaries [b0, b1] the intervals are
+// (-inf, b0), [b0, b1), [b1, +inf), i.e. len(bounds)+1 buckets.
+func RangeIndex(v float64, bounds []float64) int {
+	i := 0
+	for i < len(bounds) && v >= bounds[i] {
+		i++
+	}
+	return i
+}
+
+// Example34Space reproduces the 3-feature space of Example 3.4 / Fig. 6 of
+// the paper: arithmetic density in {[0,.25), [.25,.5), [.5,1]}, nesting
+// factor in {[0,1], [2,3], [4,+inf)} and I/O weight in {[0,1), [1,10),
+// [10,100), [100,+inf)} — 3 x 3 x 4 = 36 cells.
+type Example34Space struct {
+	ArithBounds   []float64
+	NestingBounds []float64
+	IOBounds      []float64
+}
+
+// NewExample34Space returns the space with the paper's boundaries.
+func NewExample34Space() Example34Space {
+	return Example34Space{
+		ArithBounds:   []float64{0.25, 0.50},
+		NestingBounds: []float64{2, 4},
+		IOBounds:      []float64{1, 10, 100},
+	}
+}
+
+// Cells returns the total number of cells in the space.
+func (s Example34Space) Cells() int {
+	return (len(s.ArithBounds) + 1) * (len(s.NestingBounds) + 1) * (len(s.IOBounds) + 1)
+}
+
+// Cube maps a feature vector to its (arith, nesting, io) cell coordinates.
+func (s Example34Space) Cube(v Vector) (int, int, int) {
+	return RangeIndex(v.ArithDens, s.ArithBounds),
+		RangeIndex(float64(v.NestingFactor), s.NestingBounds),
+		RangeIndex(v.IOWeight, s.IOBounds)
+}
+
+// CellID flattens cube coordinates into a single phase id in [0, Cells()).
+func (s Example34Space) CellID(v Vector) int {
+	a, n, io := s.Cube(v)
+	return (a*(len(s.NestingBounds)+1)+n)*(len(s.IOBounds)+1) + io
+}

@@ -1,0 +1,234 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestXU4Shape(t *testing.T) {
+	p := OdroidXU4()
+	if p.MaxLittle() != 4 || p.MaxBig() != 4 {
+		t.Fatalf("core counts: %dL %dB", p.MaxLittle(), p.MaxBig())
+	}
+	if p.NumConfigs() != 24 {
+		t.Fatalf("NumConfigs = %d, want 24 (paper: 5x5-1)", p.NumConfigs())
+	}
+	if len(p.Cores) != 8 {
+		t.Fatalf("cores = %d", len(p.Cores))
+	}
+	for _, i := range p.LittleIdx {
+		if p.Cores[i].Type != Little {
+			t.Errorf("core %d should be LITTLE", i)
+		}
+	}
+	for _, i := range p.BigIdx {
+		if p.Cores[i].Type != Big {
+			t.Errorf("core %d should be big", i)
+		}
+	}
+	if p.Cores[p.BigIdx[0]].FreqMHz != 2000 || p.Cores[p.LittleIdx[0]].FreqMHz != 1400 {
+		t.Error("paper frequencies: big 2.0GHz, LITTLE 1.4GHz")
+	}
+}
+
+func TestConfigIDRoundTrip(t *testing.T) {
+	p := OdroidXU4()
+	seen := map[int]bool{}
+	for l := 0; l <= 4; l++ {
+		for b := 0; b <= 4; b++ {
+			if l == 0 && b == 0 {
+				continue
+			}
+			c := Config{Little: l, Big: b}
+			if !c.Valid(4, 4) {
+				t.Fatalf("%v should be valid", c)
+			}
+			id := p.ConfigID(c)
+			if id < 0 || id >= p.NumConfigs() {
+				t.Fatalf("%v id=%d out of range", c, id)
+			}
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+			if got := p.ConfigFromID(id); got != c {
+				t.Fatalf("round trip %v -> %d -> %v", c, id, got)
+			}
+		}
+	}
+	if (Config{}).Valid(4, 4) {
+		t.Error("0L0B must be invalid")
+	}
+	if (Config{Little: 5}).Valid(4, 4) {
+		t.Error("5L0B must be invalid on XU4")
+	}
+}
+
+func TestConfigIDRoundTripQuick(t *testing.T) {
+	p := OdroidXU4()
+	f := func(id uint8) bool {
+		i := int(id) % p.NumConfigs()
+		c := p.ConfigFromID(i)
+		return c.Valid(p.MaxLittle(), p.MaxBig()) && p.ConfigID(c) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	p := OdroidXU4()
+	cs := p.Configs()
+	if len(cs) != 24 {
+		t.Fatalf("len = %d", len(cs))
+	}
+	if cs[0].String() != "0L1B" {
+		t.Errorf("first config %v, want 0L1B", cs[0])
+	}
+	last := cs[len(cs)-1]
+	if last.String() != "4L4B" {
+		t.Errorf("last config %v, want 4L4B", last)
+	}
+}
+
+func TestActiveCores(t *testing.T) {
+	p := OdroidXU4()
+	cores := p.ActiveCores(Config{Little: 2, Big: 1})
+	if len(cores) != 3 {
+		t.Fatalf("active = %v", cores)
+	}
+	if p.Cores[cores[0]].Type != Little || p.Cores[cores[2]].Type != Big {
+		t.Errorf("ordering wrong: %v", cores)
+	}
+	// Determinism: the same prefix of cores is always used.
+	again := p.ActiveCores(Config{Little: 2, Big: 1})
+	for i := range cores {
+		if cores[i] != again[i] {
+			t.Fatal("ActiveCores not deterministic")
+		}
+	}
+	if n := len(p.ActiveCores(p.AllOn())); n != 8 {
+		t.Errorf("AllOn active = %d", n)
+	}
+}
+
+func TestCapabilityMonotone(t *testing.T) {
+	p := OdroidXU4()
+	// Adding a core of either type strictly increases capability.
+	base := Config{Little: 1, Big: 1}
+	if !(p.Capability(Config{Little: 2, Big: 1}) > p.Capability(base)) {
+		t.Error("adding LITTLE should increase capability")
+	}
+	if !(p.Capability(Config{Little: 1, Big: 2}) > p.Capability(base)) {
+		t.Error("adding big should increase capability")
+	}
+	// A big core is worth more than a LITTLE one.
+	if !(p.Capability(Config{Big: 1}) > p.Capability(Config{Little: 1})) {
+		t.Error("big must outrank LITTLE")
+	}
+}
+
+func TestConfigsByCapabilityLadder(t *testing.T) {
+	p := OdroidXU4()
+	ladder := p.ConfigsByCapability()
+	if len(ladder) != 24 {
+		t.Fatalf("ladder size %d", len(ladder))
+	}
+	for i := 1; i < len(ladder); i++ {
+		ca := p.Capability(p.ConfigFromID(ladder[i-1]))
+		cb := p.Capability(p.ConfigFromID(ladder[i]))
+		if ca > cb {
+			t.Fatalf("ladder not ascending at %d: %v then %v", i, ca, cb)
+		}
+	}
+	if first := p.ConfigFromID(ladder[0]); first.String() != "1L0B" {
+		t.Errorf("weakest rung %v, want 1L0B", first)
+	}
+	if last := p.ConfigFromID(ladder[23]); last.String() != "4L4B" {
+		t.Errorf("strongest rung %v, want 4L4B", last)
+	}
+}
+
+func TestPowerModelOrdering(t *testing.T) {
+	p := OdroidXU4()
+	big := &p.Cores[p.BigIdx[0]]
+	little := &p.Cores[p.LittleIdx[0]]
+	intMix := BurstMix{}
+	fpMix := BurstMix{FPFrac: 1}
+	if !(big.BusyPower(intMix) > little.BusyPower(intMix)) {
+		t.Error("big must draw more power than LITTLE")
+	}
+	if !(big.BusyPower(fpMix) > big.BusyPower(intMix)) {
+		t.Error("FP work must draw more power")
+	}
+	if !(big.BusyPower(intMix) > big.IdleWatts) {
+		t.Error("busy must exceed idle")
+	}
+	// Published shape: A15 burns roughly 4-6x an A7 on the same work.
+	ratio := big.BusyPower(intMix) / little.BusyPower(intMix)
+	if ratio < 3 || ratio > 8 {
+		t.Errorf("big/LITTLE power ratio = %v, want within [3, 8]", ratio)
+	}
+}
+
+func TestIdleAndMaxConfigPower(t *testing.T) {
+	p := OdroidXU4()
+	if !(p.IdleConfigPower(Config{Big: 4, Little: 4}) > p.IdleConfigPower(Config{Little: 1})) {
+		t.Error("more cores, more idle power")
+	}
+	for _, c := range p.Configs() {
+		if !(p.MaxConfigPower(c) > p.IdleConfigPower(c)) {
+			t.Errorf("%v: max <= idle", c)
+		}
+	}
+	if got := p.IdleConfigPower(Config{Little: 1}); got <= p.BasePowerWatts {
+		t.Errorf("idle power %v must exceed base %v", got, p.BasePowerWatts)
+	}
+}
+
+func TestBigFasterOnIntAndFP(t *testing.T) {
+	p := OdroidXU4()
+	big := &p.Cores[p.BigIdx[0]]
+	little := &p.Cores[p.LittleIdx[0]]
+	// Time per int-ALU op in ns.
+	bigNs := big.CPIIntALU / big.CyclesPerSecond() * 1e9
+	littleNs := little.CPIIntALU / little.CyclesPerSecond() * 1e9
+	if !(bigNs < littleNs) {
+		t.Error("big must be faster on int work")
+	}
+	speedup := littleNs / bigNs
+	if speedup < 1.5 || speedup > 4 {
+		t.Errorf("big int speedup = %v, want in [1.5, 4] (GTS-era figures ~1.9x)", speedup)
+	}
+	bigFP := big.CPIFPALU / big.CyclesPerSecond()
+	littleFP := little.CPIFPALU / little.CyclesPerSecond()
+	if littleFP/bigFP < speedup {
+		t.Error("FP gap must be at least as large as int gap")
+	}
+}
+
+func TestDRAMCycles(t *testing.T) {
+	p := OdroidXU4()
+	big := &p.Cores[p.BigIdx[0]]
+	little := &p.Cores[p.LittleIdx[0]]
+	// The same 100ns costs more cycles at the higher clock.
+	if !(big.DRAMCycles(p.DRAMLatencyNs) > little.DRAMCycles(p.DRAMLatencyNs)) {
+		t.Error("DRAM cycles must scale with frequency")
+	}
+	if got := big.DRAMCycles(100); got != 200 {
+		t.Errorf("2GHz x 100ns = %v cycles, want 200", got)
+	}
+}
+
+func TestTK1Shape(t *testing.T) {
+	p := JetsonTK1()
+	if p.MaxLittle() != 1 || p.MaxBig() != 4 {
+		t.Fatalf("TK1 cores: %dL %dB", p.MaxLittle(), p.MaxBig())
+	}
+	if p.NumConfigs() != 9 {
+		t.Errorf("TK1 NumConfigs = %d, want 9", p.NumConfigs())
+	}
+	if _, ok := Platforms()["jetson-tk1"]; !ok {
+		t.Error("platform registry missing jetson-tk1")
+	}
+}

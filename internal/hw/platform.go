@@ -1,0 +1,110 @@
+package hw
+
+// Core parameter sets. The A15 is a 3-wide out-of-order core; the A7 a
+// 2-wide in-order core. CPI and power figures follow published
+// characterizations of the Exynos 5422 (big ≈ 5x the power of LITTLE at
+// ≈ 1.9x the int throughput, more on FP).
+
+func cortexA15(freqMHz int) CoreSpec {
+	return CoreSpec{
+		Type:          Big,
+		FreqMHz:       freqMHz,
+		CPIIntALU:     0.6,
+		CPIFPALU:      1.1,
+		CPIMem:        0.7,
+		CPIBranch:     1.0,
+		CPICall:       2.0,
+		L1HitCycles:   1.0,
+		L2HitCycles:   12.0,
+		IdleWatts:     0.12,
+		ActiveWatts:   1.55,
+		FPExtraWatts:  0.45,
+		MemExtraWatts: 0.30,
+	}
+}
+
+func cortexA7(freqMHz int) CoreSpec {
+	return CoreSpec{
+		Type:          Little,
+		FreqMHz:       freqMHz,
+		CPIIntALU:     1.1,
+		CPIFPALU:      4.0,
+		CPIMem:        1.4,
+		CPIBranch:     1.4,
+		CPICall:       3.0,
+		L1HitCycles:   1.0,
+		L2HitCycles:   9.0,
+		IdleWatts:     0.02,
+		ActiveWatts:   0.31,
+		FPExtraWatts:  0.09,
+		MemExtraWatts: 0.06,
+	}
+}
+
+// OdroidXU4 models the paper's primary evaluation board: a Samsung Exynos
+// 5422 with 4 Cortex-A15 cores at 2.0 GHz and 4 Cortex-A7 cores at 1.4 GHz,
+// run with the "performance" governor (fixed maximum frequency), 24 valid
+// hardware configurations.
+func OdroidXU4() *Platform {
+	p := &Platform{
+		Name:          "odroid-xu4",
+		L1KB:          32,
+		L1Ways:        4,
+		LineBytes:     64,
+		L2KB:          map[CoreType]int{Big: 2048, Little: 512},
+		L2Ways:        16,
+		DRAMLatencyNs: 100,
+		// Hotplug and migration latencies are scaled down with the
+		// reproduction's compressed virtual-time axis (paper runs are
+		// minutes with 500 ms checkpoints; ours are tens of milliseconds
+		// with ~1 ms checkpoints), keeping the switch-cost-to-phase-length
+		// ratio in the regime the paper discusses. See DESIGN.md.
+		SwitchLatencyUs:    40,
+		MigrationLatencyUs: 12,
+		BasePowerWatts:     0.35,
+	}
+	for i := 0; i < 4; i++ {
+		p.LittleIdx = append(p.LittleIdx, len(p.Cores))
+		p.Cores = append(p.Cores, cortexA7(1400))
+	}
+	for i := 0; i < 4; i++ {
+		p.BigIdx = append(p.BigIdx, len(p.Cores))
+		p.Cores = append(p.Cores, cortexA15(2000))
+	}
+	return p
+}
+
+// JetsonTK1 models the Nvidia Tegra K1 board used for the power-profile
+// experiment (Fig. 2/3): 4 Cortex-A15 cores plus one low-power companion
+// core. It offers far fewer configurations than the XU4 (as the paper
+// notes), but pairs with the JetsonLeap-style 1 kHz power sampler.
+func JetsonTK1() *Platform {
+	p := &Platform{
+		Name:          "jetson-tk1",
+		L1KB:          32,
+		L1Ways:        4,
+		LineBytes:     64,
+		L2KB:          map[CoreType]int{Big: 2048, Little: 512},
+		L2Ways:        16,
+		DRAMLatencyNs: 95,
+		// Scaled with the virtual-time axis; see OdroidXU4.
+		SwitchLatencyUs:    40,
+		MigrationLatencyUs: 12,
+		BasePowerWatts:     1.3, // whole-board measurement, as with JetsonLeap
+	}
+	p.LittleIdx = append(p.LittleIdx, len(p.Cores))
+	p.Cores = append(p.Cores, cortexA7(1000))
+	for i := 0; i < 4; i++ {
+		p.BigIdx = append(p.BigIdx, len(p.Cores))
+		p.Cores = append(p.Cores, cortexA15(2300))
+	}
+	return p
+}
+
+// Platforms lists the built-in platforms by name.
+func Platforms() map[string]func() *Platform {
+	return map[string]func() *Platform{
+		"odroid-xu4": OdroidXU4,
+		"jetson-tk1": JetsonTK1,
+	}
+}

@@ -1,0 +1,47 @@
+package hw
+
+// BurstMix summarizes the instruction mix of an execution burst, as needed
+// by the power model: the fraction of floating-point work and the L2 miss
+// rate drive the dynamic-power adders.
+type BurstMix struct {
+	FPFrac   float64 // FP instructions / total instructions
+	MissRate float64 // L2 misses / memory accesses
+}
+
+// BusyPower returns a core's instantaneous power while executing with the
+// given mix.
+func (s *CoreSpec) BusyPower(mix BurstMix) float64 {
+	return s.ActiveWatts + s.FPExtraWatts*clamp01(mix.FPFrac) + s.MemExtraWatts*clamp01(mix.MissRate)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// IdleConfigPower returns the platform power when all cores in config c are
+// idle: base power plus per-core idle power. Cores not in c draw nothing
+// (hotplugged off).
+func (p *Platform) IdleConfigPower(c Config) float64 {
+	w := p.BasePowerWatts
+	for _, ci := range p.ActiveCores(c) {
+		w += p.Cores[ci].IdleWatts
+	}
+	return w
+}
+
+// MaxConfigPower returns an upper bound on platform power under c (all
+// cores busy on FP-heavy, miss-heavy work); useful for sanity checks and
+// plot scaling.
+func (p *Platform) MaxConfigPower(c Config) float64 {
+	w := p.BasePowerWatts
+	for _, ci := range p.ActiveCores(c) {
+		w += p.Cores[ci].BusyPower(BurstMix{FPFrac: 1, MissRate: 1})
+	}
+	return w
+}

@@ -1,0 +1,235 @@
+// Package instrument implements the paper's three instrumentation modes
+// (Sec. 3.1.1, 3.3 and Fig. 8):
+//
+//   - Learning: log the static program phase at every function entry and
+//     toggle the blocking flag around long-latency library calls, so the
+//     Astro runtime can observe phases while training (Fig. 8a).
+//   - Static: imprint a trained policy into the binary by requesting the
+//     phase's best hardware configuration at the same points (Fig. 8b).
+//   - Hybrid: emit determine-configuration calls that combine the static
+//     phase hint with runtime hardware state (Fig. 8c).
+//
+// Passes never mutate their input: they deep-copy the module (via the
+// binary codec) and return the instrumented copy. The package also provides
+// the code-size accounting behind the paper's Fig. 11.
+package instrument
+
+import (
+	"fmt"
+
+	"astro/internal/features"
+	"astro/internal/hw"
+	"astro/internal/ir"
+)
+
+// Policy maps each static program phase to the hardware configuration that
+// produced the best rewards during training (the paper's
+// determine_active_configuration table).
+type Policy struct {
+	PerPhase [features.NumPhases]hw.Config
+}
+
+// Validate checks the policy against a platform.
+func (p *Policy) Validate(plat *hw.Platform) error {
+	for ph, cfg := range p.PerPhase {
+		if !cfg.Valid(plat.MaxLittle(), plat.MaxBig()) {
+			return fmt.Errorf("instrument: policy has invalid config %v for phase %v",
+				cfg, features.Phase(ph))
+		}
+	}
+	return nil
+}
+
+// Mode selects the instrumentation flavor.
+type Mode uint8
+
+const (
+	Learning Mode = iota
+	Static
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Learning:
+		return "learning"
+	case Static:
+		return "static"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// longBlocking reports whether a builtin call is a long-latency blocker
+// worth a phase toggle. Short buffered file reads and lock operations are
+// excluded: their cost is microseconds, so tracking state around them would
+// cost more than it informs (the trade-off the paper discusses for small
+// inputs).
+func longBlocking(id ir.BuiltinID) bool {
+	switch id {
+	case ir.BReadUserData, ir.BSleepMs, ir.BNetRecv, ir.BNetSend, ir.BBarrierWait, ir.BJoin:
+		return true
+	}
+	return false
+}
+
+// configWorthy reports whether a blocking call's wait is predictably long
+// enough to pay for a hardware reconfiguration (Fig. 8b's pattern around
+// read_user_data). Barrier waits and joins get phase toggles only: their
+// duration is data-dependent and switching around every barrier of an
+// iterative kernel would thrash the hardware — the cost the paper notes can
+// "overshadow the possible gains" on small inputs.
+func configWorthy(id ir.BuiltinID) bool {
+	switch id {
+	case ir.BReadUserData, ir.BSleepMs, ir.BNetRecv, ir.BNetSend:
+		return true
+	}
+	return false
+}
+
+// ForLearning returns a copy of mod instrumented for the training phase.
+func ForLearning(mod *ir.Module, mi *features.ModuleInfo) (*ir.Module, error) {
+	return apply(mod, mi, Learning, nil, nil)
+}
+
+// ForStatic returns a copy of mod with the trained policy imprinted as
+// static configuration requests.
+func ForStatic(mod *ir.Module, mi *features.ModuleInfo, plat *hw.Platform, pol *Policy) (*ir.Module, error) {
+	if err := pol.Validate(plat); err != nil {
+		return nil, err
+	}
+	return apply(mod, mi, Static, plat, pol)
+}
+
+// ForHybrid returns a copy of mod with determine-configuration calls that
+// consult the resident policy at run time.
+func ForHybrid(mod *ir.Module, mi *features.ModuleInfo) (*ir.Module, error) {
+	return apply(mod, mi, Hybrid, nil, nil)
+}
+
+func apply(mod *ir.Module, mi *features.ModuleInfo, mode Mode, plat *hw.Platform, pol *Policy) (*ir.Module, error) {
+	if mi.Module != mod {
+		return nil, fmt.Errorf("instrument: feature info is for module %q, not %q", mi.Module.Name, mod.Name)
+	}
+	out, err := ir.Decode(ir.Encode(mod)) // deep copy
+	if err != nil {
+		return nil, fmt.Errorf("instrument: clone failed: %w", err)
+	}
+	for fi, f := range out.Funcs {
+		phase := mi.Funcs[fi].Phase
+		for _, blk := range f.Blocks {
+			blk.Instrs = rewriteBlock(blk.Instrs, blk.ID == 0, phase, mode, plat, pol)
+		}
+	}
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("instrument: instrumented module invalid: %w", err)
+	}
+	return out, nil
+}
+
+// entryOps returns the instrumentation prologue for a function of the given
+// phase.
+func entryOps(phase features.Phase, mode Mode, plat *hw.Platform, pol *Policy) []ir.Instr {
+	switch mode {
+	case Learning:
+		return []ir.Instr{logPhase(phase)}
+	case Static:
+		return []ir.Instr{setConfig(plat, pol.PerPhase[phase]), logPhase(phase)}
+	default: // Hybrid
+		return []ir.Instr{determineConf(phase)}
+	}
+}
+
+// blockerOps returns the ops inserted before/after a long blocking call.
+// Configuration requests are added only when reconfigure is true.
+func blockerOps(enclosing features.Phase, mode Mode, plat *hw.Platform, pol *Policy, reconfigure bool) (pre, post []ir.Instr) {
+	pre = []ir.Instr{toggleBlocked(true)}
+	post = []ir.Instr{toggleBlocked(false)}
+	if !reconfigure {
+		return pre, post
+	}
+	switch mode {
+	case Static:
+		pre = append(pre, setConfig(plat, pol.PerPhase[features.PhaseBlocked]))
+		post = append(post, setConfig(plat, pol.PerPhase[enclosing]))
+	case Hybrid:
+		pre = append(pre, determineConf(features.PhaseBlocked))
+		post = append(post, determineConf(enclosing))
+	}
+	return pre, post
+}
+
+func rewriteBlock(instrs []ir.Instr, isEntry bool, phase features.Phase, mode Mode, plat *hw.Platform, pol *Policy) []ir.Instr {
+	out := make([]ir.Instr, 0, len(instrs)+4)
+	if isEntry {
+		out = append(out, entryOps(phase, mode, plat, pol)...)
+	}
+	for _, in := range instrs {
+		if in.Op == ir.OpBuiltin && longBlocking(ir.BuiltinID(in.Sym)) {
+			pre, post := blockerOps(phase, mode, plat, pol, configWorthy(ir.BuiltinID(in.Sym)))
+			out = append(out, pre...)
+			out = append(out, in)
+			out = append(out, post...)
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func logPhase(p features.Phase) ir.Instr {
+	return ir.Instr{Op: ir.OpLogPhase, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Sym: -1, Imm: int64(p)}
+}
+
+func toggleBlocked(on bool) ir.Instr {
+	v := int64(0)
+	if on {
+		v = 1
+	}
+	return ir.Instr{Op: ir.OpToggleBlocked, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Sym: -1, Imm: v}
+}
+
+func setConfig(plat *hw.Platform, cfg hw.Config) ir.Instr {
+	return ir.Instr{Op: ir.OpSetConfig, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Sym: -1, Imm: int64(plat.ConfigID(cfg))}
+}
+
+func determineConf(p features.Phase) ir.Instr {
+	return ir.Instr{Op: ir.OpDetermineConf, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, C: ir.NoReg, Sym: -1, Imm: int64(p)}
+}
+
+// RuntimeLibBytes approximates the size of the Astro runtime library linked
+// into final binaries (monitoring, NN inference, actuation). The paper's
+// Fig. 11 shows this dominating the size increase, roughly constant across
+// benchmarks.
+const RuntimeLibBytes = 52 * 1024
+
+// SizeReport is the Fig. 11 accounting for one benchmark.
+type SizeReport struct {
+	Name         string
+	Original     int // plain binary
+	Learning     int // learning instrumentation, statically linked, no lib
+	Instrumented int // static/hybrid instrumentation + runtime library
+}
+
+// Sizes computes the code-size report for a module. Static and hybrid
+// binaries differ by a handful of bytes (as in the paper), so one column
+// covers both; we use the static flavor with a trivial policy.
+func Sizes(mod *ir.Module, mi *features.ModuleInfo, plat *hw.Platform) (SizeReport, error) {
+	rep := SizeReport{Name: mod.Name, Original: ir.EncodedSize(mod)}
+	learn, err := ForLearning(mod, mi)
+	if err != nil {
+		return rep, err
+	}
+	rep.Learning = ir.EncodedSize(learn)
+	pol := &Policy{}
+	for i := range pol.PerPhase {
+		pol.PerPhase[i] = plat.AllOn()
+	}
+	static, err := ForStatic(mod, mi, plat, pol)
+	if err != nil {
+		return rep, err
+	}
+	rep.Instrumented = ir.EncodedSize(static) + RuntimeLibBytes
+	return rep, nil
+}

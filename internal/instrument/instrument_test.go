@@ -1,0 +1,209 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"astro/internal/features"
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/lang"
+)
+
+const testSrc = `
+var data [256]float;
+barrier gate;
+
+func compute(n int) float {
+	var acc float = 0.0;
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + float(i) * 1.5 - acc / 2.5;
+	}
+	return acc;
+}
+
+func waits() {
+	read_user_data();
+	sleep_ms(3);
+	barrier_wait(gate);
+}
+
+func main(scale int, threads int) {
+	barrier_init(gate, 1);
+	print_float(compute(scale));
+	waits();
+}
+`
+
+func setup(t *testing.T) (*ir.Module, *features.ModuleInfo) {
+	t.Helper()
+	mod, err := lang.Compile("bench", testSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, features.AnalyzeModule(mod, features.Options{})
+}
+
+func countOps(m *ir.Module, op ir.Opcode) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func trivialPolicy(plat *hw.Platform) *Policy {
+	p := &Policy{}
+	p.PerPhase[features.PhaseOther] = hw.Config{Little: 2, Big: 2}
+	p.PerPhase[features.PhaseBlocked] = hw.Config{Little: 1}
+	p.PerPhase[features.PhaseIOBound] = hw.Config{Little: 2}
+	p.PerPhase[features.PhaseCPUBound] = hw.Config{Big: 4}
+	return p
+}
+
+func TestForLearningInsertsLogsAndToggles(t *testing.T) {
+	mod, mi := setup(t)
+	out, err := ForLearning(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countOps(out, ir.OpLogPhase); got != len(mod.Funcs) {
+		t.Errorf("logphase count = %d, want %d (one per function)", got, len(mod.Funcs))
+	}
+	// waits() has 3 long blockers; main has print (not long) and the
+	// instrumented calls; expect 2 toggles per long blocker.
+	if got := countOps(out, ir.OpToggleBlocked); got != 6 {
+		t.Errorf("toggle count = %d, want 6", got)
+	}
+	// Original module untouched.
+	if countOps(mod, ir.OpLogPhase) != 0 {
+		t.Error("input module was mutated")
+	}
+	if err := ir.Verify(out); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestForStaticInsertsSetConfig(t *testing.T) {
+	mod, mi := setup(t)
+	plat := hw.OdroidXU4()
+	out, err := ForStatic(mod, mi, plat, trivialPolicy(plat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One per function entry + 2 per config-worthy blocker (before/after):
+	// read_user_data and sleep_ms qualify; barrier_wait gets toggles only.
+	want := len(mod.Funcs) + 2*2
+	if got := countOps(out, ir.OpSetConfig); got != want {
+		t.Errorf("setconfig count = %d, want %d", got, want)
+	}
+	if got := countOps(out, ir.OpDetermineConf); got != 0 {
+		t.Errorf("static must not contain determineconf, got %d", got)
+	}
+	// The compute function is CPU bound: its entry must request Big:4.
+	ci := mod.FuncIndex["compute"]
+	if mi.Funcs[ci].Phase != features.PhaseCPUBound {
+		t.Fatalf("compute phase = %v", mi.Funcs[ci].Phase)
+	}
+	entry := out.Funcs[ci].Blocks[0].Instrs[0]
+	if entry.Op != ir.OpSetConfig {
+		t.Fatalf("compute entry op = %v", entry.Op.Name())
+	}
+	wantID := plat.ConfigID(hw.Config{Big: 4})
+	if entry.Imm != int64(wantID) {
+		t.Errorf("compute entry config id = %d, want %d", entry.Imm, wantID)
+	}
+}
+
+func TestForHybridInsertsDetermineConf(t *testing.T) {
+	mod, mi := setup(t)
+	out, err := ForHybrid(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(mod.Funcs) + 2*2
+	if got := countOps(out, ir.OpDetermineConf); got != want {
+		t.Errorf("determineconf count = %d, want %d", got, want)
+	}
+	if got := countOps(out, ir.OpSetConfig); got != 0 {
+		t.Errorf("hybrid must not contain setconfig, got %d", got)
+	}
+	// Blocker pre-op must carry the Blocked phase hint.
+	wi := mod.FuncIndex["waits"]
+	var hints []int64
+	for _, b := range out.Funcs[wi].Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpDetermineConf {
+				hints = append(hints, b.Instrs[i].Imm)
+			}
+		}
+	}
+	foundBlocked := false
+	for _, h := range hints {
+		if features.Phase(h) == features.PhaseBlocked {
+			foundBlocked = true
+		}
+	}
+	if !foundBlocked {
+		t.Errorf("no Blocked hints in waits(): %v", hints)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	mod, mi := setup(t)
+	plat := hw.OdroidXU4()
+	bad := &Policy{} // zero configs are invalid (0L0B)
+	if _, err := ForStatic(mod, mi, plat, bad); err == nil {
+		t.Fatal("invalid policy accepted")
+	} else if !strings.Contains(err.Error(), "invalid config") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestMismatchedFeatureInfoRejected(t *testing.T) {
+	mod, _ := setup(t)
+	other, err := lang.Compile("other", `func main() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherInfo := features.AnalyzeModule(other, features.Options{})
+	if _, err := ForLearning(mod, otherInfo); err == nil {
+		t.Fatal("mismatched module accepted")
+	}
+}
+
+func TestSizesOrdering(t *testing.T) {
+	mod, mi := setup(t)
+	rep, err := Sizes(mod, mi, hw.OdroidXU4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.Original < rep.Learning) {
+		t.Errorf("learning (%d) must exceed original (%d)", rep.Learning, rep.Original)
+	}
+	if !(rep.Learning < rep.Instrumented) {
+		t.Errorf("instrumented (%d) must exceed learning (%d)", rep.Instrumented, rep.Learning)
+	}
+	// The runtime library dominates, as in Fig. 11.
+	if rep.Instrumented-rep.Original < RuntimeLibBytes {
+		t.Errorf("instrumented growth %d < library size %d", rep.Instrumented-rep.Original, RuntimeLibBytes)
+	}
+	// Instrumentation growth without the library is small relative to it.
+	growth := rep.Learning - rep.Original
+	if growth <= 0 || growth > RuntimeLibBytes/4 {
+		t.Errorf("learning growth = %d bytes, want small positive", growth)
+	}
+}
+
+func TestModesString(t *testing.T) {
+	if Learning.String() != "learning" || Static.String() != "static" || Hybrid.String() != "hybrid" {
+		t.Error("mode strings")
+	}
+}

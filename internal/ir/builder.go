@@ -1,0 +1,120 @@
+package ir
+
+// Builder provides a convenient way to construct functions, used by the
+// front end's lowering phase and by tests that need hand-built CFGs.
+type Builder struct {
+	M   *Module
+	F   *Function
+	cur *Block
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, FuncIndex: map[string]int{}}
+}
+
+// NewBuilder starts building a new function in m. The parameter registers
+// are allocated first, matching the calling convention.
+func NewBuilder(m *Module, name string, params []Type, ret Type) *Builder {
+	f := &Function{Name: name, Params: append([]Type(nil), params...), Ret: ret}
+	f.Regs = append(f.Regs, params...)
+	m.FuncIndex[name] = len(m.Funcs)
+	m.Funcs = append(m.Funcs, f)
+	b := &Builder{M: m, F: f}
+	b.cur = b.NewBlock()
+	return b
+}
+
+// NewReg allocates a fresh register of type t.
+func (b *Builder) NewReg(t Type) int32 {
+	b.F.Regs = append(b.F.Regs, t)
+	return int32(len(b.F.Regs) - 1)
+}
+
+// NewArray declares a frame array and returns its index.
+func (b *Builder) NewArray(name string, size int64, elem Type) int32 {
+	b.F.Arrays = append(b.F.Arrays, ArrayDecl{Name: name, Size: size, Elem: elem})
+	return int32(len(b.F.Arrays) - 1)
+}
+
+// NewBlock appends a new empty block and returns it (without switching to it).
+func (b *Builder) NewBlock() *Block {
+	blk := &Block{ID: len(b.F.Blocks)}
+	b.F.Blocks = append(b.F.Blocks, blk)
+	return blk
+}
+
+// SetBlock switches the insertion point.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+// Emit appends an instruction to the current block.
+func (b *Builder) Emit(in Instr) {
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+// ConstI emits an integer constant into a fresh register.
+func (b *Builder) ConstI(v int64) int32 {
+	r := b.NewReg(TInt)
+	b.Emit(Instr{Op: OpConstI, Dst: r, A: NoReg, B: NoReg, C: NoReg, Sym: -1, Imm: v})
+	return r
+}
+
+// ConstF emits a float constant into a fresh register.
+func (b *Builder) ConstF(v float64) int32 {
+	r := b.NewReg(TFloat)
+	b.Emit(Instr{Op: OpConstF, Dst: r, A: NoReg, B: NoReg, C: NoReg, Sym: -1, FImm: v})
+	return r
+}
+
+// Bin emits a two-operand instruction producing a fresh register of type t.
+func (b *Builder) Bin(op Opcode, t Type, a, c int32) int32 {
+	r := b.NewReg(t)
+	b.Emit(Instr{Op: op, Dst: r, A: a, B: c, C: NoReg, Sym: -1})
+	return r
+}
+
+// Un emits a one-operand instruction producing a fresh register of type t.
+func (b *Builder) Un(op Opcode, t Type, a int32) int32 {
+	r := b.NewReg(t)
+	b.Emit(Instr{Op: op, Dst: r, A: a, B: NoReg, C: NoReg, Sym: -1})
+	return r
+}
+
+// Br emits an unconditional branch to target.
+func (b *Builder) Br(target *Block) {
+	b.Emit(Instr{Op: OpBr, Dst: NoReg, A: int32(target.ID), B: NoReg, C: NoReg, Sym: -1})
+}
+
+// CBr emits a conditional branch.
+func (b *Builder) CBr(cond int32, then, els *Block) {
+	b.Emit(Instr{Op: OpCBr, Dst: NoReg, A: cond, B: int32(then.ID), C: int32(els.ID), Sym: -1})
+}
+
+// Ret emits a return; pass NoReg for void.
+func (b *Builder) Ret(v int32) {
+	b.Emit(Instr{Op: OpRet, Dst: NoReg, A: v, B: NoReg, C: NoReg, Sym: -1})
+}
+
+// CallB emits a builtin call; Dst is NoReg for void builtins or to discard.
+func (b *Builder) CallB(id BuiltinID, args ...int32) int32 {
+	bi := Builtin(id)
+	dst := NoReg
+	if bi.Ret != TVoid {
+		dst = b.NewReg(bi.Ret)
+	}
+	b.Emit(Instr{Op: OpBuiltin, Dst: dst, A: NoReg, B: NoReg, C: NoReg, Sym: int32(id), Args: args})
+	return dst
+}
+
+// Call emits a user-function call by function index.
+func (b *Builder) Call(fnIdx int, dst int32, args ...int32) {
+	b.Emit(Instr{Op: OpCall, Dst: dst, A: NoReg, B: NoReg, C: NoReg, Sym: int32(fnIdx), Args: args})
+}
+
+// Spawn emits a thread spawn of function fnIdx.
+func (b *Builder) Spawn(fnIdx int, args ...int32) {
+	b.Emit(Instr{Op: OpSpawn, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: int32(fnIdx), Args: args})
+}

@@ -1,0 +1,138 @@
+package ir
+
+// BuiltinID identifies a library routine provided by the simulated runtime.
+// Builtins carry the traits (IO, Net, Sleep, Lock, Barrier) that the
+// Phase-Extractor mines from call sites, mirroring how the paper's LLVM pass
+// classifies libc/pthread calls.
+type BuiltinID int32
+
+const (
+	// I/O.
+	BReadUserData BuiltinID = iota // blocks waiting for user input
+	BReadInt                       // read an int from the (simulated) input file
+	BReadFloat
+	BPrintInt
+	BPrintFloat
+	BPrintChar
+
+	// Network.
+	BNetSend
+	BNetRecv
+
+	// Timing.
+	BSleepMs
+
+	// Synchronization.
+	BLock
+	BUnlock
+	BBarrierInit // barrier_init(id, parties)
+	BBarrierWait
+	BJoin // wait for all threads spawned by this thread
+
+	// Thread identity / runtime queries.
+	BTid
+	BNumCores
+	BClockMs
+
+	// Deterministic pseudo-randomness (per-thread stream).
+	BRandInt   // rand_int(n) in [0, n)
+	BRandFloat // in [0, 1)
+
+	// Math (classified as FP work, like libm calls).
+	BSqrt
+	BSin
+	BCos
+	BExp
+	BLog
+	BPow
+	BFabs
+	BFloor
+
+	// Integer helpers.
+	BAbsI
+	BMinI
+	BMaxI
+
+	NumBuiltins // sentinel
+)
+
+// BuiltinInfo describes a builtin's signature, traits and base cost.
+type BuiltinInfo struct {
+	Name   string
+	Params []Type
+	Ret    Type
+
+	IsIO      bool
+	IsNet     bool
+	IsSleep   bool
+	IsLock    bool // lock/unlock operations (Locks-Dens)
+	IsBarrier bool // barrier_wait / join
+	Blocking  bool // may suspend the calling thread
+
+	// FPWork approximates how many FP-ALU ops the routine performs; used by
+	// both the feature extractor (density accounting) and the timing model.
+	FPWork int
+	// BaseCycles is the non-blocking on-core cost.
+	BaseCycles int
+}
+
+var builtinTable = [NumBuiltins]BuiltinInfo{
+	BReadUserData: {Name: "read_user_data", Ret: TInt, IsIO: true, Blocking: true, BaseCycles: 400},
+	BReadInt:      {Name: "read_int", Ret: TInt, IsIO: true, Blocking: true, BaseCycles: 250},
+	BReadFloat:    {Name: "read_float", Ret: TFloat, IsIO: true, Blocking: true, BaseCycles: 250},
+	BPrintInt:     {Name: "print_int", Params: []Type{TInt}, IsIO: true, Blocking: true, BaseCycles: 300},
+	BPrintFloat:   {Name: "print_float", Params: []Type{TFloat}, IsIO: true, Blocking: true, BaseCycles: 300},
+	BPrintChar:    {Name: "print_char", Params: []Type{TInt}, IsIO: true, Blocking: true, BaseCycles: 200},
+
+	BNetSend: {Name: "net_send", Params: []Type{TInt}, IsNet: true, Blocking: true, BaseCycles: 500},
+	BNetRecv: {Name: "net_recv", Ret: TInt, IsNet: true, Blocking: true, BaseCycles: 500},
+
+	BSleepMs: {Name: "sleep_ms", Params: []Type{TInt}, IsSleep: true, Blocking: true, BaseCycles: 100},
+
+	BLock:        {Name: "lock", Params: []Type{TInt}, IsLock: true, Blocking: true, BaseCycles: 40},
+	BUnlock:      {Name: "unlock", Params: []Type{TInt}, IsLock: true, BaseCycles: 30},
+	BBarrierInit: {Name: "barrier_init", Params: []Type{TInt, TInt}, BaseCycles: 30},
+	BBarrierWait: {Name: "barrier_wait", Params: []Type{TInt}, IsBarrier: true, Blocking: true, BaseCycles: 60},
+	BJoin:        {Name: "join", IsBarrier: true, Blocking: true, BaseCycles: 60},
+
+	BTid:      {Name: "tid", Ret: TInt, BaseCycles: 4},
+	BNumCores: {Name: "num_cores", Ret: TInt, BaseCycles: 4},
+	BClockMs:  {Name: "clock_ms", Ret: TInt, BaseCycles: 20},
+
+	BRandInt:   {Name: "rand_int", Params: []Type{TInt}, Ret: TInt, BaseCycles: 15},
+	BRandFloat: {Name: "rand_float", Ret: TFloat, BaseCycles: 15},
+
+	BSqrt:  {Name: "sqrt", Params: []Type{TFloat}, Ret: TFloat, FPWork: 4, BaseCycles: 16},
+	BSin:   {Name: "sin", Params: []Type{TFloat}, Ret: TFloat, FPWork: 8, BaseCycles: 40},
+	BCos:   {Name: "cos", Params: []Type{TFloat}, Ret: TFloat, FPWork: 8, BaseCycles: 40},
+	BExp:   {Name: "exp", Params: []Type{TFloat}, Ret: TFloat, FPWork: 8, BaseCycles: 44},
+	BLog:   {Name: "log", Params: []Type{TFloat}, Ret: TFloat, FPWork: 8, BaseCycles: 44},
+	BPow:   {Name: "pow", Params: []Type{TFloat, TFloat}, Ret: TFloat, FPWork: 12, BaseCycles: 70},
+	BFabs:  {Name: "fabs", Params: []Type{TFloat}, Ret: TFloat, FPWork: 1, BaseCycles: 4},
+	BFloor: {Name: "floor", Params: []Type{TFloat}, Ret: TFloat, FPWork: 1, BaseCycles: 6},
+
+	BAbsI: {Name: "abs", Params: []Type{TInt}, Ret: TInt, BaseCycles: 4},
+	BMinI: {Name: "min", Params: []Type{TInt, TInt}, Ret: TInt, BaseCycles: 4},
+	BMaxI: {Name: "max", Params: []Type{TInt, TInt}, Ret: TInt, BaseCycles: 4},
+}
+
+// Builtin returns the metadata for id. It panics on out-of-range ids, which
+// indicate a compiler bug rather than a user error.
+func Builtin(id BuiltinID) *BuiltinInfo {
+	return &builtinTable[id]
+}
+
+// builtinByName is built once at init for front-end lookup.
+var builtinByName = func() map[string]BuiltinID {
+	m := make(map[string]BuiltinID, NumBuiltins)
+	for id := BuiltinID(0); id < NumBuiltins; id++ {
+		m[builtinTable[id].Name] = id
+	}
+	return m
+}()
+
+// BuiltinByName resolves a builtin name; ok is false if the name is unknown.
+func BuiltinByName(name string) (BuiltinID, bool) {
+	id, ok := builtinByName[name]
+	return id, ok
+}

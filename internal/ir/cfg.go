@@ -1,0 +1,242 @@
+package ir
+
+// CFG utilities: successor/predecessor computation, reverse postorder,
+// dominator trees (Cooper–Harvey–Kennedy iterative algorithm) and natural
+// loop detection with per-block nesting depth. These are the analyses the
+// Phase-Extractor needs to compute nesting factors and the Σ10ⁿ I/O weight
+// heuristic from Example 3.4 of the paper.
+
+// Succs returns the successor block IDs of b.
+func Succs(b *Block) []int {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case OpBr:
+		return []int{int(t.A)}
+	case OpCBr:
+		if t.B == t.C {
+			return []int{int(t.B)}
+		}
+		return []int{int(t.B), int(t.C)}
+	default: // OpRet
+		return nil
+	}
+}
+
+// CFGInfo caches derived control-flow facts for one function.
+type CFGInfo struct {
+	Fn    *Function
+	Succ  [][]int
+	Pred  [][]int
+	RPO   []int // reverse postorder of reachable blocks (entry first)
+	RPOIx []int // block id -> position in RPO, or -1 if unreachable
+	IDom  []int // immediate dominator per block (-1 for entry/unreachable)
+
+	// LoopDepth[b] is the number of natural loops containing block b.
+	LoopDepth []int
+	// Loops lists detected natural loops (header + body block set).
+	Loops []Loop
+}
+
+// Loop is a natural loop: the header block and the set of blocks in its body
+// (header included).
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+}
+
+// BuildCFG computes successors, predecessors, RPO, dominators and loops.
+func BuildCFG(f *Function) *CFGInfo {
+	n := len(f.Blocks)
+	info := &CFGInfo{
+		Fn:        f,
+		Succ:      make([][]int, n),
+		Pred:      make([][]int, n),
+		RPOIx:     make([]int, n),
+		IDom:      make([]int, n),
+		LoopDepth: make([]int, n),
+	}
+	for i, b := range f.Blocks {
+		info.Succ[i] = Succs(b)
+	}
+	for i, ss := range info.Succ {
+		for _, s := range ss {
+			info.Pred[s] = append(info.Pred[s], i)
+		}
+	}
+
+	// Depth-first postorder from the entry; reverse it for RPO.
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range info.Succ[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	info.RPO = make([]int, len(post))
+	for i := range post {
+		info.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range info.RPOIx {
+		info.RPOIx[i] = -1
+	}
+	for i, b := range info.RPO {
+		info.RPOIx[b] = i
+	}
+
+	info.computeDominators()
+	info.findLoops()
+	return info
+}
+
+func (info *CFGInfo) computeDominators() {
+	for i := range info.IDom {
+		info.IDom[i] = -1
+	}
+	if len(info.RPO) == 0 {
+		return
+	}
+	entry := info.RPO[0]
+	info.IDom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range info.RPO[1:] {
+			newIdom := -1
+			for _, p := range info.Pred[b] {
+				if info.RPOIx[p] < 0 || info.IDom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = info.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && info.IDom[b] != newIdom {
+				info.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	// Convention: the entry's IDom is -1 externally.
+	info.IDom[entry] = -1
+}
+
+func (info *CFGInfo) intersect(b1, b2 int) int {
+	entry := info.RPO[0]
+	for b1 != b2 {
+		for info.RPOIx[b1] > info.RPOIx[b2] {
+			if b1 == entry || info.IDom[b1] == -1 {
+				return b2
+			}
+			b1 = info.idomOrEntry(b1, entry)
+		}
+		for info.RPOIx[b2] > info.RPOIx[b1] {
+			if b2 == entry || info.IDom[b2] == -1 {
+				return b1
+			}
+			b2 = info.idomOrEntry(b2, entry)
+		}
+	}
+	return b1
+}
+
+func (info *CFGInfo) idomOrEntry(b, entry int) int {
+	d := info.IDom[b]
+	if d == -1 {
+		return entry
+	}
+	return d
+}
+
+// Dominates reports whether block a dominates block b.
+func (info *CFGInfo) Dominates(a, b int) bool {
+	if info.RPOIx[a] < 0 || info.RPOIx[b] < 0 {
+		return false
+	}
+	entry := info.RPO[0]
+	if a == entry {
+		return true
+	}
+	for b != entry {
+		if b == a {
+			return true
+		}
+		d := info.IDom[b]
+		if d == -1 {
+			break
+		}
+		b = d
+	}
+	return b == a
+}
+
+// findLoops detects natural loops from back edges (t -> h with h dom t) and
+// accumulates per-block nesting depth. Loops sharing a header are merged.
+func (info *CFGInfo) findLoops() {
+	byHeader := map[int]map[int]bool{}
+	for t := range info.Succ {
+		if info.RPOIx[t] < 0 {
+			continue
+		}
+		for _, h := range info.Succ[t] {
+			if !info.Dominates(h, t) {
+				continue
+			}
+			body := byHeader[h]
+			if body == nil {
+				body = map[int]bool{h: true}
+				byHeader[h] = body
+			}
+			// Walk backwards from t adding everything that reaches t
+			// without passing through h.
+			stack := []int{t}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				for _, p := range info.Pred[b] {
+					if info.RPOIx[p] >= 0 {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	// Deterministic order: iterate headers in RPO order.
+	for _, h := range info.RPO {
+		body, ok := byHeader[h]
+		if !ok {
+			continue
+		}
+		info.Loops = append(info.Loops, Loop{Header: h, Blocks: body})
+		for b := range body {
+			info.LoopDepth[b]++
+		}
+	}
+}
+
+// MaxLoopDepth returns the deepest loop nesting in the function.
+func (info *CFGInfo) MaxLoopDepth() int {
+	max := 0
+	for _, d := range info.LoopDepth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

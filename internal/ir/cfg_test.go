@@ -1,0 +1,221 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildCFGFunc builds a function whose control flow follows edges: a list of
+// (from, to...) successor lists. Blocks with no successors get OpRet; one
+// successor OpBr; two successors OpCBr on a dummy condition.
+func buildCFGFunc(t *testing.T, succs [][]int) *Function {
+	t.Helper()
+	m := NewModule("cfg")
+	b := NewBuilder(m, "f", nil, TVoid)
+	cond := b.ConstI(1)
+	blocks := []*Block{b.Block()}
+	for i := 1; i < len(succs); i++ {
+		blocks = append(blocks, b.NewBlock())
+	}
+	for i, ss := range succs {
+		b.SetBlock(blocks[i])
+		if i != 0 {
+			// every block needs at least one instruction before terminator
+			b.Emit(Instr{Op: OpNop, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: -1})
+		}
+		switch len(ss) {
+		case 0:
+			b.Ret(NoReg)
+		case 1:
+			b.Br(blocks[ss[0]])
+		case 2:
+			b.CBr(cond, blocks[ss[0]], blocks[ss[1]])
+		default:
+			t.Fatalf("block %d has %d successors", i, len(ss))
+		}
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return b.F
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	//      0
+	//     / \
+	//    1   2
+	//     \ /
+	//      3
+	f := buildCFGFunc(t, [][]int{{1, 2}, {3}, {3}, {}})
+	info := BuildCFG(f)
+	if info.IDom[0] != -1 {
+		t.Errorf("entry idom = %d", info.IDom[0])
+	}
+	if info.IDom[1] != 0 || info.IDom[2] != 0 || info.IDom[3] != 0 {
+		t.Errorf("idoms = %v, want [-1 0 0 0]", info.IDom)
+	}
+	if !info.Dominates(0, 3) || info.Dominates(1, 3) || info.Dominates(2, 3) {
+		t.Error("Dominates wrong on diamond")
+	}
+	if len(info.Loops) != 0 {
+		t.Errorf("found %d loops in acyclic CFG", len(info.Loops))
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// 0 -> 1 (outer header) -> 2 (inner header) -> 3 (inner body -> 2) | 4
+	// 4 -> 1 | 5(exit)
+	f := buildCFGFunc(t, [][]int{{1}, {2}, {3, 4}, {2}, {1, 5}, {}})
+	info := BuildCFG(f)
+	if len(info.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(info.Loops))
+	}
+	if info.LoopDepth[3] != 2 {
+		t.Errorf("inner body depth = %d, want 2", info.LoopDepth[3])
+	}
+	if info.LoopDepth[4] != 1 {
+		t.Errorf("outer latch depth = %d, want 1", info.LoopDepth[4])
+	}
+	if info.LoopDepth[0] != 0 || info.LoopDepth[5] != 0 {
+		t.Errorf("outside-loop blocks have nonzero depth: %v", info.LoopDepth)
+	}
+	if info.MaxLoopDepth() != 2 {
+		t.Errorf("MaxLoopDepth = %d, want 2", info.MaxLoopDepth())
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	f := buildCFGFunc(t, [][]int{{1}, {1, 2}, {}})
+	info := BuildCFG(f)
+	if len(info.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(info.Loops))
+	}
+	if info.LoopDepth[1] != 1 {
+		t.Errorf("self-loop depth = %d", info.LoopDepth[1])
+	}
+}
+
+func TestUnreachableBlocksIgnored(t *testing.T) {
+	// Block 2 unreachable.
+	f := buildCFGFunc(t, [][]int{{1}, {}, {1}})
+	info := BuildCFG(f)
+	if info.RPOIx[2] != -1 {
+		t.Errorf("unreachable block in RPO")
+	}
+	if len(info.RPO) != 2 {
+		t.Errorf("RPO = %v", info.RPO)
+	}
+	// The edge 2->1 must not create a loop.
+	if len(info.Loops) != 0 {
+		t.Errorf("loops through unreachable blocks: %v", info.Loops)
+	}
+}
+
+// naiveDominates computes dominance by brute force: a dominates b if removing
+// a makes b unreachable from the entry.
+func naiveDominates(succs [][]int, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(succs))
+	var dfs func(int)
+	dfs = func(n int) {
+		if n == a || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range succs[n] {
+			dfs(s)
+		}
+	}
+	dfs(0)
+	reachableAvoiding := seen[b]
+	// b must be reachable at all for dominance to be meaningful.
+	seen2 := make([]bool, len(succs))
+	var dfs2 func(int)
+	dfs2 = func(n int) {
+		if seen2[n] {
+			return
+		}
+		seen2[n] = true
+		for _, s := range succs[n] {
+			dfs2(s)
+		}
+	}
+	dfs2(0)
+	if !seen2[b] {
+		return false
+	}
+	return !reachableAvoiding
+}
+
+func TestDominatorsAgainstNaiveOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(9)
+		succs := make([][]int, n)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(3)
+			if i == n-1 {
+				k = 0 // ensure at least one exit
+			}
+			for j := 0; j < k; j++ {
+				succs[i] = append(succs[i], rng.Intn(n))
+			}
+			if len(succs[i]) == 2 && succs[i][0] == succs[i][1] {
+				succs[i] = succs[i][:1]
+			}
+		}
+		f := buildCFGFunc(t, succs)
+		info := BuildCFG(f)
+		for a := 0; a < n; a++ {
+			for bb := 0; bb < n; bb++ {
+				if info.RPOIx[a] < 0 || info.RPOIx[bb] < 0 {
+					continue
+				}
+				want := naiveDominates(succs, a, bb)
+				if got := info.Dominates(a, bb); got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d)=%v want %v\nsuccs=%v\nidom=%v",
+						trial, a, bb, got, want, succs, info.IDom)
+				}
+			}
+		}
+	}
+}
+
+func TestLoopBodiesContainHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		succs := make([][]int, n)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(3)
+			if i == n-1 {
+				k = 0
+			}
+			for j := 0; j < k; j++ {
+				succs[i] = append(succs[i], rng.Intn(n))
+			}
+			if len(succs[i]) == 2 && succs[i][0] == succs[i][1] {
+				succs[i] = succs[i][:1]
+			}
+		}
+		f := buildCFGFunc(t, succs)
+		info := BuildCFG(f)
+		for _, l := range info.Loops {
+			if !l.Blocks[l.Header] {
+				t.Fatalf("loop header %d not in body %v", l.Header, l.Blocks)
+			}
+			// Every block in the body must be dominated by the header.
+			for b := range l.Blocks {
+				if !info.Dominates(l.Header, b) {
+					// Natural loops with unstructured flow may include blocks
+					// not dominated by the header only if the CFG is
+					// irreducible; our detection merges via back edges whose
+					// targets dominate sources, so header must dominate all.
+					t.Fatalf("trial %d: header %d does not dominate body block %d (succs=%v)", trial, l.Header, b, succs)
+				}
+			}
+		}
+	}
+}

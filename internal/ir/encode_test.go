@@ -1,0 +1,168 @@
+package ir
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomModule(rng *rand.Rand) *Module {
+	m := NewModule("rand")
+	m.NumMutex = rng.Intn(4)
+	m.NumBarrier = rng.Intn(4)
+	for g := 0; g < rng.Intn(3); g++ {
+		m.Globals = append(m.Globals, GlobalDecl{
+			Name: "g" + string(rune('a'+g)),
+			Size: int64(1 + rng.Intn(64)),
+			Elem: Type(1 + rng.Intn(2)),
+		})
+	}
+	nf := 1 + rng.Intn(3)
+	for f := 0; f < nf; f++ {
+		var params []Type
+		for p := 0; p < rng.Intn(3); p++ {
+			params = append(params, Type(1+rng.Intn(2)))
+		}
+		b := NewBuilder(m, "f"+string(rune('a'+f)), params, TVoid)
+		if rng.Intn(2) == 0 {
+			b.NewArray("arr", int64(1+rng.Intn(32)), TFloat)
+		}
+		n := rng.Intn(10)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.ConstI(rng.Int63() - rng.Int63())
+			case 1:
+				b.ConstF(rng.NormFloat64())
+			case 2:
+				x := b.ConstI(int64(rng.Intn(100)))
+				y := b.ConstI(int64(rng.Intn(100)))
+				b.Bin(OpAdd, TInt, x, y)
+			case 3:
+				b.CallB(BTid)
+			}
+		}
+		b.Ret(NoReg)
+	}
+	return m
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := randomModule(rng)
+		if err := Verify(m); err != nil {
+			t.Fatalf("random module invalid: %v", err)
+		}
+		data := Encode(m)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !modulesEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n--- want\n%s\n--- got\n%s", Disassemble(m), Disassemble(got))
+		}
+	}
+}
+
+func modulesEqual(a, b *Module) bool {
+	if a.Name != b.Name || a.NumMutex != b.NumMutex || a.NumBarrier != b.NumBarrier {
+		return false
+	}
+	if !reflect.DeepEqual(a.Globals, b.Globals) && !(len(a.Globals) == 0 && len(b.Globals) == 0) {
+		return false
+	}
+	if len(a.Funcs) != len(b.Funcs) {
+		return false
+	}
+	for i := range a.Funcs {
+		fa, fb := a.Funcs[i], b.Funcs[i]
+		if fa.Name != fb.Name || fa.Ret != fb.Ret || fa.SrcLine != fb.SrcLine {
+			return false
+		}
+		if !typesEqual(fa.Params, fb.Params) || !typesEqual(fa.Regs, fb.Regs) {
+			return false
+		}
+		if !reflect.DeepEqual(fa.Arrays, fb.Arrays) && !(len(fa.Arrays) == 0 && len(fb.Arrays) == 0) {
+			return false
+		}
+		if len(fa.Blocks) != len(fb.Blocks) {
+			return false
+		}
+		for j := range fa.Blocks {
+			ba, bb := fa.Blocks[j], fb.Blocks[j]
+			if len(ba.Instrs) != len(bb.Instrs) {
+				return false
+			}
+			for k := range ba.Instrs {
+				ia, ib := ba.Instrs[k], bb.Instrs[k]
+				if ia.Op != ib.Op || ia.Dst != ib.Dst || ia.A != ib.A || ia.B != ib.B ||
+					ia.C != ib.C || ia.Sym != ib.Sym || ia.Imm != ib.Imm || ia.FImm != ib.FImm {
+					return false
+				}
+				if len(ia.Args) != len(ib.Args) {
+					return false
+				}
+				for x := range ia.Args {
+					if ia.Args[x] != ib.Args[x] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func typesEqual(a, b []Type) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	m := NewModule("x")
+	b := NewBuilder(m, "main", nil, TVoid)
+	b.Ret(NoReg)
+	data := Encode(m)
+
+	if _, err := Decode(data[:4]); err == nil {
+		t.Error("short data accepted")
+	}
+	bad := append([]byte("WRONGMAG"), data[8:]...)
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	trailing := append(append([]byte(nil), data...), 0xff)
+	if _, err := Decode(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	truncated := data[:len(data)-1]
+	if _, err := Decode(truncated); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestEncodedSizeGrowsWithInstrumentation(t *testing.T) {
+	m := NewModule("x")
+	b := NewBuilder(m, "main", nil, TVoid)
+	for i := 0; i < 20; i++ {
+		b.ConstI(int64(i))
+	}
+	b.Ret(NoReg)
+	before := EncodedSize(m)
+	// Simulate instrumentation: add logphase ops.
+	blk := m.Funcs[0].Blocks[0]
+	extra := []Instr{{Op: OpLogPhase, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: -1, Imm: 2}}
+	blk.Instrs = append(extra, blk.Instrs...)
+	after := EncodedSize(m)
+	if after <= before {
+		t.Errorf("instrumented size %d <= original %d", after, before)
+	}
+}

@@ -1,0 +1,358 @@
+// Package ir defines the intermediate representation that the astc front end
+// (internal/lang) lowers to and that the Astro toolchain analyses, instruments
+// and executes. It plays the role LLVM IR plays in the paper: a
+// register-machine IR whose instructions are classified into the syntactic
+// categories the Phase-Extractor mines (integer ALU, floating-point ALU,
+// memory, control, library calls with IO/Net/Sleep/Lock/Barrier traits).
+package ir
+
+import "fmt"
+
+// Type is the static type of a register or value. The language is
+// deliberately small: 64-bit integers (also used for booleans) and 64-bit
+// floats.
+type Type uint8
+
+const (
+	TVoid Type = iota
+	TInt
+	TFloat
+)
+
+func (t Type) String() string {
+	switch t {
+	case TVoid:
+		return "void"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Class buckets opcodes into the syntactic categories used by the
+// Phase-Extractor (Sec. 3.1.1 of the paper).
+type Class uint8
+
+const (
+	ClassOther Class = iota
+	ClassIntALU
+	ClassFPALU
+	ClassMem
+	ClassCtrl
+	ClassCall    // calls to user functions
+	ClassLib     // library (builtin) calls; refined by BuiltinInfo traits
+	ClassInstrum // instrumentation pseudo-ops inserted by internal/instrument
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOther:
+		return "other"
+	case ClassIntALU:
+		return "int-alu"
+	case ClassFPALU:
+		return "fp-alu"
+	case ClassMem:
+		return "mem"
+	case ClassCtrl:
+		return "ctrl"
+	case ClassCall:
+		return "call"
+	case ClassLib:
+		return "lib"
+	case ClassInstrum:
+		return "instrum"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Opcode enumerates every IR instruction.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Constants and moves.
+	OpConstI // Dst = Imm
+	OpConstF // Dst = FImm
+	OpMov    // Dst = reg A (same type)
+
+	// Integer ALU: Dst = A op B unless noted.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpNeg // Dst = -A
+	OpNot // Dst = (A == 0)
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Floating-point ALU.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+	OpFEq // FP compares produce an int register (0/1)
+	OpFNe
+	OpFLt
+	OpFLe
+	OpFGt
+	OpFGe
+	OpI2F // Dst(float) = float(A:int)
+	OpF2I // Dst(int) = int(A:float), truncating
+
+	// Memory. Addresses are cell indices into the machine's linear memory;
+	// one cell holds one 8-byte value (the cache model maps cell -> byte
+	// address).
+	OpLocalAddr  // Dst = &frame.array[Sym] + index(reg A; A==-1 means Imm)
+	OpGlobalAddr // Dst = &module.global[Sym] + index(reg A; A==-1 means Imm)
+	OpLoadI      // Dst(int) = mem[A]
+	OpLoadF      // Dst(float) = mem[A]
+	OpStoreI     // mem[A] = B(int)
+	OpStoreF     // mem[A] = B(float)
+
+	// Control flow. Every block must end in exactly one of these.
+	OpBr  // goto block A
+	OpCBr // if reg A != 0 goto block B else block C
+	OpRet // return reg A (A == -1 for void)
+
+	// Calls.
+	OpCall    // Dst = call Funcs[Sym](Args...); Dst == -1 for void
+	OpBuiltin // Dst = builtin Sym(Args...)
+	OpSpawn   // spawn thread running Funcs[Sym](Args...)
+
+	// Instrumentation pseudo-ops (inserted by internal/instrument; never
+	// produced by the front end).
+	OpLogPhase      // report static program phase Imm to the runtime
+	OpToggleBlocked // Imm = 1 entering a blocking call region, 0 leaving
+	OpSetConfig     // static scheduling: request hardware configuration Imm
+	OpDetermineConf // hybrid scheduling: ask resident policy, phase hint Imm
+
+	numOpcodes // sentinel
+)
+
+// opInfo carries per-opcode metadata.
+type opInfo struct {
+	name  string
+	class Class
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpNop:    {"nop", ClassOther},
+	OpConstI: {"consti", ClassOther},
+	OpConstF: {"constf", ClassOther},
+	OpMov:    {"mov", ClassIntALU},
+
+	OpAdd: {"add", ClassIntALU},
+	OpSub: {"sub", ClassIntALU},
+	OpMul: {"mul", ClassIntALU},
+	OpDiv: {"div", ClassIntALU},
+	OpRem: {"rem", ClassIntALU},
+	OpAnd: {"and", ClassIntALU},
+	OpOr:  {"or", ClassIntALU},
+	OpXor: {"xor", ClassIntALU},
+	OpShl: {"shl", ClassIntALU},
+	OpShr: {"shr", ClassIntALU},
+	OpNeg: {"neg", ClassIntALU},
+	OpNot: {"not", ClassIntALU},
+	OpEq:  {"eq", ClassIntALU},
+	OpNe:  {"ne", ClassIntALU},
+	OpLt:  {"lt", ClassIntALU},
+	OpLe:  {"le", ClassIntALU},
+	OpGt:  {"gt", ClassIntALU},
+	OpGe:  {"ge", ClassIntALU},
+
+	OpFAdd: {"fadd", ClassFPALU},
+	OpFSub: {"fsub", ClassFPALU},
+	OpFMul: {"fmul", ClassFPALU},
+	OpFDiv: {"fdiv", ClassFPALU},
+	OpFNeg: {"fneg", ClassFPALU},
+	OpFEq:  {"feq", ClassFPALU},
+	OpFNe:  {"fne", ClassFPALU},
+	OpFLt:  {"flt", ClassFPALU},
+	OpFLe:  {"fle", ClassFPALU},
+	OpFGt:  {"fgt", ClassFPALU},
+	OpFGe:  {"fge", ClassFPALU},
+	OpI2F:  {"i2f", ClassFPALU},
+	OpF2I:  {"f2i", ClassFPALU},
+
+	// Address computations are classified with the memory accesses they
+	// feed (LLVM GEPs folded into loads/stores), so that Mem-Dens reflects
+	// memory-path work rather than register arithmetic.
+	OpLocalAddr:  {"laddr", ClassMem},
+	OpGlobalAddr: {"gaddr", ClassMem},
+	OpLoadI:      {"loadi", ClassMem},
+	OpLoadF:      {"loadf", ClassMem},
+	OpStoreI:     {"storei", ClassMem},
+	OpStoreF:     {"storef", ClassMem},
+
+	OpBr:  {"br", ClassCtrl},
+	OpCBr: {"cbr", ClassCtrl},
+	OpRet: {"ret", ClassCtrl},
+
+	OpCall:    {"call", ClassCall},
+	OpBuiltin: {"builtin", ClassLib},
+	OpSpawn:   {"spawn", ClassCall},
+
+	OpLogPhase:      {"logphase", ClassInstrum},
+	OpToggleBlocked: {"toggleblocked", ClassInstrum},
+	OpSetConfig:     {"setconfig", ClassInstrum},
+	OpDetermineConf: {"determineconf", ClassInstrum},
+}
+
+// Name returns the mnemonic for the opcode.
+func (op Opcode) Name() string {
+	if int(op) < len(opTable) {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class returns the syntactic class of the opcode.
+func (op Opcode) Class() Class {
+	if int(op) < len(opTable) {
+		return opTable[op].class
+	}
+	return ClassOther
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	return op == OpBr || op == OpCBr || op == OpRet
+}
+
+// NoReg marks an unused register/operand slot.
+const NoReg int32 = -1
+
+// Instr is a single IR instruction. The meaning of the operand fields
+// depends on Op; see the Opcode constants.
+type Instr struct {
+	Op   Opcode
+	Dst  int32 // destination register or NoReg
+	A    int32 // first operand register, branch target, or cond register
+	B    int32 // second operand register or then-target
+	C    int32 // else-target (OpCBr only)
+	Sym  int32 // function index, builtin id, array id, global id, ...
+	Imm  int64
+	FImm float64
+	Args []int32 // call/spawn/builtin argument registers
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator.
+type Block struct {
+	ID     int
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// ArrayDecl is a fixed-size array allocated in a function frame (or, for
+// globals, in module memory).
+type ArrayDecl struct {
+	Name string
+	Size int64 // number of cells
+	Elem Type
+}
+
+// Function is a unit of code: typed registers, frame arrays and a CFG whose
+// entry is Blocks[0].
+type Function struct {
+	Name    string
+	Params  []Type // first len(Params) registers hold the arguments
+	Ret     Type
+	Regs    []Type // register file types, indexed by register number
+	Arrays  []ArrayDecl
+	Blocks  []*Block
+	SrcLine int // line in astc source where declared (0 if synthetic)
+}
+
+// NumInstrs counts instructions across all blocks.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// FrameCells returns the number of memory cells the function's arrays need.
+func (f *Function) FrameCells() int64 {
+	var n int64
+	for _, a := range f.Arrays {
+		n += a.Size
+	}
+	return n
+}
+
+// GlobalDecl is a module-level scalar or array.
+type GlobalDecl struct {
+	Name string
+	Size int64 // 1 for scalars
+	Elem Type
+}
+
+// Module is a compiled astc program.
+type Module struct {
+	Name       string
+	Funcs      []*Function
+	FuncIndex  map[string]int
+	Globals    []GlobalDecl
+	NumMutex   int // mutex objects declared in the program
+	NumBarrier int
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (m *Module) FuncByName(name string) *Function {
+	if i, ok := m.FuncIndex[name]; ok {
+		return m.Funcs[i]
+	}
+	return nil
+}
+
+// GlobalBase returns the memory cell index where global g starts, along with
+// the total number of global cells, laying globals out in declaration order.
+func (m *Module) GlobalBase(g int) int64 {
+	var base int64
+	for i := 0; i < g && i < len(m.Globals); i++ {
+		base += m.Globals[i].Size
+	}
+	return base
+}
+
+// GlobalCells returns the total memory cells occupied by globals.
+func (m *Module) GlobalCells() int64 {
+	var n int64
+	for _, g := range m.Globals {
+		n += g.Size
+	}
+	return n
+}
+
+// NumInstrs counts instructions across all functions.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}

@@ -1,0 +1,329 @@
+package ir
+
+// Optimization passes over the register IR: block-local constant folding,
+// constant-branch simplification, unreachable-block elimination and
+// dead-temporary removal. The front end keeps its lowering simple and
+// predictable (feature densities are calibrated against it); the optimizer
+// is the stand-in for LLVM's -O pipeline and is applied explicitly (e.g.
+// `cmd/astro run -O`). Semantics preservation is enforced by differential
+// tests (internal/sim).
+
+// Optimize runs the pass pipeline to a fixpoint (bounded) on every
+// function and returns the total number of rewrites performed.
+func Optimize(m *Module) int {
+	total := 0
+	for _, f := range m.Funcs {
+		for iter := 0; iter < 8; iter++ {
+			n := foldConstants(f)
+			n += simplifyBranches(f)
+			n += removeUnreachable(f)
+			n += removeDeadTemps(f)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+	}
+	return total
+}
+
+// constVal tracks the compile-time value of a register within a block.
+type constVal struct {
+	known bool
+	isF   bool
+	i     int64
+	f     float64
+}
+
+// foldConstants performs block-local constant propagation and folding:
+// an instruction whose operands are all known constants is replaced by a
+// constant load. Tracking resets at block boundaries (registers are
+// mutable across blocks).
+func foldConstants(f *Function) int {
+	changed := 0
+	vals := make([]constVal, len(f.Regs))
+	for _, b := range f.Blocks {
+		for i := range vals {
+			vals[i] = constVal{}
+		}
+		for idx := range b.Instrs {
+			in := &b.Instrs[idx]
+			switch in.Op {
+			case OpConstI:
+				vals[in.Dst] = constVal{known: true, i: in.Imm}
+			case OpConstF:
+				vals[in.Dst] = constVal{known: true, isF: true, f: in.FImm}
+			case OpMov:
+				v := vals[in.A]
+				if v.known {
+					rewriteConst(in, v)
+					changed++
+				}
+				vals[in.Dst] = v
+			case OpNeg, OpNot:
+				if v := vals[in.A]; v.known && !v.isF {
+					nv := constVal{known: true}
+					if in.Op == OpNeg {
+						nv.i = -v.i
+					} else if v.i == 0 {
+						nv.i = 1
+					}
+					rewriteConst(in, nv)
+					vals[in.Dst] = nv
+					changed++
+				} else {
+					vals[in.Dst] = constVal{}
+				}
+			case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+				OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+				a, c := vals[in.A], vals[in.B]
+				if a.known && c.known && !a.isF && !c.isF {
+					nv := constVal{known: true, i: foldInt(in.Op, a.i, c.i)}
+					rewriteConst(in, nv)
+					vals[in.Dst] = nv
+					changed++
+				} else {
+					vals[in.Dst] = constVal{}
+				}
+			case OpDiv, OpRem:
+				a, c := vals[in.A], vals[in.B]
+				// Never fold division by zero: the runtime trap is the
+				// program's defined behaviour.
+				if a.known && c.known && !a.isF && !c.isF && c.i != 0 {
+					nv := constVal{known: true, i: foldInt(in.Op, a.i, c.i)}
+					rewriteConst(in, nv)
+					vals[in.Dst] = nv
+					changed++
+				} else {
+					vals[in.Dst] = constVal{}
+				}
+			case OpFAdd, OpFSub, OpFMul, OpFDiv:
+				a, c := vals[in.A], vals[in.B]
+				if a.known && c.known && a.isF && c.isF {
+					nv := constVal{known: true, isF: true, f: foldFloat(in.Op, a.f, c.f)}
+					rewriteConst(in, nv)
+					vals[in.Dst] = nv
+					changed++
+				} else {
+					vals[in.Dst] = constVal{}
+				}
+			case OpI2F:
+				if v := vals[in.A]; v.known && !v.isF {
+					nv := constVal{known: true, isF: true, f: float64(v.i)}
+					rewriteConst(in, nv)
+					vals[in.Dst] = nv
+					changed++
+				} else {
+					vals[in.Dst] = constVal{}
+				}
+			default:
+				// Any other instruction with a destination invalidates it.
+				if in.Dst != NoReg {
+					vals[in.Dst] = constVal{}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func rewriteConst(in *Instr, v constVal) {
+	if v.isF {
+		*in = Instr{Op: OpConstF, Dst: in.Dst, A: NoReg, B: NoReg, C: NoReg, Sym: -1, FImm: v.f}
+	} else {
+		*in = Instr{Op: OpConstI, Dst: in.Dst, A: NoReg, B: NoReg, C: NoReg, Sym: -1, Imm: v.i}
+	}
+}
+
+func foldInt(op Opcode, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	case OpRem:
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint64(b) & 63)
+	case OpShr:
+		return a >> (uint64(b) & 63)
+	case OpEq:
+		return b2i(a == b)
+	case OpNe:
+		return b2i(a != b)
+	case OpLt:
+		return b2i(a < b)
+	case OpLe:
+		return b2i(a <= b)
+	case OpGt:
+		return b2i(a > b)
+	default: // OpGe
+		return b2i(a >= b)
+	}
+}
+
+func foldFloat(op Opcode, a, b float64) float64 {
+	switch op {
+	case OpFAdd:
+		return a + b
+	case OpFSub:
+		return a - b
+	case OpFMul:
+		return a * b
+	default: // OpFDiv — IEEE semantics, folding inf/nan is fine
+		return a / b
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// simplifyBranches turns conditional branches with block-locally known
+// conditions into unconditional ones.
+func simplifyBranches(f *Function) int {
+	changed := 0
+	vals := make([]constVal, len(f.Regs))
+	for _, b := range f.Blocks {
+		for i := range vals {
+			vals[i] = constVal{}
+		}
+		for idx := range b.Instrs {
+			in := &b.Instrs[idx]
+			switch in.Op {
+			case OpConstI:
+				vals[in.Dst] = constVal{known: true, i: in.Imm}
+			case OpCBr:
+				if v := vals[in.A]; v.known && !v.isF {
+					target := in.C
+					if v.i != 0 {
+						target = in.B
+					}
+					*in = Instr{Op: OpBr, Dst: NoReg, A: target, B: NoReg, C: NoReg, Sym: -1}
+					changed++
+				}
+			default:
+				if in.Dst != NoReg {
+					vals[in.Dst] = constVal{}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// removeUnreachable drops blocks not reachable from the entry and renumbers
+// the survivors (Block.ID == index is an IR invariant).
+func removeUnreachable(f *Function) int {
+	info := BuildCFG(f)
+	keep := make([]bool, len(f.Blocks))
+	n := 0
+	for _, b := range info.RPO {
+		keep[b] = true
+		n++
+	}
+	if n == len(f.Blocks) {
+		return 0
+	}
+	remap := make([]int32, len(f.Blocks))
+	var out []*Block
+	for i, b := range f.Blocks {
+		if keep[i] {
+			remap[i] = int32(len(out))
+			b.ID = len(out)
+			out = append(out, b)
+		}
+	}
+	removed := len(f.Blocks) - len(out)
+	f.Blocks = out
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		switch t.Op {
+		case OpBr:
+			t.A = remap[t.A]
+		case OpCBr:
+			t.B = remap[t.B]
+			t.C = remap[t.C]
+		}
+	}
+	return removed
+}
+
+// removeDeadTemps deletes pure instructions whose destination register is
+// never read anywhere in the function. This is conservative (registers are
+// function-scoped) but cleans up the temporaries that folding orphans.
+func removeDeadTemps(f *Function) int {
+	used := make([]bool, len(f.Regs))
+	// Parameters are live (the calling convention writes them).
+	for i := range f.Params {
+		used[i] = true
+	}
+	mark := func(r int32) {
+		if r >= 0 {
+			used[r] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case OpBr:
+				// A is a block target, not a register.
+			case OpCBr:
+				mark(in.A)
+			case OpLocalAddr, OpGlobalAddr:
+				mark(in.A)
+			default:
+				mark(in.A)
+				mark(in.B)
+				mark(in.C)
+			}
+			for _, a := range in.Args {
+				mark(a)
+			}
+		}
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if isPure(in.Op) && in.Dst != NoReg && !used[in.Dst] {
+				removed++
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	return removed
+}
+
+// isPure reports whether an opcode has no effect besides writing Dst.
+func isPure(op Opcode) bool {
+	switch op {
+	case OpConstI, OpConstF, OpMov,
+		OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpNeg, OpNot,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+		OpFAdd, OpFSub, OpFMul, OpFDiv, OpFNeg,
+		OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe,
+		OpI2F, OpF2I,
+		OpLocalAddr, OpGlobalAddr:
+		return true
+	}
+	// OpDiv/OpRem can trap; loads can fault; everything else has effects.
+	return false
+}

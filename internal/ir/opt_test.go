@@ -1,0 +1,158 @@
+package ir
+
+import "testing"
+
+func TestFoldConstantsChain(t *testing.T) {
+	m := NewModule("o")
+	b := NewBuilder(m, "f", nil, TInt)
+	x := b.ConstI(6)
+	y := b.ConstI(7)
+	p := b.Bin(OpMul, TInt, x, y) // 42
+	q := b.Bin(OpAdd, TInt, p, x) // 48
+	r := b.Bin(OpLt, TInt, q, y)  // 0
+	s := b.Bin(OpXor, TInt, r, q) // 48
+	b.Ret(s)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	n := Optimize(m)
+	if n == 0 {
+		t.Fatal("no rewrites")
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("optimized module invalid: %v\n%s", err, Disassemble(m))
+	}
+	// The return register must now be defined by a constant 48 and all
+	// intermediate temporaries must be gone.
+	f := m.Funcs[0]
+	var foundConst bool
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == OpConstI && in.Dst == s && in.Imm == 48 {
+				foundConst = true
+			}
+			if in.Op == OpMul || in.Op == OpAdd || in.Op == OpLt || in.Op == OpXor {
+				t.Errorf("unfolded %s survived", in.Op.Name())
+			}
+		}
+	}
+	if !foundConst {
+		t.Errorf("folded constant missing:\n%s", Disassemble(m))
+	}
+	if got := f.NumInstrs(); got != 2 { // consti + ret
+		t.Errorf("instrs after DCE = %d, want 2:\n%s", got, Disassemble(m))
+	}
+}
+
+func TestNoFoldDivByZero(t *testing.T) {
+	m := NewModule("o")
+	b := NewBuilder(m, "f", nil, TInt)
+	x := b.ConstI(5)
+	z := b.ConstI(0)
+	d := b.Bin(OpDiv, TInt, x, z)
+	b.Ret(d)
+	Optimize(m)
+	f := m.Funcs[0]
+	found := false
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == OpDiv {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("division by zero was folded away:\n%s", Disassemble(m))
+	}
+}
+
+func TestSimplifyBranchAndRemoveUnreachable(t *testing.T) {
+	m := NewModule("o")
+	b := NewBuilder(m, "f", nil, TInt)
+	then := b.NewBlock()
+	els := b.NewBlock()
+	end := b.NewBlock()
+	cond := b.ConstI(1)
+	b.CBr(cond, then, els)
+
+	b.SetBlock(then)
+	v1 := b.ConstI(10)
+	b.Ret(v1)
+
+	b.SetBlock(els)
+	v2 := b.ConstI(20)
+	b.Ret(v2)
+
+	b.SetBlock(end)
+	b.Ret(b.ConstI(0))
+
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	Optimize(m)
+	if err := Verify(m); err != nil {
+		t.Fatalf("optimized invalid: %v\n%s", err, Disassemble(m))
+	}
+	f := m.Funcs[0]
+	// The else branch and the never-referenced end block must be gone.
+	if len(f.Blocks) != 2 {
+		t.Errorf("blocks = %d, want 2 (entry + then):\n%s", len(f.Blocks), Disassemble(m))
+	}
+	for _, blk := range f.Blocks {
+		if blk.Terminator().Op == OpCBr {
+			t.Error("constant branch survived")
+		}
+	}
+	// Block IDs must be dense and self-consistent after renumbering.
+	for i, blk := range f.Blocks {
+		if blk.ID != i {
+			t.Errorf("block %d has ID %d", i, blk.ID)
+		}
+	}
+}
+
+func TestDeadTempsKeepEffects(t *testing.T) {
+	m := NewModule("o")
+	b := NewBuilder(m, "f", nil, TVoid)
+	g := b.CallB(BRandInt, b.ConstI(10)) // result unused, call must stay
+	_ = g
+	dead := b.ConstF(3.14) // genuinely dead
+	_ = dead
+	b.CallB(BPrintInt, b.ConstI(1))
+	b.Ret(NoReg)
+	Optimize(m)
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	var builtins, constf int
+	for _, blk := range m.Funcs[0].Blocks {
+		for i := range blk.Instrs {
+			switch blk.Instrs[i].Op {
+			case OpBuiltin:
+				builtins++
+			case OpConstF:
+				constf++
+			}
+		}
+	}
+	if builtins != 2 {
+		t.Errorf("builtin calls = %d, want 2 (calls have effects)", builtins)
+	}
+	if constf != 0 {
+		t.Errorf("dead float constant survived")
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	m := NewModule("o")
+	buildLoopFunc(m)
+	Optimize(m)
+	after := Disassemble(m)
+	if n := Optimize(m); n != 0 {
+		t.Errorf("second Optimize made %d rewrites", n)
+	}
+	if Disassemble(m) != after {
+		t.Error("Optimize not idempotent")
+	}
+}

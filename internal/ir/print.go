@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the module as human-readable text. The format is for
+// inspection and golden tests; it is not re-parsed.
+func Disassemble(m *Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for i, g := range m.Globals {
+		fmt.Fprintf(&sb, "global @%d %s [%d]%v\n", i, g.Name, g.Size, g.Elem)
+	}
+	if m.NumMutex > 0 {
+		fmt.Fprintf(&sb, "mutexes %d\n", m.NumMutex)
+	}
+	if m.NumBarrier > 0 {
+		fmt.Fprintf(&sb, "barriers %d\n", m.NumBarrier)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(DisassembleFunc(m, f))
+	}
+	return sb.String()
+}
+
+// DisassembleFunc renders one function.
+func DisassembleFunc(m *Module, f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nfunc %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d %v", i, p)
+	}
+	fmt.Fprintf(&sb, ") %v  ; regs=%d\n", f.Ret, len(f.Regs))
+	for i, a := range f.Arrays {
+		fmt.Fprintf(&sb, "  array %%%d %s [%d]%v\n", i, a.Name, a.Size, a.Elem)
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, " b%d:\n", b.ID)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "   %s\n", FormatInstr(m, f, &b.Instrs[i]))
+		}
+	}
+	return sb.String()
+}
+
+// FormatInstr renders one instruction.
+func FormatInstr(m *Module, f *Function, in *Instr) string {
+	reg := func(r int32) string {
+		if r == NoReg {
+			return "_"
+		}
+		return fmt.Sprintf("r%d", r)
+	}
+	args := func() string {
+		parts := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			parts[i] = reg(a)
+		}
+		return strings.Join(parts, ", ")
+	}
+	switch in.Op {
+	case OpConstI:
+		return fmt.Sprintf("%s = consti %d", reg(in.Dst), in.Imm)
+	case OpConstF:
+		return fmt.Sprintf("%s = constf %g", reg(in.Dst), in.FImm)
+	case OpMov, OpNeg, OpNot, OpFNeg, OpI2F, OpF2I:
+		return fmt.Sprintf("%s = %s %s", reg(in.Dst), in.Op.Name(), reg(in.A))
+	case OpLoadI, OpLoadF:
+		return fmt.Sprintf("%s = %s [%s]", reg(in.Dst), in.Op.Name(), reg(in.A))
+	case OpStoreI, OpStoreF:
+		return fmt.Sprintf("%s [%s] = %s", in.Op.Name(), reg(in.A), reg(in.B))
+	case OpLocalAddr:
+		idx := reg(in.A)
+		if in.A == NoReg {
+			idx = fmt.Sprintf("%d", in.Imm)
+		}
+		return fmt.Sprintf("%s = laddr %%%d[%s] ; %s", reg(in.Dst), in.Sym, idx, f.Arrays[in.Sym].Name)
+	case OpGlobalAddr:
+		idx := reg(in.A)
+		if in.A == NoReg {
+			idx = fmt.Sprintf("%d", in.Imm)
+		}
+		return fmt.Sprintf("%s = gaddr @%d[%s] ; %s", reg(in.Dst), in.Sym, idx, m.Globals[in.Sym].Name)
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.A)
+	case OpCBr:
+		return fmt.Sprintf("cbr %s, b%d, b%d", reg(in.A), in.B, in.C)
+	case OpRet:
+		if in.A == NoReg {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", reg(in.A))
+	case OpCall:
+		callee := m.Funcs[in.Sym].Name
+		if in.Dst == NoReg {
+			return fmt.Sprintf("call %s(%s)", callee, args())
+		}
+		return fmt.Sprintf("%s = call %s(%s)", reg(in.Dst), callee, args())
+	case OpSpawn:
+		return fmt.Sprintf("spawn %s(%s)", m.Funcs[in.Sym].Name, args())
+	case OpBuiltin:
+		bi := Builtin(BuiltinID(in.Sym))
+		if in.Dst == NoReg {
+			return fmt.Sprintf("builtin %s(%s)", bi.Name, args())
+		}
+		return fmt.Sprintf("%s = builtin %s(%s)", reg(in.Dst), bi.Name, args())
+	case OpLogPhase:
+		return fmt.Sprintf("logphase %d", in.Imm)
+	case OpToggleBlocked:
+		return fmt.Sprintf("toggleblocked %d", in.Imm)
+	case OpSetConfig:
+		return fmt.Sprintf("setconfig %d", in.Imm)
+	case OpDetermineConf:
+		return fmt.Sprintf("determineconf %d", in.Imm)
+	default:
+		if in.Dst != NoReg {
+			return fmt.Sprintf("%s = %s %s, %s", reg(in.Dst), in.Op.Name(), reg(in.A), reg(in.B))
+		}
+		return in.Op.Name()
+	}
+}

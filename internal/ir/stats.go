@@ -1,0 +1,98 @@
+package ir
+
+// ClassCounts tallies the static instruction mix of a function or module —
+// the raw material for the code-level features of Sec. 3.1.1.
+type ClassCounts struct {
+	Total    int
+	IntALU   int
+	FPALU    int
+	Mem      int
+	Ctrl     int
+	Call     int // user calls + spawns
+	Lib      int // builtin calls, any trait
+	Instrum  int
+	Other    int
+	IOCalls  int // builtin calls with IsIO
+	NetCalls int
+	SleepOps int
+	LockOps  int // lock/unlock
+	Barriers int // barrier_wait/join
+	// LibFPWork accumulates the FPWork of math builtins: a call to sqrt is
+	// "worth" a few FP instructions when computing densities.
+	LibFPWork int
+}
+
+// CountFunc computes the instruction mix of one function.
+func CountFunc(f *Function) ClassCounts {
+	var c ClassCounts
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			countInstr(&b.Instrs[i], &c)
+		}
+	}
+	return c
+}
+
+// CountModule computes the instruction mix of a whole module.
+func CountModule(m *Module) ClassCounts {
+	var c ClassCounts
+	for _, f := range m.Funcs {
+		fc := CountFunc(f)
+		c.add(fc)
+	}
+	return c
+}
+
+func (c *ClassCounts) add(o ClassCounts) {
+	c.Total += o.Total
+	c.IntALU += o.IntALU
+	c.FPALU += o.FPALU
+	c.Mem += o.Mem
+	c.Ctrl += o.Ctrl
+	c.Call += o.Call
+	c.Lib += o.Lib
+	c.Instrum += o.Instrum
+	c.Other += o.Other
+	c.IOCalls += o.IOCalls
+	c.NetCalls += o.NetCalls
+	c.SleepOps += o.SleepOps
+	c.LockOps += o.LockOps
+	c.Barriers += o.Barriers
+	c.LibFPWork += o.LibFPWork
+}
+
+func countInstr(in *Instr, c *ClassCounts) {
+	c.Total++
+	switch in.Op.Class() {
+	case ClassIntALU:
+		c.IntALU++
+	case ClassFPALU:
+		c.FPALU++
+	case ClassMem:
+		c.Mem++
+	case ClassCtrl:
+		c.Ctrl++
+	case ClassCall:
+		c.Call++
+	case ClassInstrum:
+		c.Instrum++
+	case ClassLib:
+		c.Lib++
+		bi := Builtin(BuiltinID(in.Sym))
+		switch {
+		case bi.IsIO:
+			c.IOCalls++
+		case bi.IsNet:
+			c.NetCalls++
+		case bi.IsSleep:
+			c.SleepOps++
+		case bi.IsLock:
+			c.LockOps++
+		case bi.IsBarrier:
+			c.Barriers++
+		}
+		c.LibFPWork += bi.FPWork
+	default:
+		c.Other++
+	}
+}

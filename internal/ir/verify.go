@@ -1,0 +1,257 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of a module: register indices and
+// types, block targets, terminator placement, call signatures. It returns the
+// first problem found. The toolchain runs Verify after lowering and after
+// every instrumentation pass.
+func Verify(m *Module) error {
+	if m.FuncIndex == nil {
+		return fmt.Errorf("ir: module %q has nil FuncIndex", m.Name)
+	}
+	for name, i := range m.FuncIndex {
+		if i < 0 || i >= len(m.Funcs) || m.Funcs[i].Name != name {
+			return fmt.Errorf("ir: FuncIndex[%q]=%d is inconsistent", name, i)
+		}
+	}
+	for fi, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return fmt.Errorf("ir: func %q (#%d): %w", f.Name, fi, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	if len(f.Params) > len(f.Regs) {
+		return fmt.Errorf("%d params but only %d regs", len(f.Params), len(f.Regs))
+	}
+	for i, p := range f.Params {
+		if f.Regs[i] != p {
+			return fmt.Errorf("param %d type %v but reg %d is %v", i, p, i, f.Regs[i])
+		}
+	}
+	for bi, b := range f.Blocks {
+		if b.ID != bi {
+			return fmt.Errorf("block %d has ID %d", bi, b.ID)
+		}
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %d empty", bi)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				return fmt.Errorf("block %d instr %d (%s): terminator placement", bi, ii, in.Op.Name())
+			}
+			if err := verifyInstr(m, f, in); err != nil {
+				return fmt.Errorf("block %d instr %d (%s): %w", bi, ii, in.Op.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Function) regType(r int32) (Type, error) {
+	if r < 0 || int(r) >= len(f.Regs) {
+		return TVoid, fmt.Errorf("register %d out of range (have %d)", r, len(f.Regs))
+	}
+	return f.Regs[r], nil
+}
+
+func checkReg(f *Function, r int32, want Type) error {
+	t, err := f.regType(r)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("register r%d is %v, want %v", r, t, want)
+	}
+	return nil
+}
+
+func checkBlock(f *Function, b int32) error {
+	if b < 0 || int(b) >= len(f.Blocks) {
+		return fmt.Errorf("block target %d out of range (have %d)", b, len(f.Blocks))
+	}
+	return nil
+}
+
+func verifyInstr(m *Module, f *Function, in *Instr) error {
+	switch in.Op {
+	case OpNop, OpLogPhase, OpToggleBlocked, OpSetConfig, OpDetermineConf:
+		return nil
+	case OpConstI:
+		return checkReg(f, in.Dst, TInt)
+	case OpConstF:
+		return checkReg(f, in.Dst, TFloat)
+	case OpMov:
+		dt, err := f.regType(in.Dst)
+		if err != nil {
+			return err
+		}
+		return checkReg(f, in.A, dt)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		if err := checkReg(f, in.A, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.B, TInt)
+	case OpNeg, OpNot:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TInt)
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if err := checkReg(f, in.Dst, TFloat); err != nil {
+			return err
+		}
+		if err := checkReg(f, in.A, TFloat); err != nil {
+			return err
+		}
+		return checkReg(f, in.B, TFloat)
+	case OpFNeg:
+		if err := checkReg(f, in.Dst, TFloat); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TFloat)
+	case OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		if err := checkReg(f, in.A, TFloat); err != nil {
+			return err
+		}
+		return checkReg(f, in.B, TFloat)
+	case OpI2F:
+		if err := checkReg(f, in.Dst, TFloat); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TInt)
+	case OpF2I:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TFloat)
+	case OpLocalAddr:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		if in.Sym < 0 || int(in.Sym) >= len(f.Arrays) {
+			return fmt.Errorf("array %d out of range (have %d)", in.Sym, len(f.Arrays))
+		}
+		if in.A != NoReg {
+			return checkReg(f, in.A, TInt)
+		}
+		return nil
+	case OpGlobalAddr:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		if in.Sym < 0 || int(in.Sym) >= len(m.Globals) {
+			return fmt.Errorf("global %d out of range (have %d)", in.Sym, len(m.Globals))
+		}
+		if in.A != NoReg {
+			return checkReg(f, in.A, TInt)
+		}
+		return nil
+	case OpLoadI:
+		if err := checkReg(f, in.Dst, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TInt)
+	case OpLoadF:
+		if err := checkReg(f, in.Dst, TFloat); err != nil {
+			return err
+		}
+		return checkReg(f, in.A, TInt)
+	case OpStoreI:
+		if err := checkReg(f, in.A, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.B, TInt)
+	case OpStoreF:
+		if err := checkReg(f, in.A, TInt); err != nil {
+			return err
+		}
+		return checkReg(f, in.B, TFloat)
+	case OpBr:
+		return checkBlock(f, in.A)
+	case OpCBr:
+		if err := checkReg(f, in.A, TInt); err != nil {
+			return err
+		}
+		if err := checkBlock(f, in.B); err != nil {
+			return err
+		}
+		return checkBlock(f, in.C)
+	case OpRet:
+		if f.Ret == TVoid {
+			if in.A != NoReg {
+				return fmt.Errorf("void function returns a value")
+			}
+			return nil
+		}
+		return checkReg(f, in.A, f.Ret)
+	case OpCall, OpSpawn:
+		if in.Sym < 0 || int(in.Sym) >= len(m.Funcs) {
+			return fmt.Errorf("callee %d out of range (have %d funcs)", in.Sym, len(m.Funcs))
+		}
+		callee := m.Funcs[in.Sym]
+		if len(in.Args) != len(callee.Params) {
+			return fmt.Errorf("call to %q with %d args, want %d", callee.Name, len(in.Args), len(callee.Params))
+		}
+		for i, a := range in.Args {
+			if err := checkReg(f, a, callee.Params[i]); err != nil {
+				return fmt.Errorf("arg %d: %w", i, err)
+			}
+		}
+		if in.Op == OpSpawn {
+			if in.Dst != NoReg {
+				return fmt.Errorf("spawn cannot have a destination")
+			}
+			return nil
+		}
+		if callee.Ret == TVoid {
+			if in.Dst != NoReg {
+				return fmt.Errorf("void call with destination")
+			}
+			return nil
+		}
+		if in.Dst == NoReg {
+			return nil // discarding a result is allowed
+		}
+		return checkReg(f, in.Dst, callee.Ret)
+	case OpBuiltin:
+		if in.Sym < 0 || in.Sym >= int32(NumBuiltins) {
+			return fmt.Errorf("builtin %d out of range", in.Sym)
+		}
+		bi := Builtin(BuiltinID(in.Sym))
+		if len(in.Args) != len(bi.Params) {
+			return fmt.Errorf("builtin %q with %d args, want %d", bi.Name, len(in.Args), len(bi.Params))
+		}
+		for i, a := range in.Args {
+			if err := checkReg(f, a, bi.Params[i]); err != nil {
+				return fmt.Errorf("arg %d: %w", i, err)
+			}
+		}
+		if bi.Ret == TVoid {
+			if in.Dst != NoReg {
+				return fmt.Errorf("void builtin with destination")
+			}
+			return nil
+		}
+		if in.Dst == NoReg {
+			return nil
+		}
+		return checkReg(f, in.Dst, bi.Ret)
+	}
+	return fmt.Errorf("unknown opcode %d", in.Op)
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func validModule(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("v")
+	b := NewBuilder(m, "main", []Type{TInt}, TInt)
+	x := b.ConstI(2)
+	y := b.Bin(OpMul, TInt, 0, x)
+	b.Ret(y)
+	if err := Verify(m); err != nil {
+		t.Fatalf("base module invalid: %v", err)
+	}
+	return m
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *Module)
+		want   string
+	}{
+		{
+			"reg out of range",
+			func(m *Module) { m.Funcs[0].Blocks[0].Instrs[1].A = 99 },
+			"out of range",
+		},
+		{
+			"type mismatch",
+			func(m *Module) {
+				f := m.Funcs[0]
+				f.Regs = append(f.Regs, TFloat)
+				f.Blocks[0].Instrs[1].A = int32(len(f.Regs) - 1)
+			},
+			"want int",
+		},
+		{
+			"missing terminator",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs = b.Instrs[:len(b.Instrs)-1]
+			},
+			"terminator",
+		},
+		{
+			"terminator mid-block",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				ins := []Instr{{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: -1}}
+				// ret void in non-void function, placed first
+				b.Instrs = append(ins, b.Instrs...)
+			},
+			"terminator",
+		},
+		{
+			"empty function",
+			func(m *Module) { m.Funcs[0].Blocks = nil },
+			"no blocks",
+		},
+		{
+			"bad branch target",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[len(b.Instrs)-1] = Instr{Op: OpBr, Dst: NoReg, A: 5, B: NoReg, C: NoReg, Sym: -1}
+			},
+			"out of range",
+		},
+		{
+			"void return of value mismatch",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				b.Instrs[len(b.Instrs)-1].A = NoReg
+			},
+			"out of range",
+		},
+		{
+			"bad callee",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				pre := b.Instrs[:len(b.Instrs)-1]
+				pre = append(pre, Instr{Op: OpCall, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: 9})
+				b.Instrs = append(pre, b.Instrs[len(b.Instrs)-1])
+			},
+			"callee",
+		},
+		{
+			"builtin arity",
+			func(m *Module) {
+				b := m.Funcs[0].Blocks[0]
+				pre := b.Instrs[:len(b.Instrs)-1]
+				pre = append(pre, Instr{Op: OpBuiltin, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg, Sym: int32(BPrintInt)})
+				b.Instrs = append(pre, b.Instrs[len(b.Instrs)-1])
+			},
+			"want 1",
+		},
+		{
+			"inconsistent func index",
+			func(m *Module) { m.FuncIndex["main"] = 3 },
+			"inconsistent",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := validModule(t)
+			c.mutate(m)
+			err := Verify(m)
+			if err == nil {
+				t.Fatalf("Verify accepted corrupted module")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestVerifySpawnRules(t *testing.T) {
+	m := NewModule("s")
+	wb := NewBuilder(m, "worker", []Type{TInt}, TVoid)
+	wb.Ret(NoReg)
+	b := NewBuilder(m, "main", nil, TVoid)
+	arg := b.ConstI(0)
+	b.Spawn(m.FuncIndex["worker"], arg)
+	b.CallB(BJoin)
+	b.Ret(NoReg)
+	if err := Verify(m); err != nil {
+		t.Fatalf("valid spawn rejected: %v", err)
+	}
+	// Spawn with wrong arity.
+	blk := m.Funcs[1].Blocks[0]
+	for i := range blk.Instrs {
+		if blk.Instrs[i].Op == OpSpawn {
+			blk.Instrs[i].Args = nil
+		}
+	}
+	if err := Verify(m); err == nil {
+		t.Fatal("spawn with wrong arity accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package lang
+
+// TypeName is a source-level type.
+type TypeName uint8
+
+const (
+	TyVoid TypeName = iota
+	TyInt
+	TyFloat
+	TyBool
+)
+
+func (t TypeName) String() string {
+	switch t {
+	case TyVoid:
+		return "void"
+	case TyInt:
+		return "int"
+	case TyFloat:
+		return "float"
+	case TyBool:
+		return "bool"
+	}
+	return "?"
+}
+
+// File is a parsed astc source file.
+type File struct {
+	Funcs    []*FuncDecl
+	Globals  []*VarDecl
+	Mutexes  []*MutexDecl
+	Barriers []*BarrierDecl
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type TypeName
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    TypeName // TyVoid if none
+	Body   *BlockStmt
+	Line   int
+}
+
+// VarDecl declares a scalar or array variable (local or global).
+type VarDecl struct {
+	Name      string
+	Type      TypeName
+	ArraySize int64 // -1 for scalars
+	Init      Expr  // optional, scalars only
+	Line      int
+}
+
+// MutexDecl declares one mutex or an array of them.
+type MutexDecl struct {
+	Name  string
+	Count int64 // 1 for "mutex m;"
+	Line  int
+}
+
+// BarrierDecl declares a barrier object.
+type BarrierDecl struct {
+	Name string
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is "{ ... }".
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt is a local variable declaration.
+type VarStmt struct{ Decl *VarDecl }
+
+// AssignStmt is "target = value;". Target is *Ident or *IndexExpr.
+type AssignStmt struct {
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // nil if absent
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr // nil means true
+	Post *AssignStmt
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // nil for void
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's next iteration.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt is a call used as a statement.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// SpawnStmt starts a new thread running a function call.
+type SpawnStmt struct {
+	Call *CallExpr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*SpawnStmt) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Pos() (line, col int)
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+const (
+	BAdd BinOp = iota
+	BSub
+	BMul
+	BDiv
+	BRem
+	BEq
+	BNe
+	BLt
+	BLe
+	BGt
+	BGe
+	BAnd // &&
+	BOr  // ||
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+const (
+	UNeg UnOp = iota // -
+	UNot             // !
+)
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Op        BinOp
+	X, Y      Expr
+	Line, Col int
+}
+
+// UnaryExpr is "op x".
+type UnaryExpr struct {
+	Op        UnOp
+	X         Expr
+	Line, Col int
+}
+
+// CallExpr is "name(args...)", either a user function or a builtin.
+type CallExpr struct {
+	Name      string
+	Args      []Expr
+	Line, Col int
+}
+
+// CastExpr is "int(x)" or "float(x)".
+type CastExpr struct {
+	To        TypeName
+	X         Expr
+	Line, Col int
+}
+
+// Ident references a variable, mutex or barrier.
+type Ident struct {
+	Name      string
+	Line, Col int
+}
+
+// IndexExpr is "name[index]".
+type IndexExpr struct {
+	Name      string
+	Index     Expr
+	Line, Col int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value     int64
+	Line, Col int
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Value     float64
+	Line, Col int
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Value     bool
+	Line, Col int
+}
+
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+func (*Ident) exprNode()      {}
+func (*IndexExpr) exprNode()  {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*BoolLit) exprNode()    {}
+
+func (e *BinaryExpr) Pos() (int, int) { return e.Line, e.Col }
+func (e *UnaryExpr) Pos() (int, int)  { return e.Line, e.Col }
+func (e *CallExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *CastExpr) Pos() (int, int)   { return e.Line, e.Col }
+func (e *Ident) Pos() (int, int)      { return e.Line, e.Col }
+func (e *IndexExpr) Pos() (int, int)  { return e.Line, e.Col }
+func (e *IntLit) Pos() (int, int)     { return e.Line, e.Col }
+func (e *FloatLit) Pos() (int, int)   { return e.Line, e.Col }
+func (e *BoolLit) Pos() (int, int)    { return e.Line, e.Col }

@@ -1,0 +1,258 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"astro/internal/ir"
+)
+
+func mustCompile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("Compile: %v\nsource:\n%s", err, src)
+	}
+	return m
+}
+
+func TestCompileMinimal(t *testing.T) {
+	m := mustCompile(t, `func main() { }`)
+	f := m.FuncByName("main")
+	if f == nil {
+		t.Fatal("main missing")
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Implicit void return.
+	term := f.Blocks[len(f.Blocks)-1].Terminator()
+	if term.Op != ir.OpRet {
+		t.Errorf("terminator %v", term.Op.Name())
+	}
+}
+
+func TestCompileArithmeticAndLoop(t *testing.T) {
+	m := mustCompile(t, `
+func sum(n int) int {
+	var s int = 0;
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		s = s + i;
+	}
+	return s;
+}
+func main() { var r int = sum(10); print_int(r); }
+`)
+	f := m.FuncByName("sum")
+	info := ir.BuildCFG(f)
+	if len(info.Loops) != 1 {
+		t.Errorf("sum has %d loops, want 1", len(info.Loops))
+	}
+	c := ir.CountFunc(f)
+	if c.IntALU == 0 || c.Ctrl == 0 {
+		t.Errorf("counts: %+v", c)
+	}
+}
+
+func TestCompileGlobalsMutexesBarriers(t *testing.T) {
+	m := mustCompile(t, `
+var counter int;
+var table [128]float;
+mutex m;
+mutex rows[8];
+barrier gate;
+
+func worker(id int) {
+	lock(m);
+	counter = counter + 1;
+	unlock(m);
+	lock(rows[id % 8]);
+	table[id] = float(id);
+	unlock(rows[id % 8]);
+	barrier_wait(gate);
+}
+func main() {
+	barrier_init(gate, 4);
+	var i int;
+	for (i = 0; i < 4; i = i + 1) { spawn worker(i); }
+	join();
+}
+`)
+	if m.NumMutex != 9 {
+		t.Errorf("NumMutex = %d, want 9", m.NumMutex)
+	}
+	if m.NumBarrier != 1 {
+		t.Errorf("NumBarrier = %d, want 1", m.NumBarrier)
+	}
+	if len(m.Globals) != 2 || m.Globals[1].Size != 128 {
+		t.Errorf("globals = %+v", m.Globals)
+	}
+	c := ir.CountFunc(m.FuncByName("worker"))
+	if c.LockOps != 4 {
+		t.Errorf("worker LockOps = %d, want 4", c.LockOps)
+	}
+	if c.Barriers != 1 {
+		t.Errorf("worker Barriers = %d, want 1", c.Barriers)
+	}
+	mc := ir.CountFunc(m.FuncByName("main"))
+	if mc.Call == 0 {
+		t.Errorf("main should contain spawn (call class): %+v", mc)
+	}
+	if mc.Barriers != 1 { // join
+		t.Errorf("main Barriers = %d, want 1 (join)", mc.Barriers)
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	m := mustCompile(t, `
+func f(a int, b int) bool {
+	return a > 0 && b > 0 || a < -10;
+}
+func main() { }
+`)
+	f := m.FuncByName("f")
+	// Short-circuit lowering must produce branching control flow.
+	if len(f.Blocks) < 5 {
+		t.Errorf("expected >=5 blocks from short-circuit lowering, got %d", len(f.Blocks))
+	}
+}
+
+func TestCompileRecursion(t *testing.T) {
+	m := mustCompile(t, `
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() { print_int(fib(10)); }
+`)
+	if m.FuncByName("fib") == nil {
+		t.Fatal("fib missing")
+	}
+}
+
+func TestCompileForwardReference(t *testing.T) {
+	mustCompile(t, `
+func main() { later(); }
+func later() { }
+`)
+}
+
+func TestCompileMathBuiltins(t *testing.T) {
+	m := mustCompile(t, `
+func main() {
+	var x float = sqrt(2.0) + sin(1.0) * cos(0.5);
+	x = exp(x) / log(x + 10.0);
+	x = pow(x, 2.0) + fabs(-x) + floor(x);
+	var n int = abs(-3) + min(1, 2) + max(3, 4);
+	print_float(x);
+	print_int(n);
+}
+`)
+	c := ir.CountFunc(m.FuncByName("main"))
+	if c.Lib < 10 {
+		t.Errorf("Lib = %d, want >= 10", c.Lib)
+	}
+	if c.LibFPWork < 30 {
+		t.Errorf("LibFPWork = %d, want >= 30", c.LibFPWork)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", `func main() { x = 1; }`, "undefined variable"},
+		{"undefined func", `func main() { frobnicate(); }`, "undefined function"},
+		{"type mismatch assign", `func main() { var x int; x = 1.5; }`, "cannot assign"},
+		{"type mismatch init", `func main() { var x int = 1.5; }`, "cannot initialize"},
+		{"mixed arith", `func main() { var x float = 1.0 + 2; }`, "mismatched types"},
+		{"bad condition", `func main() { if (1) { } }`, "must be bool"},
+		{"while condition", `func main() { while (1.5) { } }`, "must be bool"},
+		{"bad return void", `func f() int { return; } func main() { }`, "missing return value"},
+		{"return from void", `func f() { return 1; } func main() { }`, "void function"},
+		{"wrong arity", `func f(x int) { } func main() { f(); }`, "expects 1 arguments"},
+		{"wrong arg type", `func f(x int) { } func main() { f(1.5); }`, "argument 1"},
+		{"builtin arg type", `func main() { print_int(1.5); }`, "argument 1"},
+		{"void as value", `func f() { } func main() { var x int = f(); }`, "used as value"},
+		{"void builtin as value", `func main() { var x int = print_int(1); }`, "used as value"},
+		{"redeclared", `func main() { var x int; var x int; }`, "redeclared"},
+		{"dup global", `var g int; var g float; func main() { }`, "already declared"},
+		{"dup func", `func f() { } func f() { } func main() { }`, "already declared"},
+		{"shadow builtin", `func sqrt(x float) float { return x; } func main() { }`, "shadows a builtin"},
+		{"break outside", `func main() { break; }`, "break outside loop"},
+		{"continue outside", `func main() { continue; }`, "continue outside loop"},
+		{"array as value", `func main() { var a [4]int; var x int = a; }`, "array"},
+		{"assign to array", `func main() { var a [4]int; a = 3; }`, "cannot assign to array"},
+		{"index scalar", `func main() { var x int; x = x[0]; }`, "not an array"},
+		{"float index", `func main() { var a [4]int; a[1.5] = 0; }`, "index must be int"},
+		{"global init", `var g int = 3; func main() { }`, "not allowed"},
+		{"negate bool", `func main() { var b bool = -true; }`, "cannot negate"},
+		{"not int", `func main() { var b bool = !3; }`, "requires bool"},
+		{"and on ints", `func main() { var b bool = 1 && 2; }`, "requires bool"},
+		{"rem float", `func main() { var x float = 1.0 % 2.0; }`, "not defined on float"},
+		{"spawn nonvoid", `func f() int { return 1; } func main() { spawn f(); }`, "must return void"},
+		{"spawn undefined", `func main() { spawn nothere(); }`, "undefined function"},
+		{"expr stmt", `func main() { var x int; x + 1; }`, "must be a call"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t", c.src)
+			if err == nil {
+				t.Fatalf("compiled successfully, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCompileAllBlocksTerminated(t *testing.T) {
+	srcs := []string{
+		`func f(n int) int { if (n > 0) { return 1; } return 0; } func main() { }`,
+		`func f(n int) int { if (n > 0) { return 1; } else { return 2; } } func main() { }`,
+		`func f(n int) float { while (n > 0) { n = n - 1; } } func main() { }`, // falls off: implicit 0.0
+		`func main() { var i int; for (i = 0; i < 3; i = i + 1) { if (i == 1) { break; } continue; } }`,
+	}
+	for _, src := range srcs {
+		m := mustCompile(t, src)
+		for _, f := range m.Funcs {
+			for _, blk := range f.Blocks {
+				term := blk.Terminator()
+				if term == nil || !term.Op.IsTerminator() {
+					t.Errorf("unterminated block in %s:\n%s", f.Name, ir.DisassembleFunc(m, f))
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledModuleAlwaysVerifies(t *testing.T) {
+	// A grab bag of legal programs; Compile runs ir.Verify internally, but we
+	// double-check here to keep the invariant explicit.
+	srcs := []string{
+		`func main() { print_int(tid()); }`,
+		`var g [256]int; func main() { var i int; for (i = 0; i < 256; i = i + 1) { g[i] = i * i; } }`,
+		`func main() { var x int = rand_int(100); sleep_ms(x); }`,
+		`func pi() float { return 3.14159; } func main() { print_float(pi()); }`,
+		`func main() { if (net_recv() > 0) { net_send(1); } }`,
+	}
+	for _, src := range srcs {
+		m := mustCompile(t, src)
+		if err := ir.Verify(m); err != nil {
+			t.Errorf("Verify: %v\n%s", err, src)
+		}
+	}
+}
+
+func TestMustCompilePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile("bad", "func {")
+}

@@ -1,0 +1,78 @@
+package lang
+
+// Language reference for astc.
+//
+// astc is deliberately small: enough C to express the paper's parallel
+// benchmarks (compute kernels, pthreads-style workers, locks, barriers,
+// blocking library calls) while keeping the compiler and the machine model
+// fully analyzable.
+//
+// # Grammar
+//
+//	file        := decl*
+//	decl        := funcDecl | varDecl | mutexDecl | barrierDecl
+//	funcDecl    := "func" IDENT "(" [param ("," param)*] ")" [type] block
+//	param       := IDENT type
+//	type        := "int" | "float" | "bool"
+//	varDecl     := "var" IDENT type ["=" expr] ";"            (scalar)
+//	             | "var" IDENT "[" INT "]" type ";"           (array)
+//	mutexDecl   := "mutex" IDENT ["[" INT "]"] ";"
+//	barrierDecl := "barrier" IDENT ";"
+//
+//	block       := "{" stmt* "}"
+//	stmt        := varDecl | assign ";" | call ";" | block
+//	             | "if" "(" expr ")" block ["else" (block | ifStmt)]
+//	             | "while" "(" expr ")" block
+//	             | "for" "(" [assign] ";" [expr] ";" [assign] ")" block
+//	             | "return" [expr] ";" | "break" ";" | "continue" ";"
+//	             | "spawn" call ";"
+//	assign      := lvalue "=" expr
+//	lvalue      := IDENT | IDENT "[" expr "]"
+//
+//	expr        := orExpr
+//	orExpr      := andExpr ("||" andExpr)*
+//	andExpr     := cmpExpr ("&&" cmpExpr)*
+//	cmpExpr     := addExpr (("=="|"!="|"<"|"<="|">"|">=") addExpr)*
+//	addExpr     := mulExpr (("+"|"-") mulExpr)*
+//	mulExpr     := unary (("*"|"/"|"%") unary)*
+//	unary       := ("-"|"!") unary | postfix
+//	postfix     := INT | FLOAT | "true" | "false" | "(" expr ")"
+//	             | ("int"|"float") "(" expr ")"                (cast)
+//	             | IDENT | IDENT "[" expr "]" | IDENT "(" args ")"
+//
+// Comments run from "//" to end of line.
+//
+// # Semantics
+//
+//   - int is 64-bit signed; float is IEEE-754 double; bool is distinct in
+//     the type system (conditions must be bool) but lowers to int 0/1.
+//   - No implicit conversions: mix types via int(x) / float(x).
+//   - Arrays are fixed-size, 1-D, not assignable or passable; globals are
+//     zero-initialized and must not have initializers (initialize in main).
+//   - && and || short-circuit. / and % on int trap on zero divisors
+//     (simulation runtime error); float division follows IEEE.
+//   - Every program starts at main; the simulator passes its int arguments
+//     (conventionally main(scale int, threads int)).
+//   - "spawn f(args);" starts a simulated thread running void function f;
+//     "join();" blocks until all threads spawned by the caller finish.
+//   - Mutex identifiers (and mutex[i] elements) evaluate to integer lock
+//     ids accepted by lock()/unlock(); barrier identifiers likewise for
+//     barrier_init(b, parties)/barrier_wait(b).
+//
+// # Builtins
+//
+// I/O (block the thread; classified IO by the Phase-Extractor):
+// read_user_data() int, read_int() int, read_float() float,
+// print_int(int), print_float(float), print_char(int).
+//
+// Network (Net trait): net_send(int), net_recv() int.
+// Timing (Sleep trait): sleep_ms(int).
+// Synchronization (Lock/Barrier traits): lock(int), unlock(int),
+// barrier_init(int, int), barrier_wait(int), join().
+//
+// Runtime queries: tid() int, num_cores() int, clock_ms() int.
+// Deterministic per-thread randomness: rand_int(n) int in [0, n),
+// rand_float() float in [0, 1).
+//
+// Math (counted as FP work): sqrt, sin, cos, exp, log, pow, fabs, floor on
+// float; abs, min, max on int.

@@ -1,0 +1,145 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lexKinds(t *testing.T, src string) []TokKind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.Kind
+	}
+	return kinds
+}
+
+func TestLexBasics(t *testing.T) {
+	kinds := lexKinds(t, "func main() { var x int = 1 + 2; }")
+	want := []TokKind{TFunc, TIdent, TLParen, TRParen, TLBrace, TVar, TIdent, TKwInt,
+		TAssign, TIntLit, TPlus, TIntLit, TSemi, TRBrace, TEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	kinds := lexKinds(t, "== != <= >= < > && || ! = + - * / %")
+	want := []TokKind{TEq, TNe, TLe, TGe, TLt, TGt, TAndAnd, TOrOr, TBang, TAssign,
+		TPlus, TMinus, TStar, TSlash, TPercent, TEOF}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("42 3.5 1e3 2.5e-2 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TIntLit || toks[0].Int != 42 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TFloatLit || toks[1].F != 3.5 {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Kind != TFloatLit || toks[2].F != 1000 {
+		t.Errorf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Kind != TFloatLit || toks[3].F != 0.025 {
+		t.Errorf("tok3 = %+v", toks[3])
+	}
+	if toks[4].Kind != TIntLit || toks[4].Int != 7 {
+		t.Errorf("tok4 = %+v", toks[4])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	kinds := lexKinds(t, "x // a comment with = and func\ny")
+	want := []TokKind{TIdent, TIdent, TEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b\n\tc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+	if toks[2].Line != 3 || toks[2].Col != 2 {
+		t.Errorf("c at %d:%d", toks[2].Line, toks[2].Col)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks, err := Lex("iff format whiles for2 spawn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if toks[i].Kind != TIdent {
+			t.Errorf("token %d (%q) lexed as %v, want identifier", i, toks[i].Text, toks[i].Kind)
+		}
+	}
+	if toks[4].Kind != TSpawn {
+		t.Errorf("spawn lexed as %v", toks[4].Kind)
+	}
+}
+
+func TestLexRejectsBadChars(t *testing.T) {
+	for _, src := range []string{"a $ b", "x @", "\"string\"", "a & b", "a | b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) accepted", src)
+		}
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF for arbitrary
+// printable input that contains no illegal characters.
+func TestLexQuickNoPanics(t *testing.T) {
+	alphabet := "abc123.,;(){}[]=<>!&|+-*/% \n\tfuncvarwhile"
+	f := func(idx []uint8) bool {
+		var sb strings.Builder
+		for _, i := range idx {
+			sb.WriteByte(alphabet[int(i)%len(alphabet)])
+		}
+		toks, err := Lex(sb.String())
+		if err != nil {
+			return true // rejected inputs are fine
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTokens(t *testing.T) {
+	toks, err := Lex("x = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatTokens(toks)
+	if !strings.Contains(got, "x") || !strings.Contains(got, "1") {
+		t.Errorf("FormatTokens = %q", got)
+	}
+}

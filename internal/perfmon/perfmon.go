@@ -1,0 +1,123 @@
+// Package perfmon implements the paper's hardware-phase abstraction
+// (Sec. 3.1.2): periodic performance-counter readings (IPC, cache miss
+// ratios, CPU utilization) are discretized into buckets whose product forms
+// 81 hardware phases. The actuator reads these without any program
+// instrumentation.
+package perfmon
+
+import "fmt"
+
+// Counters is one monitoring window's worth of aggregate hardware counters.
+type Counters struct {
+	Instructions  uint64
+	Cycles        uint64
+	CacheAccesses uint64
+	CacheMisses   uint64
+	BusySeconds   float64 // total core-busy time in the window
+	WindowSeconds float64 // window duration x number of active cores
+}
+
+// IPC returns instructions per cycle (0 when no cycles elapsed).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// CMA returns cache misses per cache access.
+func (c Counters) CMA() float64 {
+	if c.CacheAccesses == 0 {
+		return 0
+	}
+	return float64(c.CacheMisses) / float64(c.CacheAccesses)
+}
+
+// CMI returns cache misses per instruction.
+func (c Counters) CMI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.CacheMisses) / float64(c.Instructions)
+}
+
+// Util returns CPU utilization in [0, 1].
+func (c Counters) Util() float64 {
+	if c.WindowSeconds == 0 {
+		return 0
+	}
+	u := c.BusySeconds / c.WindowSeconds
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.CacheAccesses += o.CacheAccesses
+	c.CacheMisses += o.CacheMisses
+	c.BusySeconds += o.BusySeconds
+	c.WindowSeconds += o.WindowSeconds
+}
+
+// Bucket boundaries, exactly as listed in the paper.
+var (
+	IPCBounds = []float64{0.5, 1.0}     // [0,.5) [.5,1) [1,+inf)
+	CMABounds = []float64{0.01, 0.05}   // [0,1%) [1%,5%) [5%,+inf)
+	CMIBounds = []float64{0.001, 0.005} // [0,.1%) [.1%,.5%) [.5%,+inf)
+	CPUBounds = []float64{0.20, 0.50}   // [0,20%) [20%,50%) [50%,+inf)
+)
+
+// NumPhases is the number of hardware phases: 3^4 = 81.
+const NumPhases = 81
+
+// HWPhase is a bucketed hardware state.
+type HWPhase struct {
+	IPCBucket int
+	CMABucket int
+	CMIBucket int
+	CPUBucket int
+}
+
+// ID flattens the phase to [0, NumPhases).
+func (h HWPhase) ID() int {
+	return ((h.IPCBucket*3+h.CMABucket)*3+h.CMIBucket)*3 + h.CPUBucket
+}
+
+// FromID inverts ID.
+func FromID(id int) HWPhase {
+	var h HWPhase
+	h.CPUBucket = id % 3
+	id /= 3
+	h.CMIBucket = id % 3
+	id /= 3
+	h.CMABucket = id % 3
+	id /= 3
+	h.IPCBucket = id % 3
+	return h
+}
+
+func (h HWPhase) String() string {
+	return fmt.Sprintf("ipc%d/cma%d/cmi%d/cpu%d", h.IPCBucket, h.CMABucket, h.CMIBucket, h.CPUBucket)
+}
+
+func bucket(v float64, bounds []float64) int {
+	i := 0
+	for i < len(bounds) && v >= bounds[i] {
+		i++
+	}
+	return i
+}
+
+// Bucketize maps counters to their hardware phase.
+func Bucketize(c Counters) HWPhase {
+	return HWPhase{
+		IPCBucket: bucket(c.IPC(), IPCBounds),
+		CMABucket: bucket(c.CMA(), CMABounds),
+		CMIBucket: bucket(c.CMI(), CMIBounds),
+		CPUBucket: bucket(c.Util(), CPUBounds),
+	}
+}

@@ -1,0 +1,124 @@
+package perfmon
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{
+		Instructions:  1000,
+		Cycles:        2000,
+		CacheAccesses: 400,
+		CacheMisses:   8,
+		BusySeconds:   0.3,
+		WindowSeconds: 1.0,
+	}
+	if got := c.IPC(); got != 0.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := c.CMA(); got != 0.02 {
+		t.Errorf("CMA = %v", got)
+	}
+	if got := c.CMI(); got != 0.008 {
+		t.Errorf("CMI = %v", got)
+	}
+	if got := c.Util(); got != 0.3 {
+		t.Errorf("Util = %v", got)
+	}
+}
+
+func TestZeroWindowSafe(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 || c.CMA() != 0 || c.CMI() != 0 || c.Util() != 0 {
+		t.Error("zero counters must produce zero metrics")
+	}
+}
+
+func TestUtilClamped(t *testing.T) {
+	c := Counters{BusySeconds: 5, WindowSeconds: 1}
+	if c.Util() != 1 {
+		t.Errorf("Util = %v, want clamped to 1", c.Util())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{Instructions: 1, Cycles: 2, CacheAccesses: 3, CacheMisses: 4, BusySeconds: 5, WindowSeconds: 6}
+	b := a
+	a.Add(b)
+	if a.Instructions != 2 || a.Cycles != 4 || a.CacheAccesses != 6 || a.CacheMisses != 8 ||
+		a.BusySeconds != 10 || a.WindowSeconds != 12 {
+		t.Errorf("Add: %+v", a)
+	}
+}
+
+func TestPaperBuckets(t *testing.T) {
+	cases := []struct {
+		c    Counters
+		want HWPhase
+	}{
+		// IPC 0.4 -> bucket 0; CMA 0 -> 0; CMI 0 -> 0; util 0.1 -> 0.
+		{Counters{Instructions: 400, Cycles: 1000, BusySeconds: 0.1, WindowSeconds: 1}, HWPhase{0, 0, 0, 0}},
+		// IPC 1.5 -> 2; CMA 6% -> 2; CMI 4% -> 2; util 0.9 -> 2.
+		{Counters{Instructions: 1500, Cycles: 1000, CacheAccesses: 1000, CacheMisses: 60,
+			BusySeconds: 0.9, WindowSeconds: 1}, HWPhase{2, 2, 2, 2}},
+		// Boundary values land in the upper bucket ([0.5, 1.0) style).
+		{Counters{Instructions: 500, Cycles: 1000, BusySeconds: 0.2, WindowSeconds: 1}, HWPhase{1, 0, 0, 1}},
+	}
+	for i, c := range cases {
+		if got := Bucketize(c.c); got != c.want {
+			t.Errorf("case %d: %v, want %v (ipc=%v cma=%v cmi=%v util=%v)",
+				i, got, c.want, c.c.IPC(), c.c.CMA(), c.c.CMI(), c.c.Util())
+		}
+	}
+}
+
+func TestCMIBucketBoundary(t *testing.T) {
+	// CMI exactly 0.5% must be in the top bucket.
+	c := Counters{Instructions: 1000, Cycles: 1000, CacheAccesses: 100, CacheMisses: 5,
+		BusySeconds: 1, WindowSeconds: 1}
+	h := Bucketize(c)
+	if h.CMIBucket != 2 {
+		t.Errorf("CMI bucket = %d, want 2 (cmi=%v)", h.CMIBucket, c.CMI())
+	}
+	if h.CMABucket != 2 {
+		t.Errorf("CMA bucket = %d, want 2 (cma=%v)", h.CMABucket, c.CMA())
+	}
+}
+
+func TestPhaseIDRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for ipc := 0; ipc < 3; ipc++ {
+		for cma := 0; cma < 3; cma++ {
+			for cmi := 0; cmi < 3; cmi++ {
+				for cpu := 0; cpu < 3; cpu++ {
+					h := HWPhase{ipc, cma, cmi, cpu}
+					id := h.ID()
+					if id < 0 || id >= NumPhases {
+						t.Fatalf("id %d out of range", id)
+					}
+					if seen[id] {
+						t.Fatalf("duplicate id %d", id)
+					}
+					seen[id] = true
+					if got := FromID(id); got != h {
+						t.Fatalf("round trip %v -> %d -> %v", h, id, got)
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != NumPhases {
+		t.Fatalf("%d phases, want %d", len(seen), NumPhases)
+	}
+}
+
+func TestPhaseIDRoundTripQuick(t *testing.T) {
+	f := func(x uint16) bool {
+		id := int(x) % NumPhases
+		return FromID(id).ID() == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package powmon is the power monitor of the reproduction: it integrates the
+// hardware model's instantaneous power into energy (the role PowMon [32]
+// plays on the Odroid) and optionally records a fixed-rate sample series
+// (the role of the JetsonLeap/NI-6009 apparatus behind Fig. 3).
+package powmon
+
+// Meter integrates energy and tracks a resettable window for checkpoint
+// rewards.
+type Meter struct {
+	totalJ  float64
+	windowJ float64
+}
+
+// Add charges durS seconds at watts to both the total and the window.
+func (m *Meter) Add(durS, watts float64) {
+	j := durS * watts
+	m.totalJ += j
+	m.windowJ += j
+}
+
+// TotalJ returns cumulative energy in joules.
+func (m *Meter) TotalJ() float64 { return m.totalJ }
+
+// WindowJ returns energy accumulated since the last ResetWindow.
+func (m *Meter) WindowJ() float64 { return m.windowJ }
+
+// ResetWindow zeroes the window accumulator.
+func (m *Meter) ResetWindow() { m.windowJ = 0 }
+
+// Sample is one instantaneous power reading.
+type Sample struct {
+	TimeS float64
+	Watts float64
+}
+
+// Series is a fixed-rate power trace.
+type Series struct {
+	IntervalS float64
+	Samples   []Sample
+}
+
+// Append records a sample.
+func (s *Series) Append(t, w float64) {
+	s.Samples = append(s.Samples, Sample{TimeS: t, Watts: w})
+}
+
+// MeanWatts returns the average power over the series (0 if empty).
+func (s *Series) MeanWatts() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.Samples {
+		sum += x.Watts
+	}
+	return sum / float64(len(s.Samples))
+}
+
+// MaxWatts returns the peak power (0 if empty).
+func (s *Series) MaxWatts() float64 {
+	var max float64
+	for _, x := range s.Samples {
+		if x.Watts > max {
+			max = x.Watts
+		}
+	}
+	return max
+}
+
+// Window returns the samples with TimeS in [t0, t1).
+func (s *Series) Window(t0, t1 float64) []Sample {
+	var out []Sample
+	for _, x := range s.Samples {
+		if x.TimeS >= t0 && x.TimeS < t1 {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package powmon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterIntegration(t *testing.T) {
+	var m Meter
+	m.Add(2.0, 1.5) // 3 J
+	m.Add(0.5, 4.0) // 2 J
+	if got := m.TotalJ(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("TotalJ = %v", got)
+	}
+	if got := m.WindowJ(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("WindowJ = %v", got)
+	}
+	m.ResetWindow()
+	if m.WindowJ() != 0 {
+		t.Error("window not reset")
+	}
+	m.Add(1, 1)
+	if got, want := m.TotalJ(), 6.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("TotalJ after reset = %v", got)
+	}
+	if got := m.WindowJ(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("WindowJ after reset = %v", got)
+	}
+}
+
+// Property: total equals the sum of all window readings when windows are
+// reset after each read.
+func TestMeterWindowSumsToTotal(t *testing.T) {
+	f := func(durs []float64) bool {
+		var m Meter
+		var sum float64
+		for _, d := range durs {
+			d = math.Abs(d)
+			if d > 1e6 || math.IsNaN(d) || math.IsInf(d, 0) {
+				d = 1
+			}
+			m.Add(d, 2.0)
+			sum += m.WindowJ()
+			m.ResetWindow()
+		}
+		return math.Abs(sum-m.TotalJ()) < 1e-6*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{IntervalS: 0.001}
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i)*0.001, float64(i))
+	}
+	if got := s.MeanWatts(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("MeanWatts = %v", got)
+	}
+	if got := s.MaxWatts(); got != 9 {
+		t.Errorf("MaxWatts = %v", got)
+	}
+	win := s.Window(0.002, 0.005)
+	if len(win) != 3 || win[0].Watts != 2 || win[2].Watts != 4 {
+		t.Errorf("Window = %+v", win)
+	}
+	var empty Series
+	if empty.MeanWatts() != 0 || empty.MaxWatts() != 0 {
+		t.Error("empty series stats should be zero")
+	}
+}

@@ -1,0 +1,238 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astro/internal/features"
+	"astro/internal/perfmon"
+)
+
+func TestEncodeOneHots(t *testing.T) {
+	nConfigs := 24
+	s := State{ConfigID: 5, ProgPhase: int(features.PhaseCPUBound), HWPhaseID: perfmon.HWPhase{IPCBucket: 2, CMABucket: 1, CMIBucket: 0, CPUBucket: 2}.ID()}
+	x := Encode(s, nConfigs, nil)
+	if len(x) != EncodeDim(nConfigs) {
+		t.Fatalf("dim %d, want %d", len(x), EncodeDim(nConfigs))
+	}
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if sum != 6 { // config + phase + 4 counter buckets
+		t.Errorf("one-hot sum = %v, want 6", sum)
+	}
+	if x[5] != 1 {
+		t.Error("config one-hot missing")
+	}
+	if x[nConfigs+int(features.PhaseCPUBound)] != 1 {
+		t.Error("phase one-hot missing")
+	}
+	base := nConfigs + features.NumPhases
+	if x[base+2] != 1 || x[base+3+1] != 1 || x[base+6+0] != 1 || x[base+9+2] != 1 {
+		t.Errorf("hw buckets wrong: %v", x[base:])
+	}
+}
+
+func TestEncodeReusesBuffer(t *testing.T) {
+	buf := make([]float64, EncodeDim(24))
+	out := Encode(State{}, 24, buf)
+	if &out[0] != &buf[0] {
+		t.Error("Encode did not reuse the buffer")
+	}
+}
+
+func TestRewardShape(t *testing.T) {
+	// gamma=1: performance per watt; gamma=2 emphasizes performance.
+	if Reward(100, 2, 1) != 50 {
+		t.Errorf("Reward(100,2,1) = %v", Reward(100, 2, 1))
+	}
+	if Reward(100, 2, 2) != 5000 {
+		t.Errorf("Reward(100,2,2) = %v", Reward(100, 2, 2))
+	}
+	if Reward(100, 0, 2) != 0 || Reward(-5, 2, 2) != 0 {
+		t.Error("degenerate rewards must be 0")
+	}
+	// With gamma=2, doubling speed at double power is an improvement
+	// (energy-delay product falls).
+	if !(Reward(200, 4, 2) > Reward(100, 2, 2)) {
+		t.Error("gamma=2 must prefer 2x speed at 2x power")
+	}
+	// With gamma=1 it is a wash.
+	if math.Abs(Reward(200, 4, 1)-Reward(100, 2, 1)) > 1e-12 {
+		t.Error("gamma=1 must be indifferent to proportional scaling")
+	}
+}
+
+func TestScaleRewardMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return ScaleReward(a) <= ScaleReward(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ScaleReward(-5) != 0 {
+		t.Error("negative rewards clamp to 0")
+	}
+}
+
+// syntheticMDP is a tiny deterministic environment for agent tests: the
+// program cycles through program phases, and each phase has a known best
+// action. Reward depends only on (phase, action).
+type syntheticMDP struct {
+	rewards  [][]float64 // [phase][action]
+	nPhases  int
+	nActions int
+}
+
+func (e *syntheticMDP) bestAction(phase int) int {
+	best := 0
+	for a := 1; a < e.nActions; a++ {
+		if e.rewards[phase][a] > e.rewards[phase][best] {
+			best = a
+		}
+	}
+	return best
+}
+
+func trainAgent(t *testing.T, agent Agent, e *syntheticMDP, episodes, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	for ep := 0; ep < episodes; ep++ {
+		phase := 0
+		cfg := rng.Intn(agent.NumActions())
+		s := State{ConfigID: cfg, ProgPhase: phase, HWPhaseID: 0}
+		for i := 0; i < steps; i++ {
+			a := agent.Select(s, true)
+			r := ScaleReward(e.rewards[phase][a])
+			phase = (phase + 1) % e.nPhases
+			next := State{ConfigID: a, ProgPhase: phase, HWPhaseID: 0}
+			agent.Observe(s, a, r, next)
+			s = next
+		}
+		agent.EndEpisode()
+	}
+}
+
+func mdpFor(nActions int) *syntheticMDP {
+	e := &syntheticMDP{nPhases: 3, nActions: nActions}
+	e.rewards = make([][]float64, e.nPhases)
+	for p := range e.rewards {
+		e.rewards[p] = make([]float64, nActions)
+		for a := range e.rewards[p] {
+			// Phase p prefers action 2p+1; reward decays with distance.
+			d := float64(a - (2*p + 1))
+			e.rewards[p][a] = 1000 / (1 + d*d)
+		}
+	}
+	return e
+}
+
+// greedyReturn rolls the environment forward under the agent's greedy
+// policy and returns the mean raw reward per step.
+func greedyReturn(agent Agent, e *syntheticMDP, steps int) float64 {
+	phase := 0
+	s := State{ConfigID: 0, ProgPhase: phase, HWPhaseID: 0}
+	var total float64
+	for i := 0; i < steps; i++ {
+		a := agent.Best(s)
+		total += e.rewards[phase][a]
+		phase = (phase + 1) % e.nPhases
+		s = State{ConfigID: a, ProgPhase: phase, HWPhaseID: 0}
+	}
+	return total / float64(steps)
+}
+
+func optimalReturn(e *syntheticMDP) float64 {
+	var total float64
+	for p := 0; p < e.nPhases; p++ {
+		total += e.rewards[p][e.bestAction(p)]
+	}
+	return total / float64(e.nPhases)
+}
+
+func TestTabularLearnsPhaseDependentPolicy(t *testing.T) {
+	e := mdpFor(8)
+	agent := NewTabular(8, 1)
+	agent.SetParams(0.3, 0.3, 0.6, 0.05, 0.95)
+	trainAgent(t, agent, e, 120, 150)
+	got := greedyReturn(agent, e, 300)
+	want := optimalReturn(e)
+	if got < 0.85*want {
+		t.Errorf("greedy return %v < 85%% of optimal %v", got, want)
+	}
+}
+
+func TestDQNLearnsPhaseDependentPolicy(t *testing.T) {
+	e := mdpFor(8)
+	agent := NewDQN(8, DQNConfig{Seed: 3, LR: 0.05, Discount: 0.3})
+	trainAgent(t, agent, e, 80, 150)
+	got := greedyReturn(agent, e, 300)
+	want := optimalReturn(e)
+	if got < 0.75*want {
+		t.Errorf("greedy return %v < 75%% of optimal %v", got, want)
+	}
+	// The learner must beat a uniformly random policy by a clear margin.
+	var random float64
+	for p := 0; p < e.nPhases; p++ {
+		for a := 0; a < e.nActions; a++ {
+			random += e.rewards[p][a]
+		}
+	}
+	random /= float64(e.nPhases * e.nActions)
+	if got <= random {
+		t.Errorf("greedy return %v does not beat random %v", got, random)
+	}
+}
+
+func TestEpsilonDecay(t *testing.T) {
+	d := NewDQN(4, DQNConfig{Seed: 1, Eps0: 0.5, EpsDecay: 0.5, EpsMin: 0.1})
+	if d.Epsilon() != 0.5 {
+		t.Fatalf("eps0 = %v", d.Epsilon())
+	}
+	for i := 0; i < 10; i++ {
+		d.EndEpisode()
+	}
+	if d.Epsilon() != 0.1 {
+		t.Errorf("eps floor = %v, want 0.1", d.Epsilon())
+	}
+}
+
+func TestAgentsDeterministicGivenSeed(t *testing.T) {
+	e := mdpFor(6)
+	a1 := NewDQN(6, DQNConfig{Seed: 42})
+	a2 := NewDQN(6, DQNConfig{Seed: 42})
+	trainAgent(t, a1, e, 10, 50)
+	trainAgent(t, a2, e, 10, 50)
+	for p := 0; p < 3; p++ {
+		s := State{ConfigID: 0, ProgPhase: p, HWPhaseID: 0}
+		if a1.Best(s) != a2.Best(s) {
+			t.Fatalf("same-seed DQNs diverged at phase %d", p)
+		}
+		if a1.Q(s, 1) != a2.Q(s, 1) {
+			t.Fatalf("same-seed Q values diverged")
+		}
+	}
+}
+
+func TestTabularStateIndexBounds(t *testing.T) {
+	tab := NewTabular(24, 0)
+	// Out-of-range states must not panic (clamped to 0).
+	weird := []State{
+		{ConfigID: -1, ProgPhase: -1, HWPhaseID: -1},
+		{ConfigID: 99, ProgPhase: 99, HWPhaseID: 9999},
+	}
+	for _, s := range weird {
+		_ = tab.Best(s)
+		tab.Observe(s, 0, 0.5, s)
+	}
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"astro/internal/hw"
+	"astro/internal/sim"
+)
+
+// OctopusMan reimplements the profiling mechanism of Octopus-Man [22] as
+// the paper uses it: a threshold-driven ladder over configurations ordered
+// by capability, with no notion of reward or learning. High utilization
+// climbs to a stronger configuration, low utilization steps down to save
+// energy.
+type OctopusMan struct {
+	Plat     *hw.Platform
+	UpUtil   float64 // climb when window utilization >= this (default 0.8)
+	DownUtil float64 // descend when utilization <= this (default 0.3)
+
+	ladder []int
+	pos    int
+}
+
+// NewOctopusMan builds the ladder policy starting at the weakest rung.
+func NewOctopusMan(plat *hw.Platform) *OctopusMan {
+	return &OctopusMan{
+		Plat:     plat,
+		UpUtil:   0.8,
+		DownUtil: 0.3,
+		ladder:   plat.ConfigsByCapability(),
+	}
+}
+
+// Name implements sim.Actuator.
+func (o *OctopusMan) Name() string { return "octopus-man" }
+
+// Rung returns the current ladder position (for tests).
+func (o *OctopusMan) Rung() int { return o.pos }
+
+// OnCheckpoint implements sim.Actuator.
+func (o *OctopusMan) OnCheckpoint(m *sim.Machine, ck sim.Checkpoint) hw.Config {
+	util := ck.HW.Util()
+	if util >= o.UpUtil && o.pos+1 < len(o.ladder) {
+		o.pos++
+	} else if util <= o.DownUtil && o.pos > 0 {
+		o.pos--
+	}
+	return o.Plat.ConfigFromID(o.ladder[o.pos])
+}
+
+// Fixed is an actuator that pins one configuration (the paper's immutable
+// best-configuration baselines, RQ2).
+type Fixed struct {
+	Config hw.Config
+}
+
+// Name implements sim.Actuator.
+func (f *Fixed) Name() string { return "fixed-" + f.Config.String() }
+
+// OnCheckpoint implements sim.Actuator.
+func (f *Fixed) OnCheckpoint(m *sim.Machine, ck sim.Checkpoint) hw.Config {
+	return f.Config
+}
+
+// Random chooses the next configuration uniformly at random each
+// checkpoint (the no-intelligence control of Fig. 9's comparison).
+type Random struct {
+	Plat *hw.Platform
+	Seed uint64
+}
+
+// Name implements sim.Actuator.
+func (r *Random) Name() string { return "random" }
+
+// OnCheckpoint implements sim.Actuator.
+func (r *Random) OnCheckpoint(m *sim.Machine, ck sim.Checkpoint) hw.Config {
+	// xorshift64* keeps the actuator self-contained and deterministic.
+	x := r.Seed*2862933555777941757 + 3037000493
+	r.Seed = x
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	id := int((x * 2685821657736338717) % uint64(r.Plat.NumConfigs()))
+	return r.Plat.ConfigFromID(id)
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"testing"
+
+	"astro/internal/features"
+	"astro/internal/hw"
+	"astro/internal/instrument"
+	"astro/internal/ir"
+	"astro/internal/lang"
+	"astro/internal/rl"
+	"astro/internal/sim"
+)
+
+func compileT(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	mod, err := lang.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+// phasedSrc alternates a CPU-heavy kernel with long blocking waits, giving
+// the learner distinguishable phases.
+const phasedSrc = `
+func kernel(n int) {
+	var i int;
+	var x float = 1.0;
+	for (i = 0; i < n; i = i + 1) { x = x * 1.000001 + 0.5; }
+}
+func pause() {
+	sleep_ms(1);
+}
+func main(scale int, threads int) {
+	var r int;
+	for (r = 0; r < 4; r = r + 1) {
+		var i int;
+		for (i = 0; i < threads; i = i + 1) { spawn kernel(scale); }
+		join();
+		pause();
+	}
+}
+`
+
+// TestTrainExtractInstrumentPipeline exercises the full Astro toolchain:
+// analyze -> learning instrumentation -> Q-learning training -> policy
+// extraction -> static and hybrid final binaries -> execution.
+func TestTrainExtractInstrumentPipeline(t *testing.T) {
+	mod := compileT(t, phasedSrc)
+	plat := hw.OdroidXU4()
+	mi := features.AnalyzeModule(mod, features.Options{})
+
+	learnMod, err := instrument.ForLearning(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: 11})
+	act := NewAstro(agent, plat, true)
+	base := sim.Options{CheckpointS: 500e-6, QuantumS: 50e-6, TickS: 250e-6}
+	stats, err := Train(learnMod, plat, act, TrainOptions{
+		Episodes: 5,
+		Seed:     21,
+		Args:     []int64{30000, 4},
+		SimOpts:  base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 5 {
+		t.Fatalf("episodes = %d", len(stats))
+	}
+	for _, s := range stats {
+		if s.TimeS <= 0 || s.EnergyJ <= 0 {
+			t.Errorf("episode %d: degenerate stats %+v", s.Episode, s)
+		}
+	}
+
+	pol := ExtractPolicy(agent, plat)
+	if err := pol.Validate(plat); err != nil {
+		t.Fatal(err)
+	}
+
+	staticMod, err := instrument.ForStatic(mod, mi, plat, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := base
+	so.Args = []int64{30000, 4}
+	so.Seed = 77
+	m, err := sim.New(staticMod, plat, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStatic, err := m.Run()
+	if err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+	if resStatic.TimeS <= 0 {
+		t.Fatal("static run produced no time")
+	}
+
+	hybridMod, err := instrument.ForHybrid(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ho := base
+	ho.Args = []int64{30000, 4}
+	ho.Seed = 77
+	ho.Hybrid = NewHybridRuntime(agent, plat)
+	hm, err := sim.New(hybridMod, plat, ho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHybrid, err := hm.Run()
+	if err != nil {
+		t.Fatalf("hybrid run: %v", err)
+	}
+	if resHybrid.TimeS <= 0 {
+		t.Fatal("hybrid run produced no time")
+	}
+	// Both final binaries ran with phase instrumentation active: the static
+	// one must have issued at least one configuration request.
+	if resStatic.Switches == 0 && resStatic.FinalConfig == plat.AllOn() {
+		t.Log("static run never changed configuration (policy may be all-on everywhere)")
+	}
+}
+
+// TestLearningBeatsPathologicalFixed trains briefly and checks the learned
+// policy avoids the worst fixed configuration (1L0B on a parallel CPU
+// benchmark) — the essence of the paper's RQ2.
+func TestLearningBeatsPathologicalFixed(t *testing.T) {
+	mod := compileT(t, phasedSrc)
+	plat := hw.OdroidXU4()
+	mi := features.AnalyzeModule(mod, features.Options{})
+	learnMod, err := instrument.ForLearning(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Options{CheckpointS: 500e-6, QuantumS: 50e-6, TickS: 250e-6}
+	args := []int64{60000, 4}
+
+	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: 5})
+	act := NewAstro(agent, plat, true)
+	if _, err := Train(learnMod, plat, act, TrainOptions{Episodes: 8, Seed: 31, Args: args, SimOpts: base}); err != nil {
+		t.Fatal(err)
+	}
+
+	runWith := func(a sim.Actuator, initial hw.Config) float64 {
+		so := base
+		so.Args = args
+		so.Seed = 99
+		so.Actuator = a
+		so.InitialConfig = initial
+		m, err := sim.New(learnMod, plat, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimeS
+	}
+
+	act.Learn = false
+	astroTime := runWith(act, plat.AllOn())
+	worstTime := runWith(&Fixed{Config: hw.Config{Little: 1}}, hw.Config{Little: 1})
+	if !(astroTime < worstTime/1.8) {
+		t.Errorf("astro %.6fs should be >1.8x faster than pinned 1L0B %.6fs", astroTime, worstTime)
+	}
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event kinds, in tie-break priority order at equal times.
+type evKind uint8
+
+const (
+	evWake       evKind = iota // a blocked thread becomes runnable
+	evCoreRun                  // a core should execute its next burst
+	evTick                     // OS load-balance tick
+	evCheckpoint               // actuation checkpoint
+	evSample                   // power sample
+)
+
+type event struct {
+	time   float64
+	kind   evKind
+	core   int
+	thread int
+	seq    uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (m *Machine) schedule(e event) {
+	m.seq++
+	e.seq = m.seq
+	heap.Push(&m.events, e)
+}
+
+// scheduleCoreRun arms a core-run event unless one is already pending.
+func (m *Machine) scheduleCoreRun(c *core, at float64) {
+	if c.runPending || !c.active {
+		return
+	}
+	c.runPending = true
+	if at < m.now {
+		at = m.now
+	}
+	m.schedule(event{time: at, kind: evCoreRun, core: c.idx})
+}
+
+// Run executes the program to completion and returns the result.
+func (m *Machine) Run() (*Result, error) {
+	if m.threads != nil {
+		return nil, fmt.Errorf("sim: machine already ran")
+	}
+	// Boot: create the main thread and start the periodic machinery.
+	main, err := m.newThread(-1, m.mod.FuncIndex["main"], m.opts.Args)
+	if err != nil {
+		return nil, err
+	}
+	m.placeThread(main)
+	m.schedule(event{time: m.opts.TickS, kind: evTick})
+	m.schedule(event{time: m.opts.CheckpointS, kind: evCheckpoint})
+	if m.opts.SampleS > 0 {
+		m.schedule(event{time: 0, kind: evSample})
+	}
+
+	for m.live > 0 {
+		if m.err != nil {
+			return nil, m.err
+		}
+		if m.events.Len() == 0 {
+			return nil, fmt.Errorf("sim: no events with %d live threads (internal error)", m.live)
+		}
+		e := heap.Pop(&m.events).(event)
+		if e.time > m.opts.MaxTimeS {
+			return nil, fmt.Errorf("sim: exceeded MaxTimeS=%gs (deadlock or runaway program)", m.opts.MaxTimeS)
+		}
+		if e.time > m.now {
+			m.now = e.time
+		}
+		switch e.kind {
+		case evWake:
+			m.wakes--
+			m.handleWake(e.thread)
+		case evCoreRun:
+			c := m.cores[e.core]
+			c.runPending = false
+			if c.active {
+				m.coreStep(c)
+			}
+		case evTick:
+			m.updateLoads()
+			m.opts.OS.Rebalance(m)
+			if m.live > 0 {
+				m.schedule(event{time: m.now + m.opts.TickS, kind: evTick})
+			}
+		case evCheckpoint:
+			m.checkpoint()
+			if m.live > 0 {
+				m.schedule(event{time: m.now + m.opts.CheckpointS, kind: evCheckpoint})
+			}
+		case evSample:
+			m.samplePower()
+			if m.live > 0 {
+				m.schedule(event{time: m.now + m.opts.SampleS, kind: evSample})
+			}
+		}
+		if m.live > 0 && m.runnable == 0 && m.wakes == 0 {
+			return nil, fmt.Errorf("sim: deadlock at t=%.6fs: %d threads blocked", m.now, m.live)
+		}
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return m.finish(), nil
+}
+
+func (m *Machine) finish() *Result {
+	end := m.doneTime
+	// Account trailing idle energy on active cores and SoC base power.
+	for _, c := range m.cores {
+		if c.active && c.idleFrom < end {
+			m.meter.Add(end-c.idleFrom, c.spec.IdleWatts)
+			c.idleFrom = end
+		}
+	}
+	m.meter.Add(end, m.plat.BasePowerWatts)
+	var instr uint64
+	for _, c := range m.cores {
+		instr += c.tInstr
+	}
+	return &Result{
+		TimeS:        end,
+		EnergyJ:      m.meter.TotalJ(),
+		Instructions: instr,
+		Checkpoints:  m.checkpoints,
+		Samples:      m.samples,
+		Output:       m.output,
+		OutputTrunc:  m.outTrunc,
+		Switches:     m.switches,
+		Migrations:   m.migrations,
+		FinalConfig:  m.cfg,
+	}
+}
+
+// fail aborts the run with a runtime error.
+func (m *Machine) fail(format string, args ...any) {
+	if m.err == nil {
+		m.err = fmt.Errorf("sim: t=%.6fs: %s", m.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// samplePower records an instantaneous whole-board power reading, as the
+// JetsonLeap apparatus would.
+func (m *Machine) samplePower() {
+	if m.samples == nil {
+		return
+	}
+	w := m.plat.BasePowerWatts
+	for _, c := range m.cores {
+		if !c.active {
+			continue
+		}
+		if m.now >= c.burstStart && m.now < c.burstEnd {
+			w += c.burstPower
+		} else {
+			w += c.spec.IdleWatts
+		}
+	}
+	m.samples.Append(m.now, w)
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"astro/internal/hw"
+)
+
+// TestLockSerialBound guards the contended-lock timing model: critical
+// sections are mutually exclusive and every contended handoff pays the
+// scheduler wake latency, so hammering one lock from 4 cores must be
+// SLOWER than doing the same total work uncontended on one thread (lock
+// convoys are expensive on real kernels, and the paper's streamcluster /
+// fluidanimate behaviour depends on this).
+func TestLockSerialBound(t *testing.T) {
+	parallel := `
+var c int;
+mutex m;
+func w(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		c = c + 1;
+		unlock(m);
+	}
+}
+func main() {
+	spawn w(2000); spawn w(2000); spawn w(2000); spawn w(2000);
+	join();
+	print_int(c);
+}
+`
+	serial := `
+var c int;
+mutex m;
+func w(n int) {
+	var i int;
+	for (i = 0; i < n; i = i + 1) {
+		lock(m);
+		c = c + 1;
+		unlock(m);
+	}
+}
+func main() {
+	w(8000);
+	print_int(c);
+}
+`
+	p := run(t, parallel, Options{InitialConfig: hw.Config{Big: 4}})
+	s := run(t, serial, Options{InitialConfig: hw.Config{Big: 4}})
+	t.Logf("parallel=%.6fs serial=%.6fs ratio=%.2f", p.TimeS, s.TimeS, p.TimeS/s.TimeS)
+	if p.Output[0] != "8000" || s.Output[0] != "8000" {
+		t.Fatalf("lost updates: %v %v", p.Output, s.Output)
+	}
+	if !(p.TimeS > s.TimeS) {
+		t.Errorf("contended locking (%.6fs) must be slower than uncontended (%.6fs)", p.TimeS, s.TimeS)
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"astro/internal/features"
+	"astro/internal/hw"
+	"astro/internal/perfmon"
+)
+
+// Checkpoint is the data the Monitor hands the actuator every checkpoint
+// interval (Fig. 7: OS config + instructions, Log program phase, PerfMon
+// hardware phase, PowMon energy).
+type Checkpoint struct {
+	Index     int
+	TimeS     float64
+	DurS      float64
+	Config    hw.Config
+	ProgPhase features.Phase
+	HW        perfmon.Counters
+	HWPhase   perfmon.HWPhase
+	EnergyJ   float64 // energy consumed in the window (cores + SoC base)
+}
+
+// MIPS returns millions of instructions per second in the window.
+func (ck Checkpoint) MIPS() float64 {
+	if ck.DurS == 0 {
+		return 0
+	}
+	return float64(ck.HW.Instructions) / ck.DurS / 1e6
+}
+
+// Watts returns mean power in the window.
+func (ck Checkpoint) Watts() float64 {
+	if ck.DurS == 0 {
+		return 0
+	}
+	return ck.EnergyJ / ck.DurS
+}
+
+// Actuator is the adaptation hook invoked at every checkpoint; it returns
+// the hardware configuration to adopt next (returning the current one means
+// no change). Astro, Hipster and Octopus-Man implement this in
+// internal/sched.
+type Actuator interface {
+	Name() string
+	OnCheckpoint(m *Machine, ck Checkpoint) hw.Config
+}
+
+// HybridPolicy is consulted by hybrid instrumentation (OpDetermineConf):
+// the program itself asks for a configuration at phase boundaries, combining
+// the compile-time phase hint with the latest hardware state.
+type HybridPolicy interface {
+	DetermineConfig(s HybridState) hw.Config
+}
+
+// HybridState is what a hybrid decision gets to see.
+type HybridState struct {
+	Phase   features.Phase
+	Config  hw.Config
+	HWPhase perfmon.HWPhase
+	TimeS   float64
+}
+
+// checkpoint assembles window monitors, logs the checkpoint and lets the
+// actuator adapt.
+func (m *Machine) checkpoint() {
+	dur := m.opts.CheckpointS
+	var ctr perfmon.Counters
+	nActive := 0
+	for _, c := range m.cores {
+		if c.active {
+			nActive++
+			// Settle idle energy so the window reward sees it.
+			if c.idleFrom < m.now && c.availAt <= m.now {
+				m.meter.Add(m.now-c.idleFrom, c.spec.IdleWatts)
+				c.idleFrom = m.now
+			}
+		}
+		ctr.Instructions += c.wInstr
+		ctr.Cycles += c.wCycles
+		ctr.CacheAccesses += c.wAcc
+		ctr.CacheMisses += c.wMiss
+		ctr.BusySeconds += c.wBusy
+		c.wInstr, c.wCycles, c.wAcc, c.wMiss, c.wBusy = 0, 0, 0, 0, 0
+	}
+	ctr.WindowSeconds = dur * float64(nActive)
+
+	ck := Checkpoint{
+		Index:     m.ckIndex,
+		TimeS:     m.now,
+		DurS:      dur,
+		Config:    m.cfg,
+		ProgPhase: m.programPhase(),
+		HW:        ctr,
+		HWPhase:   perfmon.Bucketize(ctr),
+		EnergyJ:   m.meter.WindowJ() + m.plat.BasePowerWatts*dur,
+	}
+	m.ckIndex++
+	m.lastHW = ck.HWPhase
+	m.meter.ResetWindow()
+	m.checkpoints = append(m.checkpoints, ck)
+
+	if m.opts.Actuator != nil {
+		want := m.opts.Actuator.OnCheckpoint(m, ck)
+		m.requestConfig(want)
+	}
+}
+
+// programPhase derives the program-wide phase reported to the actuator
+// (the paper's Log component tracks "the code region currently under
+// execution"): the majority logged phase over runnable threads — the code
+// actually occupying cores. Only when nothing is runnable does the program
+// report Blocked. Ties prefer the more specific phase (CPUBound > IOBound >
+// Blocked > Other); the poster leaves the multithreaded aggregation open,
+// see DESIGN.md.
+func (m *Machine) programPhase() features.Phase {
+	var counts [features.NumPhases]int
+	any := false
+	for _, t := range m.threads {
+		if t.state != tsRunning && t.state != tsReady {
+			continue
+		}
+		counts[t.Phase()]++
+		any = true
+	}
+	if !any {
+		for _, t := range m.threads {
+			if t.state != tsDone {
+				return features.PhaseBlocked
+			}
+		}
+		return features.PhaseOther
+	}
+	best := features.Phase(0)
+	for p := features.Phase(1); p < features.NumPhases; p++ {
+		if counts[p] >= counts[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// updateLoads refreshes the per-thread load EWMA used by GTS-style
+// policies. Called once per OS tick.
+func (m *Machine) updateLoads() {
+	alpha := 0.25
+	for _, t := range m.threads {
+		if t.state == tsDone {
+			continue
+		}
+		u := t.busyAcc / m.opts.TickS
+		if u > 1 {
+			u = 1
+		}
+		t.busyAcc = 0
+		t.Load = (1-alpha)*t.Load + alpha*u
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+// Semantic preservation of the IR optimizer: every differential program and
+// every bundled benchmark must produce identical output before and after
+// ir.Optimize.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/workloads"
+)
+
+func runModule(t *testing.T, mod *ir.Module, args []int64, seed int64) *Result {
+	t.Helper()
+	m, err := New(mod, hw.OdroidXU4(), Options{Args: args, Seed: seed, CaptureOutput: true, BoundsCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestOptimizePreservesDifferentialPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		var prints []string
+		for i := 0; i < 4; i++ {
+			prints = append(prints, fmt.Sprintf("\tprint_int(%s);", genExpr(rng, 4).src()))
+		}
+		src := pickHelpers + "func main() {\n" + strings.Join(prints, "\n") + "\n}\n"
+		orig := compile(t, src)
+		opt := compile(t, src)
+		n := ir.Optimize(opt)
+		if err := ir.Verify(opt); err != nil {
+			t.Fatalf("trial %d: optimized module invalid: %v", trial, err)
+		}
+		a := runModule(t, orig, nil, int64(trial))
+		b := runModule(t, opt, nil, int64(trial))
+		if len(a.Output) != len(b.Output) {
+			t.Fatalf("trial %d: output lengths differ (%d rewrites)", trial, n)
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("trial %d: output %d differs: %s vs %s (%d rewrites)\n%s",
+					trial, i, a.Output[i], b.Output[i], n, src)
+			}
+		}
+		// Folding must not make programs slower.
+		if n > 0 && b.Instructions > a.Instructions {
+			t.Errorf("trial %d: optimized ran more instructions (%d > %d)",
+				trial, b.Instructions, a.Instructions)
+		}
+	}
+}
+
+func TestOptimizePreservesBenchmarks(t *testing.T) {
+	for _, name := range []string{"freqmine", "particlefilter", "bfs", "matrixmul"} {
+		spec, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		orig, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := spec.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir.Optimize(opt)
+		if err := ir.Verify(opt); err != nil {
+			t.Fatalf("%s: optimized module invalid: %v", name, err)
+		}
+		a := runModule(t, orig, spec.SmallArgs(), 5)
+		b := runModule(t, opt, spec.SmallArgs(), 5)
+		if len(a.Output) == 0 || len(a.Output) != len(b.Output) {
+			t.Fatalf("%s: outputs %d vs %d", name, len(a.Output), len(b.Output))
+		}
+		for i := range a.Output {
+			if a.Output[i] != b.Output[i] {
+				t.Fatalf("%s: output differs: %s vs %s", name, a.Output[i], b.Output[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+// OSPolicy is the OS-level thread scheduler: it decides where runnable
+// threads go and periodically rebalances queues. GTS (ARM's Global Task
+// Scheduling, the paper's baseline) is implemented on this interface in
+// internal/sched.
+type OSPolicy interface {
+	Name() string
+	// PlaceThread picks an active core for a thread that just became
+	// runnable.
+	PlaceThread(m *Machine, t *Thread) int
+	// Rebalance runs once per OS tick and may migrate ready threads.
+	Rebalance(m *Machine)
+}
+
+// LeastLoaded is the default placement policy: put runnable threads on the
+// active core with the shortest queue (preferring the thread's previous
+// core on ties, to keep caches warm), and even out queue lengths on ticks.
+type LeastLoaded struct{}
+
+// Name implements OSPolicy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// PlaceThread implements OSPolicy.
+func (*LeastLoaded) PlaceThread(m *Machine, t *Thread) int {
+	best := -1
+	bestLen := 0
+	for _, ci := range m.ActiveCoreIDs() {
+		l := m.QueueLen(ci)
+		if best == -1 || l < bestLen || (l == bestLen && ci == t.coreHint) {
+			best, bestLen = ci, l
+		}
+	}
+	return best
+}
+
+// Rebalance implements OSPolicy: move ready threads from the longest to the
+// shortest queue until lengths differ by at most one.
+func (*LeastLoaded) Rebalance(m *Machine) {
+	active := m.ActiveCoreIDs()
+	if len(active) < 2 {
+		return
+	}
+	for iter := 0; iter < 16; iter++ {
+		minC, maxC := -1, -1
+		minL, maxL := 0, 0
+		for _, ci := range active {
+			l := m.QueueLen(ci)
+			if minC == -1 || l < minL {
+				minC, minL = ci, l
+			}
+			if maxC == -1 || l > maxL {
+				maxC, maxL = ci, l
+			}
+		}
+		if maxL-minL <= 1 {
+			return
+		}
+		moved := false
+		for _, t := range m.cores[maxC].runq {
+			if m.MigrateThread(t, minC) {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats provides the descriptive statistics and two-sample
+// significance tests behind the paper's Fig. 10, which reports p-values for
+// Astro's static and hybrid variants against GTS. Both a Welch t-test and a
+// Mann-Whitney U test are provided; everything is implemented from scratch
+// on the standard library.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the middle value (average of the two middle values for
+// even lengths; 0 for empty input).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// MinMax returns the extremes (0,0 for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Summary bundles descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64
+	Median float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N: len(xs), Mean: Mean(xs), SD: StdDev(xs),
+		Median: Median(xs), Min: min, Max: max,
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g median=%.4g range=[%.4g, %.4g]",
+		s.N, s.Mean, s.SD, s.Median, s.Min, s.Max)
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// WelchT performs a two-sided Welch t-test and returns the t statistic,
+// degrees of freedom and p-value. Degenerate inputs (n<2 or zero variance in
+// both samples) return p=1 when means are equal and p=0 otherwise.
+func WelchT(a, b []float64) (t, df, p float64) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 < 2 || n2 < 2 {
+		if Mean(a) == Mean(b) {
+			return 0, 0, 1
+		}
+		return math.Inf(1), 0, 0
+	}
+	m1, m2 := Mean(a), Mean(b)
+	v1, v2 := Variance(a), Variance(b)
+	se2 := v1/n1 + v2/n2
+	if se2 == 0 {
+		if m1 == m2 {
+			return 0, n1 + n2 - 2, 1
+		}
+		return math.Inf(1), n1 + n2 - 2, 0
+	}
+	t = (m1 - m2) / math.Sqrt(se2)
+	df = se2 * se2 / ((v1*v1)/(n1*n1*(n1-1)) + (v2*v2)/(n2*n2*(n2-1)))
+	p = tTestP(t, df)
+	return t, df, p
+}
+
+// tTestP returns the two-sided p-value of a t statistic with df degrees of
+// freedom: p = I_{df/(df+t^2)}(df/2, 1/2).
+func tTestP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := RegIncBeta(df/2, 0.5, x)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the standard continued-fraction expansion.
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lg1, _ := math.Lgamma(a + b)
+	lg2, _ := math.Lgamma(a)
+	lg3, _ := math.Lgamma(b)
+	front := math.Exp(lg1 - lg2 - lg3 + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// (Lentz's algorithm).
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 300
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// MannWhitneyU performs a two-sided Mann-Whitney U test using the normal
+// approximation with tie correction and continuity correction. It returns
+// the U statistic (for sample a) and the p-value. Samples of size < 3 fall
+// back to p=1 (the approximation is meaningless there).
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v    float64
+		from int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, x := range a {
+		all = append(all, obs{x, 0})
+	}
+	for _, x := range b {
+		all = append(all, obs{x, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks with tie groups; accumulate tie correction.
+	n := len(all)
+	ranks := make([]float64, n)
+	var tieCorr float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieCorr += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+	if n1 < 3 || n2 < 3 {
+		return u, 1
+	}
+	nf, n1f, n2f := float64(n), float64(n1), float64(n2)
+	mean := n1f * n2f / 2
+	variance := n1f * n2f / 12 * ((nf + 1) - tieCorr/(nf*(nf-1)))
+	if variance <= 0 {
+		return u, 1
+	}
+	z := u - mean
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p = 2 * (1 - normCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5, 1e-12) {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	// Sample variance: sum sq dev = 32, n-1 = 7.
+	if !almost(Variance(xs), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v", Variance(xs))
+	}
+	if !almost(Median(xs), 4.5, 1e-12) {
+		t.Errorf("median = %v", Median(xs))
+	}
+	min, max := MinMax(xs)
+	if min != 2 || max != 9 {
+		t.Errorf("minmax = %v %v", min, max)
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	s := Summarize(xs)
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	// Degenerate inputs.
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty input stats should be zero")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		{1, 1, 0.5, 0.5},       // uniform CDF
+		{1, 1, 0.25, 0.25},     // uniform CDF
+		{2, 1, 0.5, 0.25},      // I_x(a,1) = x^a
+		{1, 3, 0.3, 1 - 0.343}, // I_x(1,b) = 1-(1-x)^b
+		{0.5, 0.5, 0.5, 0.5},   // arcsine distribution symmetry
+		{5, 5, 0.5, 0.5},       // symmetry at a==b
+	}
+	for _, c := range cases {
+		got := RegIncBeta(c.a, c.b, c.x)
+		if !almost(got, c.want, 1e-10) {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundaries")
+	}
+}
+
+func TestRegIncBetaComplementProperty(t *testing.T) {
+	f := func(a8, b8, x8 uint8) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x := float64(x8%99+1) / 100
+		lhs := RegIncBeta(a, b, x)
+		rhs := 1 - RegIncBeta(b, a, 1-x)
+		return almost(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelchTKnownValue(t *testing.T) {
+	// Classic example: two small samples with a clear difference.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9}
+	tt, df, p := WelchT(a, b)
+	// Reference values computed independently (Welch formulas by hand):
+	// t = -2.835264, df = 27.71363; two-sided p from t tables ~ 0.0085.
+	if !almost(tt, -2.835264, 1e-5) {
+		t.Errorf("t = %v, want ~-2.835264", tt)
+	}
+	if !almost(df, 27.71363, 1e-4) {
+		t.Errorf("df = %v, want ~27.71363", df)
+	}
+	if !almost(p, 0.0085, 0.0005) {
+		t.Errorf("p = %v, want ~0.0085", p)
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	tt, _, p := WelchT(a, a)
+	if tt != 0 || p < 0.99 {
+		t.Errorf("identical samples: t=%v p=%v", tt, p)
+	}
+}
+
+func TestWelchTSymmetry(t *testing.T) {
+	a := []float64{1.2, 3.4, 2.2, 4.8, 3.3}
+	b := []float64{2.1, 5.3, 4.4, 6.2, 5.0}
+	t1, _, p1 := WelchT(a, b)
+	t2, _, p2 := WelchT(b, a)
+	if !almost(t1, -t2, 1e-12) || !almost(p1, p2, 1e-12) {
+		t.Errorf("asymmetric: (%v,%v) vs (%v,%v)", t1, p1, t2, p2)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if _, _, p := WelchT([]float64{1}, []float64{1, 2, 3}); p != 0 && p != 1 {
+		t.Errorf("tiny sample p = %v", p)
+	}
+	// Zero variance, equal means.
+	if _, _, p := WelchT([]float64{2, 2, 2}, []float64{2, 2, 2}); p != 1 {
+		t.Errorf("constant equal p = %v", p)
+	}
+	// Zero variance, different means.
+	if _, _, p := WelchT([]float64{2, 2, 2}, []float64{3, 3, 3}); p != 0 {
+		t.Errorf("constant different p = %v", p)
+	}
+}
+
+func TestMannWhitneyKnownBehaviour(t *testing.T) {
+	// Clearly separated samples -> tiny p.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	u, p := MannWhitneyU(a, b)
+	if u != 0 {
+		t.Errorf("U = %v, want 0 (complete separation)", u)
+	}
+	if p > 0.001 {
+		t.Errorf("p = %v, want < 0.001", p)
+	}
+	// Interleaved samples -> large p.
+	c := []float64{1, 3, 5, 7, 9, 11, 13, 15}
+	d := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	_, p2 := MannWhitneyU(c, d)
+	if p2 < 0.5 {
+		t.Errorf("interleaved p = %v, want large", p2)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2 := 3+rng.Intn(10), 3+rng.Intn(10)
+		a := make([]float64, n1)
+		b := make([]float64, n2)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + 0.5
+		}
+		u1, p1 := MannWhitneyU(a, b)
+		u2, p2 := MannWhitneyU(b, a)
+		if !almost(p1, p2, 1e-9) {
+			t.Fatalf("p asymmetric: %v vs %v", p1, p2)
+		}
+		// U1 + U2 = n1*n2.
+		if !almost(u1+u2, float64(n1*n2), 1e-9) {
+			t.Fatalf("U1+U2 = %v, want %v", u1+u2, n1*n2)
+		}
+		if p1 < 0 || p1 > 1 {
+			t.Fatalf("p out of range: %v", p1)
+		}
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	a := []float64{1, 1, 2, 2, 3, 3}
+	b := []float64{2, 2, 3, 3, 4, 4}
+	_, p := MannWhitneyU(a, b)
+	if p <= 0 || p > 1 {
+		t.Errorf("tied p = %v", p)
+	}
+	// All identical: maximal p.
+	c := []float64{5, 5, 5, 5}
+	_, p2 := MannWhitneyU(c, c)
+	if p2 < 0.9 {
+		t.Errorf("identical-ties p = %v", p2)
+	}
+}
+
+func TestSignificanceMatchesEffectSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	gen := func(mean float64, n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = mean + rng.NormFloat64()
+		}
+		return xs
+	}
+	// Big effect vs no effect: both tests must rank them consistently.
+	a := gen(0, 20)
+	big := gen(3, 20)
+	same := gen(0, 20)
+	_, _, pBigT := WelchT(a, big)
+	_, _, pSameT := WelchT(a, same)
+	if !(pBigT < pSameT) {
+		t.Errorf("welch: big-effect p %v !< no-effect p %v", pBigT, pSameT)
+	}
+	_, pBigU := MannWhitneyU(a, big)
+	_, pSameU := MannWhitneyU(a, same)
+	if !(pBigU < pSameU) {
+		t.Errorf("mann-whitney: big-effect p %v !< no-effect p %v", pBigU, pSameU)
+	}
+	if pBigT > 0.01 || pBigU > 0.01 {
+		t.Errorf("3-sigma shift not significant: t=%v u=%v", pBigT, pBigU)
+	}
+}

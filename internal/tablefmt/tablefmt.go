@@ -1,0 +1,204 @@
+// Package tablefmt renders the experiment results as plain-text tables and
+// ASCII plots (scatter and time series), standing in for the paper's
+// figures in a terminal-friendly form.
+package tablefmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", width[i]-len(c)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Point is a labelled 2-D point for scatter plots.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// Scatter renders points on a w x h character grid with axis ranges derived
+// from the data. Labels mark their point with their first rune.
+func Scatter(points []Point, w, h int, xlabel, ylabel string) string {
+	if len(points) == 0 || w < 8 || h < 4 {
+		return "(no data)\n"
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points[1:] {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, p := range points {
+		x := int(float64(w-1) * (p.X - minX) / (maxX - minX))
+		y := int(float64(h-1) * (p.Y - minY) / (maxY - minY))
+		row := h - 1 - y
+		mark := '*'
+		if p.Label != "" {
+			mark = []rune(p.Label)[0]
+		}
+		grid[row][x] = mark
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (y: %.4g..%.4g)\n", ylabel, minY, maxY)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, " %s (x: %.4g..%.4g)\n", xlabel, minX, maxX)
+	return sb.String()
+}
+
+// Series renders a y-over-x line as an ASCII strip chart of height h.
+func Series(xs, ys []float64, w, h int, title string) string {
+	if len(xs) == 0 || len(xs) != len(ys) || w < 8 || h < 3 {
+		return "(no data)\n"
+	}
+	// Downsample to w columns by averaging buckets.
+	cols := make([]float64, w)
+	counts := make([]int, w)
+	minX, maxX := xs[0], xs[0]
+	for _, x := range xs {
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	for i, x := range xs {
+		c := int(float64(w-1) * (x - minX) / (maxX - minX))
+		cols[c] += ys[i]
+		counts[c]++
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := range cols {
+		if counts[i] > 0 {
+			cols[i] /= float64(counts[i])
+			minY = math.Min(minY, cols[i])
+			maxY = math.Max(maxY, cols[i])
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for c := 0; c < w; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		y := int(float64(h-1) * (cols[c] - minY) / (maxY - minY))
+		grid[h-1-y][c] = '#'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (%.4g..%.4g)\n", title, minY, maxY)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "time (s)", "energy (J)")
+	tb.Row("freqmine", 2.9012, 10.43)
+	tb.Row("streamcluster", 0.48, 0.69)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(out, "freqmine") || !strings.Contains(out, "streamcluster") {
+		t.Error("rows missing")
+	}
+	// Columns aligned: the second column starts at the same offset.
+	idx1 := strings.Index(lines[2], "2.901")
+	idx2 := strings.Index(lines[3], "0.48")
+	if idx1 != idx2 {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.Row(0.0)
+	tb.Row(123456.0)
+	tb.Row(0.000012)
+	out := tb.String()
+	foundZero := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.TrimSpace(line) == "0" {
+			foundZero = true
+		}
+	}
+	if !foundZero {
+		t.Errorf("zero formatting:\n%s", out)
+	}
+	if !strings.Contains(out, "1.23e+05") && !strings.Contains(out, "123456") {
+		t.Errorf("large float formatting:\n%s", out)
+	}
+}
+
+func TestScatterPlacesExtremes(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Label: "a"},
+		{X: 10, Y: 5, Label: "b"},
+		{X: 5, Y: 2.5},
+	}
+	out := Scatter(pts, 40, 10, "time", "energy")
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") || !strings.Contains(out, "*") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// 'a' is at min x/min y -> bottom-left region; 'b' top-right.
+	var aRow, bRow int
+	for i, l := range lines {
+		if strings.Contains(l, "a") {
+			aRow = i
+		}
+		if strings.Contains(l, "b") {
+			bRow = i
+		}
+	}
+	if !(bRow < aRow) {
+		t.Errorf("b (high y) should be above a:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if out := Scatter(nil, 40, 10, "x", "y"); !strings.Contains(out, "no data") {
+		t.Error("empty scatter")
+	}
+	// Single point must not divide by zero.
+	out := Scatter([]Point{{X: 1, Y: 1}}, 20, 5, "x", "y")
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point missing:\n%s", out)
+	}
+}
+
+func TestSeriesShape(t *testing.T) {
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		xs = append(xs, float64(i))
+		if i >= 50 && i < 150 {
+			ys = append(ys, 6) // high plateau
+		} else {
+			ys = append(ys, 2)
+		}
+	}
+	out := Series(xs, ys, 60, 8, "power (W)")
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no marks:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// The top row should contain marks only in the middle section.
+	top := lines[1]
+	if !strings.Contains(top, "#") {
+		t.Errorf("plateau not at top:\n%s", out)
+	}
+	if strings.HasPrefix(strings.TrimPrefix(top, "|"), "#") {
+		t.Errorf("plateau should not start at column 0:\n%s", out)
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	if out := Series(nil, nil, 40, 6, "t"); !strings.Contains(out, "no data") {
+		t.Error("empty series accepted")
+	}
+	if out := Series([]float64{1}, []float64{2, 3}, 40, 6, "t"); !strings.Contains(out, "no data") {
+		t.Error("mismatched series accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"astro/internal/hw"
+	"astro/internal/rl"
+)
+
+// FixedPolicy always consumes the same configuration (the paper's 4L4B and
+// 1L0B baselines).
+type FixedPolicy struct{ Config hw.Config }
+
+// Name implements Policy.
+func (f *FixedPolicy) Name() string { return "fixed-" + f.Config.String() }
+
+// Reset implements Policy.
+func (f *FixedPolicy) Reset() {}
+
+// Choose implements Policy.
+func (f *FixedPolicy) Choose(*Set, int, hw.Config, Row) hw.Config { return f.Config }
+
+// RandomPolicy picks a uniformly random recorded configuration each step.
+type RandomPolicy struct {
+	Seed  uint64
+	state uint64
+}
+
+// Name implements Policy.
+func (r *RandomPolicy) Name() string { return "random" }
+
+// Reset implements Policy.
+func (r *RandomPolicy) Reset() { r.state = r.Seed*2862933555777941757 + 3037000493 }
+
+// Choose implements Policy.
+func (r *RandomPolicy) Choose(s *Set, _ int, cur hw.Config, _ Row) hw.Config {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	ids := s.Configs()
+	return s.Plat.ConfigFromID(ids[int((x*2685821657736338717)%uint64(len(ids)))])
+}
+
+// oracleGoal selects what the oracle optimizes.
+type oracleGoal uint8
+
+const (
+	goalTime oracleGoal = iota
+	goalEnergy
+)
+
+// OraclePolicy is the paper's greedy oracle: knowing every configuration's
+// behaviour at the current progress point, it picks the one with the best
+// instantaneous time (Oracle T) or energy (Oracle E) for the next
+// checkpoint. It is a greedy approximation, not a global optimum, exactly
+// as described in RQ1.
+type OraclePolicy struct {
+	goal oracleGoal
+}
+
+// OracleT optimizes execution time.
+func OracleT() *OraclePolicy { return &OraclePolicy{goal: goalTime} }
+
+// OracleE optimizes energy.
+func OracleE() *OraclePolicy { return &OraclePolicy{goal: goalEnergy} }
+
+// Name implements Policy.
+func (o *OraclePolicy) Name() string {
+	if o.goal == goalTime {
+		return "oracle-T"
+	}
+	return "oracle-E"
+}
+
+// Reset implements Policy.
+func (o *OraclePolicy) Reset() {}
+
+// Choose implements Policy. The greedy score for a candidate configuration
+// is its instantaneous progress rate at the current progress point,
+// including the reconfiguration cost when the candidate differs from the
+// current configuration (a greedy decision that ignored switch cost would
+// thrash between near-equal configurations).
+func (o *OraclePolicy) Choose(s *Set, _ int, cur hw.Config, last Row) hw.Config {
+	p := o.progressAfter(s, cur, last)
+	lat := float64(s.Plat.SwitchLatencyUs) * 1e-6
+	best := cur
+	bestScore := 0.0
+	first := true
+	for _, id := range s.Configs() {
+		tr := s.Traces[id]
+		row, _, frac := tr.rowAt(minf(p, 0.999999))
+		switching := tr.Config != cur
+		var score float64
+		if o.goal == goalTime {
+			d := row.DurS
+			if switching {
+				d += lat
+			}
+			if d > 0 {
+				score = frac / d // progress per second
+			}
+		} else {
+			e := row.EnergyJ
+			if switching {
+				e += lat * (row.Watts() + s.Plat.IdleConfigPower(tr.Config)) / 2
+			}
+			if e > 0 {
+				score = frac / e // progress per joule
+			}
+		}
+		if first || score > bestScore {
+			best, bestScore, first = tr.Config, score, false
+		}
+	}
+	return best
+}
+
+func (o *OraclePolicy) progressAfter(s *Set, cur hw.Config, last Row) float64 {
+	tr := s.Traces[s.Plat.ConfigID(cur)]
+	// Locate the consumed row by index; progress after it is its cumFrac
+	// end. Falls back to a fraction estimate for synthetic rows.
+	if last.Index >= 0 && last.Index < len(tr.Rows) {
+		return tr.cumFrac[last.Index+1]
+	}
+	return 1
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RLPolicy replays with a Q-learning agent in the loop: Astro (with program
+// phases) or Hipster (without). Train it by running Replay repeatedly with
+// Learn=true, then evaluate with Learn=false.
+type RLPolicy struct {
+	Agent        rl.Agent
+	Plat         *hw.Platform
+	Gamma        float64 // reward exponent (2.0 = paper's Astro setting)
+	UseProgPhase bool
+	Learn        bool
+	label        string
+
+	prev    rl.State
+	prevAct int
+	hasPrev bool
+	norm    rl.Normalizer
+}
+
+// NewAstroReplay builds the Astro replay policy.
+func NewAstroReplay(agent rl.Agent, plat *hw.Platform, learn bool) *RLPolicy {
+	return &RLPolicy{Agent: agent, Plat: plat, Gamma: 2.0, UseProgPhase: true, Learn: learn, label: "astro"}
+}
+
+// NewHipsterReplay builds the Hipster replay policy (no program phases).
+func NewHipsterReplay(agent rl.Agent, plat *hw.Platform, learn bool) *RLPolicy {
+	return &RLPolicy{Agent: agent, Plat: plat, Gamma: 2.0, UseProgPhase: false, Learn: learn, label: "hipster"}
+}
+
+// Name implements Policy.
+func (p *RLPolicy) Name() string { return p.label }
+
+// Reset implements Policy.
+func (p *RLPolicy) Reset() {
+	p.hasPrev = false
+	if p.Learn {
+		p.Agent.EndEpisode()
+	}
+}
+
+// Choose implements Policy.
+func (p *RLPolicy) Choose(s *Set, _ int, cur hw.Config, last Row) hw.Config {
+	phase := 0
+	if p.UseProgPhase {
+		phase = int(last.ProgPhase)
+	}
+	st := rl.State{ConfigID: p.Plat.ConfigID(cur), ProgPhase: phase, HWPhaseID: last.HWPhaseID}
+	if p.hasPrev && p.Learn {
+		// The reward for the previous action covers the row just consumed
+		// plus, when the action changed the configuration, the switch cost
+		// (otherwise the learner would thrash between near-equal configs
+		// for free).
+		mips, watts := last.MIPS(), last.Watts()
+		if s != nil && p.prev.ConfigID != st.ConfigID {
+			lat := float64(s.Plat.SwitchLatencyUs) * 1e-6
+			dur := last.DurS + lat
+			en := last.EnergyJ + lat*(last.Watts()+s.Plat.IdleConfigPower(cur))/2
+			if dur > 0 {
+				mips = float64(last.Instr) / dur / 1e6
+				watts = en / dur
+			}
+		}
+		r := p.norm.Scale(rl.Reward(mips, watts, p.Gamma))
+		p.Agent.Observe(p.prev, p.prevAct, r, st)
+	}
+	var a int
+	if p.Learn {
+		a = p.Agent.Select(st, true)
+	} else {
+		a = p.Agent.Best(st)
+	}
+	p.prev, p.prevAct, p.hasPrev = st, a, true
+	return p.Plat.ConfigFromID(a)
+}
+
+// LadderPolicy replays Octopus-Man: a utilization-threshold ladder over
+// configurations by capability (no learning, no reward).
+type LadderPolicy struct {
+	Plat     *hw.Platform
+	UpUtil   float64
+	DownUtil float64
+
+	ladder []int
+	pos    int
+}
+
+// NewOctopusReplay builds the Octopus-Man replay policy.
+func NewOctopusReplay(plat *hw.Platform) *LadderPolicy {
+	return &LadderPolicy{Plat: plat, UpUtil: 0.8, DownUtil: 0.3, ladder: plat.ConfigsByCapability()}
+}
+
+// Name implements Policy.
+func (l *LadderPolicy) Name() string { return "octopus-man" }
+
+// Reset implements Policy.
+func (l *LadderPolicy) Reset() { l.pos = 0 }
+
+// Choose implements Policy.
+func (l *LadderPolicy) Choose(s *Set, _ int, cur hw.Config, last Row) hw.Config {
+	util := last.HW.Util()
+	if util >= l.UpUtil && l.pos+1 < len(l.ladder) {
+		l.pos++
+	} else if util <= l.DownUtil && l.pos > 0 {
+		l.pos--
+	}
+	// The ladder may reference unrecorded configs when the set is partial;
+	// Replay clamps those back to cur.
+	return l.Plat.ConfigFromID(l.ladder[l.pos])
+}

@@ -1,0 +1,154 @@
+package workloads
+
+// Micro benchmarks used by the paper's motivating sections.
+
+// MatrixMul is the Fig. 2 program: read two matrices (file I/O), wait for
+// user input between actions, multiply them (CPU), and print all three
+// matrices. Its power profile drives the Fig. 3 experiment, and its
+// functions populate the Fig. 6 feature-space mapping.
+var MatrixMul = register(Spec{
+	Name: "matrixmul", Suite: "micro",
+	Desc:         "Fig. 2 phase demo: read, wait, multiply, print",
+	DefaultScale: 64, SmallScale: 32, Threads: 1,
+	Source: `
+var m1 [4096]float;
+var m2 [4096]float;
+var m3 [4096]float;
+
+// readMatrix fills n*n entries of a matrix from the input file
+// (eight buffered reads per iteration, like a row read).
+func read_matrix_a(n int) {
+	var i int;
+	var nn int = n * n;
+	for (i = 0; i < nn; i = i + 8) {
+		m1[i] = read_float();
+		m1[i + 1] = read_float();
+		m1[i + 2] = read_float();
+		m1[i + 3] = read_float();
+		m1[i + 4] = read_float();
+		m1[i + 5] = read_float();
+		m1[i + 6] = read_float();
+		m1[i + 7] = read_float();
+	}
+}
+
+func read_matrix_b(n int) {
+	var i int;
+	var nn int = n * n;
+	for (i = 0; i < nn; i = i + 8) {
+		m2[i] = read_float();
+		m2[i + 1] = read_float();
+		m2[i + 2] = read_float();
+		m2[i + 3] = read_float();
+		m2[i + 4] = read_float();
+		m2[i + 5] = read_float();
+		m2[i + 6] = read_float();
+		m2[i + 7] = read_float();
+	}
+}
+
+// mulMatrix computes m3 = m1 x m2 (n x n).
+func mul_matrix(n int) {
+	var i int;
+	var j int;
+	var k int;
+	var acc float;
+	for (i = 0; i < n; i = i + 1) {
+		for (j = 0; j < n; j = j + 1) {
+			acc = 0.0;
+			for (k = 0; k < n; k = k + 1) {
+				acc = acc + m1[i * n + k] * m2[k * n + j];
+			}
+			m3[i * n + j] = acc;
+		}
+	}
+}
+
+// printMatrix writes n*n entries to standard output (row-buffered).
+func print_matrix_a(n int) {
+	var i int;
+	var nn int = n * n;
+	for (i = 0; i < nn; i = i + 8) {
+		print_float(m1[i]);
+		print_float(m1[i + 1]);
+		print_float(m1[i + 2]);
+		print_float(m1[i + 3]);
+		print_float(m1[i + 4]);
+		print_float(m1[i + 5]);
+		print_float(m1[i + 6]);
+		print_float(m1[i + 7]);
+	}
+}
+
+func print_matrix_b(n int) {
+	var i int;
+	var nn int = n * n;
+	for (i = 0; i < nn; i = i + 8) {
+		print_float(m2[i]);
+		print_float(m2[i + 1]);
+		print_float(m2[i + 2]);
+		print_float(m2[i + 3]);
+		print_float(m2[i + 4]);
+		print_float(m2[i + 5]);
+		print_float(m2[i + 6]);
+		print_float(m2[i + 7]);
+	}
+}
+
+func print_matrix_c(n int) {
+	var i int;
+	var nn int = n * n;
+	for (i = 0; i < nn; i = i + 8) {
+		print_float(m3[i]);
+		print_float(m3[i + 1]);
+		print_float(m3[i + 2]);
+		print_float(m3[i + 3]);
+		print_float(m3[i + 4]);
+		print_float(m3[i + 5]);
+		print_float(m3[i + 6]);
+		print_float(m3[i + 7]);
+	}
+}
+
+func main(scale int, threads int) {
+	// scale is the matrix dimension n (n*n <= 4096).
+	var n int = scale;
+	if (n > 64) { n = 64; }
+	read_matrix_a(n);
+	read_user_data();
+	read_matrix_b(n);
+	read_user_data();
+	mul_matrix(n);
+	read_user_data();
+	print_matrix_a(n);
+	print_matrix_b(n);
+	print_matrix_c(n);
+	read_user_data();
+}
+`,
+})
+
+// Spin is a minimal CPU-bound kernel used by quickstart examples and
+// calibration tests.
+var Spin = register(Spec{
+	Name: "spin", Suite: "micro",
+	Desc:         "parallel FP spin kernel",
+	DefaultScale: 60000, SmallScale: 10000, Threads: 4,
+	Source: `
+func worker(n int) {
+	var i int;
+	var x float = 1.0;
+	for (i = 0; i < n; i = i + 1) {
+		x = x * 1.000001 + 0.5;
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn worker(scale);
+	}
+	join();
+}
+`,
+})

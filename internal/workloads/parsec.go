@@ -1,0 +1,509 @@
+package workloads
+
+// PARSEC-style benchmarks. Shapes follow the paper's observations:
+// freqmine scales with cores (best time 0L4B), streamcluster is
+// serialization-bound (best config 0L1B), fluidanimate is barrier-iterative
+// with lock contention that penalizes 4L4B, swaptions is FP Monte Carlo
+// where avoiding big cores saves power at some speed cost.
+
+// Freqmine: frequent-itemset counting. Integer-dominated, embarrassingly
+// parallel over transactions, private counters merged under one short lock.
+var Freqmine = register(Spec{
+	Name: "freqmine", Suite: "parsec",
+	Desc:         "frequent-pattern mining: int-heavy, highly parallel",
+	DefaultScale: 150, SmallScale: 40, Threads: 4,
+	Source: `
+var transactions [8192]int;
+var supports [512]int;
+mutex merge;
+
+func initdata() {
+	var i int;
+	for (i = 0; i < 8192; i = i + 1) {
+		transactions[i] = (i * 2654435761) % 65536;
+	}
+}
+
+func mine(id int, scale int, threads int) {
+	var local [512]int;
+	var pass int;
+	var i int;
+	var item int;
+	var lo int = id * 8192 / threads;
+	var hi int = (id + 1) * 8192 / threads;
+	for (pass = 0; pass < scale; pass = pass + 1) {
+		for (i = lo; i < hi; i = i + 1) {
+			item = transactions[i] % 512;
+			// Candidate counting: integer hashing and tests.
+			if ((item * 31 + pass) % 7 < 5) {
+				local[item] = local[item] + 1;
+			}
+			item = (item * 131 + 7) % 512;
+			if (item % 3 == 0) {
+				local[item] = local[item] + 2;
+			}
+		}
+	}
+	lock(merge);
+	for (i = 0; i < 512; i = i + 1) {
+		supports[i] = supports[i] + local[i];
+	}
+	unlock(merge);
+}
+
+func main(scale int, threads int) {
+	initdata();
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn mine(i, scale, threads);
+	}
+	join();
+	print_int(supports[0]);
+}
+`,
+})
+
+// Streamcluster: online clustering dominated by a serial assignment phase
+// protected by a global lock, so extra cores buy nothing (paper: best
+// config is 0L1B).
+var Streamcluster = register(Spec{
+	Name: "streamcluster", Suite: "parsec",
+	Desc:         "online clustering: serialization-bound, no parallel benefit",
+	DefaultScale: 110, SmallScale: 25, Threads: 4,
+	Source: `
+var points [2048]float;
+var centers [16]float;
+var assign [2048]int;
+var cost float;
+mutex centerlock;
+
+func initdata() {
+	var i int;
+	for (i = 0; i < 2048; i = i + 1) {
+		points[i] = float(i % 97) * 0.31;
+	}
+	for (i = 0; i < 16; i = i + 1) {
+		centers[i] = float(i) * 6.0;
+	}
+}
+
+func cluster(id int, scale int, threads int) {
+	var pass int;
+	var i int;
+	var j int;
+	var best int;
+	var d float;
+	var bd float;
+	var lo int = id * 2048 / threads;
+	var hi int = (id + 1) * 2048 / threads;
+	for (pass = 0; pass < scale; pass = pass + 1) {
+		for (i = lo; i < hi; i = i + 8) {
+			// Modest per-batch compute...
+			bd = 0.0;
+			for (j = 0; j < 8; j = j + 1) {
+				d = points[i + j] - centers[(i + j) % 16];
+				bd = bd + d * d;
+			}
+			best = i % 16;
+			// ...then a serialized shared update; the convoy on this lock
+			// is why extra cores buy streamcluster nothing (paper: best
+			// configuration is 0L1B).
+			lock(centerlock);
+			assign[i] = best;
+			cost = cost + bd;
+			centers[best] = centers[best] * 0.999 + points[i] * 0.001;
+			unlock(centerlock);
+		}
+	}
+}
+
+func main(scale int, threads int) {
+	initdata();
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn cluster(i, scale, threads);
+	}
+	join();
+	print_float(cost);
+}
+`,
+})
+
+// Fluidanimate: iterative particle simulation; each timestep computes
+// forces (FP), scatters into shared grid cells under fine-grained locks,
+// and barriers. Used by the paper for learning parameters and the Fig. 9
+// trace study.
+var Fluidanimate = register(Spec{
+	Name: "fluidanimate", Suite: "parsec",
+	Desc:         "fluid simulation: barrier-iterative, lock contention on cells",
+	DefaultScale: 150, SmallScale: 25, Threads: 4,
+	Source: `
+var pos [4096]float;
+var vel [4096]float;
+var grid [256]float;
+mutex cells[32];
+barrier step;
+
+func initdata() {
+	var i int;
+	for (i = 0; i < 4096; i = i + 1) {
+		pos[i] = float(i % 211) * 0.47;
+		vel[i] = 0.0;
+	}
+}
+
+func forces(lo int, hi int) {
+	var i int;
+	var f float;
+	for (i = lo; i < hi; i = i + 1) {
+		f = pos[i] * 0.5 - vel[i] * 1.3 + sqrt(fabs(pos[i]) + 1.0);
+		vel[i] = vel[i] + f * 0.01;
+		pos[i] = pos[i] + vel[i] * 0.01;
+	}
+}
+
+// Grid scatter: short critical sections; contention grows with active
+// cores (the effect that slows 4L4B in the paper).
+func scatter(lo int, hi int) {
+	var i int;
+	var cell int;
+	for (i = lo; i < hi; i = i + 8) {
+		cell = (i / 16) % 256;
+		lock(cells[cell % 32]);
+		grid[cell] = grid[cell] + pos[i];
+		unlock(cells[cell % 32]);
+	}
+}
+
+func advance(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 4096 / threads;
+	var hi int = (id + 1) * 4096 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		forces(lo, hi);
+		scatter(lo, hi);
+		barrier_wait(step);
+	}
+}
+
+func main(scale int, threads int) {
+	initdata();
+	barrier_init(step, threads);
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn advance(i, scale, threads);
+	}
+	join();
+	print_float(grid[0]);
+}
+`,
+})
+
+// Blackscholes: option pricing, pure FP, embarrassingly parallel.
+var Blackscholes = register(Spec{
+	Name: "blackscholes", Suite: "parsec",
+	Desc:         "option pricing: FP-dense, embarrassingly parallel",
+	DefaultScale: 100, SmallScale: 20, Threads: 4,
+	Source: `
+var prices [2048]float;
+
+func price(id int, scale int, threads int) {
+	var pass int;
+	var i int;
+	var s float;
+	var v float;
+	var d1 float;
+	var lo int = id * 2048 / threads;
+	var hi int = (id + 1) * 2048 / threads;
+	for (pass = 0; pass < scale; pass = pass + 1) {
+		for (i = lo; i < hi; i = i + 1) {
+			s = float(i % 100) + 50.0;
+			v = 0.2 + float(pass % 10) * 0.01;
+			d1 = (log(s / 100.0) + v * v * 0.5) / (v + 0.001);
+			prices[i] = s * exp(0.0 - d1 * d1 * 0.5) / sqrt(6.2831853);
+		}
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn price(i, scale, threads);
+	}
+	join();
+	print_float(prices[0]);
+}
+`,
+})
+
+// Bodytrack: alternating parallel particle weighting and a serial
+// resampling phase executed by worker 0 behind barriers.
+var Bodytrack = register(Spec{
+	Name: "bodytrack", Suite: "parsec",
+	Desc:         "particle tracking: parallel weighting + serial resampling",
+	DefaultScale: 120, SmallScale: 25, Threads: 4,
+	Source: `
+var weights [1024]float;
+var particles [1024]float;
+barrier frame;
+
+// Parallel: likelihood of each particle (FP).
+func weigh(lo int, hi int, it int) {
+	var i int;
+	var w float;
+	for (i = lo; i < hi; i = i + 1) {
+		w = particles[i] - float(it % 13);
+		weights[i] = exp(0.0 - w * w * 0.01);
+	}
+}
+
+// Serial: normalization + systematic resampling on worker 0.
+func renormalize() {
+	var i int;
+	var acc float = 0.0;
+	for (i = 0; i < 1024; i = i + 1) {
+		acc = acc + weights[i];
+	}
+	for (i = 0; i < 1024; i = i + 1) {
+		particles[i] = particles[i] * 0.9 + weights[i] / (acc + 0.001);
+	}
+}
+
+func track(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 1024 / threads;
+	var hi int = (id + 1) * 1024 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		weigh(lo, hi, it);
+		barrier_wait(frame);
+		if (id == 0) {
+			renormalize();
+		}
+		barrier_wait(frame);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 1024; i = i + 1) {
+		particles[i] = float(i % 61) * 0.3;
+	}
+	barrier_init(frame, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn track(i, scale, threads);
+	}
+	join();
+	print_float(particles[0]);
+}
+`,
+})
+
+// Facesim: FP + memory heavy over a large mesh whose working set exceeds
+// the LITTLE cluster's L2.
+var Facesim = register(Spec{
+	Name: "facesim", Suite: "parsec",
+	Desc:         "mesh simulation: FP + large working set",
+	DefaultScale: 12, SmallScale: 5, Threads: 4,
+	Source: `
+var mesh [98304]float;
+var force [98304]float;
+barrier tick;
+
+func mesh_forces(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		force[i] = mesh[i] * 0.98 + mesh[(i + 3) % 98304] * 0.01
+			+ mesh[(i + 96) % 98304] * 0.01;
+	}
+}
+
+func mesh_update(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		mesh[i] = mesh[i] + force[i] * 0.05;
+	}
+}
+
+func relax(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 98304 / threads;
+	var hi int = (id + 1) * 98304 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		mesh_forces(lo, hi);
+		mesh_update(lo, hi);
+		barrier_wait(tick);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 98304; i = i + 1) {
+		mesh[i] = float(i % 103) * 0.7;
+	}
+	barrier_init(tick, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn relax(i, scale, threads);
+	}
+	join();
+	print_float(mesh[0]);
+}
+`,
+})
+
+// Ferret: similarity search pipeline alternating I/O (query load) and
+// CPU-heavy feature extraction.
+var Ferret = register(Spec{
+	Name: "ferret", Suite: "parsec",
+	Desc:         "similarity search: I/O + compute pipeline",
+	DefaultScale: 50, SmallScale: 10, Threads: 4,
+	Source: `
+var queries [512]float;
+var library [4096]float;
+var results [512]float;
+mutex out;
+
+func initlib() {
+	var i int;
+	for (i = 0; i < 4096; i = i + 1) {
+		library[i] = float(i % 173) * 0.13;
+	}
+}
+
+func loadqueries() {
+	var i int;
+	for (i = 0; i < 64; i = i + 1) {
+		queries[i] = read_float();
+		queries[i + 64] = read_float();
+		queries[i + 128] = read_float();
+		queries[i + 192] = read_float();
+	}
+}
+
+func search(id int, scale int, threads int) {
+	var pass int;
+	var q int;
+	var j int;
+	var best float;
+	var d float;
+	var lo int = id * 256 / threads;
+	var hi int = (id + 1) * 256 / threads;
+	for (pass = 0; pass < scale; pass = pass + 1) {
+		for (q = lo; q < hi; q = q + 1) {
+			best = 1000000.0;
+			for (j = 0; j < 64; j = j + 1) {
+				d = queries[q % 256] - library[(q * 64 + j) % 4096];
+				d = d * d;
+				if (d < best) { best = d; }
+			}
+			lock(out);
+			results[q] = best;
+			unlock(out);
+		}
+	}
+}
+
+func main(scale int, threads int) {
+	initlib();
+	loadqueries();
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn search(i, scale, threads);
+	}
+	join();
+	print_float(results[0]);
+}
+`,
+})
+
+// Vips: image pipeline, streaming memory operations with moderate FP.
+var Vips = register(Spec{
+	Name: "vips", Suite: "parsec",
+	Desc:         "image pipeline: streaming memory, moderate FP",
+	DefaultScale: 16, SmallScale: 6, Threads: 4,
+	Source: `
+var image [65536]float;
+var out [65536]float;
+barrier stage;
+
+// Stage 1: linear transform (stream).
+func transform(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		out[i] = image[i] * 1.1 + 3.0;
+	}
+}
+
+// Stage 2: horizontal blur (stream with neighbours).
+func blur(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		image[i] = (out[i] + out[(i + 1) % 65536] + out[(i + 2) % 65536]) / 3.0;
+	}
+}
+
+func process(id int, scale int, threads int) {
+	var pass int;
+	var lo int = id * 65536 / threads;
+	var hi int = (id + 1) * 65536 / threads;
+	for (pass = 0; pass < scale; pass = pass + 1) {
+		transform(lo, hi);
+		barrier_wait(stage);
+		blur(lo, hi);
+		barrier_wait(stage);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 65536; i = i + 1) {
+		image[i] = float(i % 255);
+	}
+	barrier_init(stage, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn process(i, scale, threads);
+	}
+	join();
+	print_float(image[0]);
+}
+`,
+})
+
+// Swaptions: Monte Carlo swaption pricing; heavy FP math on a tiny working
+// set, fully parallel (paper: Astro-static saves power by avoiding big
+// cores at some runtime cost).
+var Swaptions = register(Spec{
+	Name: "swaptions", Suite: "parsec",
+	Desc:         "Monte Carlo pricing: FP math, tiny working set",
+	DefaultScale: 80000, SmallScale: 25000, Threads: 4,
+	Source: `
+var prices [64]float;
+mutex acc;
+
+func simulate(id int, scale int, threads int) {
+	var trial int;
+	var r float;
+	var path float;
+	var sum float = 0.0;
+	for (trial = 0; trial < scale; trial = trial + 1) {
+		r = rand_float();
+		path = exp(r * 0.3 - 0.045) * (1.0 + r * 0.01);
+		path = path * exp(rand_float() * 0.2 - 0.02);
+		if (path > 1.0) {
+			sum = sum + log(path);
+		}
+	}
+	lock(acc);
+	prices[id % 64] = prices[id % 64] + sum;
+	unlock(acc);
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn simulate(i, scale, threads);
+	}
+	join();
+	print_float(prices[0]);
+}
+`,
+})

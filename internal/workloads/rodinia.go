@@ -1,0 +1,362 @@
+package workloads
+
+// Rodinia-style benchmarks, the device-experiment set of Fig. 10. Each
+// program separates compute kernels from the orchestration loop that calls
+// barrier_wait, the way the C originals separate hot functions from their
+// pthreads driver: the Phase-Extractor then classifies kernels by their own
+// mix while drivers (which invoke barriers) classify as Blocked.
+
+// Hotspot: 2-D thermal stencil, barrier-iterative, FP + memory with a
+// working set that fits the big cluster's L2.
+var Hotspot = register(Spec{
+	Name: "hotspot", Suite: "rodinia",
+	Desc:         "2-D thermal stencil",
+	DefaultScale: 30, SmallScale: 6, Threads: 4,
+	Source: `
+var temp [16384]float;
+var power [16384]float;
+var next [16384]float;
+barrier step;
+
+func compute_row(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		next[i] = temp[i] * 0.6
+			+ temp[(i + 1) % 16384] * 0.1
+			+ temp[(i + 16383) % 16384] * 0.1
+			+ temp[(i + 128) % 16384] * 0.1
+			+ temp[(i + 16256) % 16384] * 0.1
+			+ power[i] * 0.05;
+	}
+}
+
+func commit_row(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		temp[i] = next[i];
+	}
+}
+
+func stencil(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 16384 / threads;
+	var hi int = (id + 1) * 16384 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		compute_row(lo, hi);
+		barrier_wait(step);
+		commit_row(lo, hi);
+		barrier_wait(step);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 16384; i = i + 1) {
+		temp[i] = 60.0 + float(i % 37);
+		power[i] = float(i % 11) * 0.4;
+	}
+	barrier_init(step, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn stencil(i, scale, threads);
+	}
+	join();
+	print_float(temp[0]);
+}
+`,
+})
+
+// Hotspot3D: the 3-D variant with a working set that overflows the LITTLE
+// cluster's L2, making memory behaviour configuration-dependent.
+var Hotspot3D = register(Spec{
+	Name: "hotspot3d", Suite: "rodinia",
+	Desc:         "3-D thermal stencil: large working set",
+	DefaultScale: 6, SmallScale: 3, Threads: 4,
+	Source: `
+var temp [131072]float;
+var next [131072]float;
+barrier step;
+
+func compute_slab(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		next[i] = temp[i] * 0.5
+			+ temp[(i + 1) % 131072] * 0.1
+			+ temp[(i + 131071) % 131072] * 0.1
+			+ temp[(i + 256) % 131072] * 0.1
+			+ temp[(i + 65536) % 131072] * 0.2;
+	}
+}
+
+func commit_slab(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		temp[i] = next[i];
+	}
+}
+
+func stencil(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 131072 / threads;
+	var hi int = (id + 1) * 131072 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		compute_slab(lo, hi);
+		barrier_wait(step);
+		commit_slab(lo, hi);
+		barrier_wait(step);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 131072; i = i + 1) {
+		temp[i] = 45.0 + float(i % 53);
+	}
+	barrier_init(step, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn stencil(i, scale, threads);
+	}
+	join();
+	print_float(temp[0]);
+}
+`,
+})
+
+// CFD: regular flux kernel, very FP-dense, streaming reads, the "regular
+// kernel-like" application where the paper observes hybrid Astro doing well.
+var CFD = register(Spec{
+	Name: "cfd", Suite: "rodinia",
+	Desc:         "flux computation: regular, FP-dense",
+	DefaultScale: 20, SmallScale: 7, Threads: 4,
+	Source: `
+var density [32768]float;
+var momentum [32768]float;
+var flux [32768]float;
+barrier sweep;
+
+func flux_kernel(lo int, hi int) {
+	var i int;
+	var v float;
+	var p float;
+	for (i = lo; i < hi; i = i + 1) {
+		v = momentum[i] / (density[i] + 0.001);
+		p = 0.4 * (density[i] - 0.5 * v * v);
+		flux[i] = momentum[i] * v + p;
+		momentum[i] = momentum[i] - flux[i] * 0.001;
+	}
+}
+
+func compute(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 32768 / threads;
+	var hi int = (id + 1) * 32768 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		flux_kernel(lo, hi);
+		barrier_wait(sweep);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 32768; i = i + 1) {
+		density[i] = 1.0 + float(i % 17) * 0.01;
+		momentum[i] = float(i % 29) * 0.1;
+	}
+	barrier_init(sweep, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn compute(i, scale, threads);
+	}
+	join();
+	print_float(flux[0]);
+}
+`,
+})
+
+// Sradv2: speckle-reducing anisotropic diffusion; two stencil passes with
+// divisions and exponentials per iteration.
+var Sradv2 = register(Spec{
+	Name: "sradv2", Suite: "rodinia",
+	Desc:         "image despeckling: two-pass stencil with FP division",
+	DefaultScale: 16, SmallScale: 4, Threads: 4,
+	Source: `
+var img [24576]float;
+var coef [24576]float;
+barrier pass;
+
+func diffusion_coeffs(lo int, hi int) {
+	var i int;
+	var g float;
+	for (i = lo; i < hi; i = i + 1) {
+		g = (img[(i + 1) % 24576] - img[i]) / (img[i] + 1.0);
+		coef[i] = 1.0 / (1.0 + g * g);
+	}
+}
+
+func apply_diffusion(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 1) {
+		img[i] = img[i] + 0.05 * coef[i] * (img[(i + 128) % 24576] - img[i]);
+	}
+}
+
+func srad(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 24576 / threads;
+	var hi int = (id + 1) * 24576 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		diffusion_coeffs(lo, hi);
+		barrier_wait(pass);
+		apply_diffusion(lo, hi);
+		barrier_wait(pass);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 24576; i = i + 1) {
+		img[i] = exp(float(i % 43) * 0.05);
+	}
+	barrier_init(pass, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn srad(i, scale, threads);
+	}
+	join();
+	print_float(img[0]);
+}
+`,
+})
+
+// ParticleFilter: alternates parallel FP likelihood evaluation with a
+// serial lock-heavy resampling phase — the benchmark where the paper's
+// static instrumentation gets stuck in a bad configuration and hybrid wins.
+var ParticleFilter = register(Spec{
+	Name: "particlefilter", Suite: "rodinia",
+	Desc:         "particle filter: phase-alternating, static-unfriendly",
+	DefaultScale: 40, SmallScale: 8, Threads: 4,
+	Source: `
+var particles [2048]float;
+var weights [2048]float;
+var cdf [2048]float;
+mutex wsum;
+var total float;
+barrier phase;
+
+func likelihoods(lo int, hi int, it int) {
+	var i int;
+	var d float;
+	for (i = lo; i < hi; i = i + 1) {
+		d = particles[i] - float(it % 19);
+		weights[i] = exp(0.0 - d * d * 0.02) + 0.0001;
+	}
+}
+
+func accumulate(lo int, hi int) {
+	var i int;
+	for (i = lo; i < hi; i = i + 4) {
+		lock(wsum);
+		total = total + weights[i] + weights[i + 1] + weights[i + 2] + weights[i + 3];
+		unlock(wsum);
+	}
+}
+
+func resample(it int) {
+	var i int;
+	cdf[0] = weights[0];
+	for (i = 1; i < 2048; i = i + 1) {
+		cdf[i] = cdf[i - 1] + weights[i];
+	}
+	for (i = 0; i < 2048; i = i + 1) {
+		particles[i] = particles[(i * 7 + it) % 2048] * 0.98 + 0.1;
+	}
+	total = 0.0;
+}
+
+func filter(id int, scale int, threads int) {
+	var it int;
+	var lo int = id * 2048 / threads;
+	var hi int = (id + 1) * 2048 / threads;
+	for (it = 0; it < scale; it = it + 1) {
+		likelihoods(lo, hi, it);
+		accumulate(lo, hi);
+		barrier_wait(phase);
+		if (id == 0) {
+			resample(it);
+		}
+		barrier_wait(phase);
+	}
+}
+
+func main(scale int, threads int) {
+	var i int;
+	for (i = 0; i < 2048; i = i + 1) {
+		particles[i] = float(i % 31) * 0.6;
+	}
+	barrier_init(phase, threads);
+	for (i = 0; i < threads; i = i + 1) {
+		spawn filter(i, scale, threads);
+	}
+	join();
+	print_float(particles[0]);
+}
+`,
+})
+
+// BFS: level-synchronous breadth-first search over a synthetic graph with
+// irregular (pseudo-random) memory accesses: low IPC, integer + memory
+// bound.
+var BFS = register(Spec{
+	Name: "bfs", Suite: "rodinia",
+	Desc:         "breadth-first search: irregular memory, low IPC",
+	DefaultScale: 20, SmallScale: 8, Threads: 4,
+	Source: `
+var level [65536]int;
+var frontier int;
+mutex flock;
+barrier round;
+
+func expand(lo int, hi int, r int) int {
+	var v int;
+	var e int;
+	var w int;
+	var found int = 0;
+	for (v = lo; v < hi; v = v + 1) {
+		if (level[v] == r) {
+			// Expand 6 pseudo-random edges.
+			for (e = 0; e < 6; e = e + 1) {
+				w = (v * 1103515245 + e * 12345 + 7) % 65536;
+				if (w < 0) { w = 0 - w; }
+				if (level[w] == 0) {
+					level[w] = r + 1;
+					found = found + 1;
+				}
+			}
+		}
+	}
+	return found;
+}
+
+func explore(id int, scale int, threads int) {
+	var r int;
+	var found int;
+	var lo int = id * 65536 / threads;
+	var hi int = (id + 1) * 65536 / threads;
+	for (r = 1; r <= scale; r = r + 1) {
+		found = expand(lo, hi, r);
+		lock(flock);
+		frontier = frontier + found;
+		unlock(flock);
+		barrier_wait(round);
+	}
+}
+
+func main(scale int, threads int) {
+	level[1] = 1;
+	barrier_init(round, threads);
+	var i int;
+	for (i = 0; i < threads; i = i + 1) {
+		spawn explore(i, scale, threads);
+	}
+	join();
+	print_int(frontier);
+}
+`,
+})

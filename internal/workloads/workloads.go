@@ -1,0 +1,93 @@
+// Package workloads provides the benchmark programs of the evaluation,
+// re-authored in astc so the whole pipeline (feature mining,
+// instrumentation, simulation) exercises them exactly as the paper's LLVM
+// toolchain exercises PARSEC and Rodinia. Each program is shaped to
+// reproduce the qualitative behaviour the paper reports for its namesake:
+// parallelism degree, memory footprint relative to the LITTLE/big L2s,
+// lock/barrier structure, and I/O interleaving. All programs share the
+// entry convention main(scale int, threads int): scale sets iteration
+// counts (arrays are fixed at compile time), threads the worker count.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"astro/internal/ir"
+	"astro/internal/lang"
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name   string
+	Suite  string // "parsec", "rodinia" or "micro"
+	Desc   string
+	Source string
+
+	// DefaultScale drives the experiment harness; SmallScale keeps unit
+	// tests fast. Threads is the worker count used by the paper-style runs.
+	DefaultScale int64
+	SmallScale   int64
+	Threads      int64
+}
+
+// Compile builds the benchmark's IR module.
+func (s Spec) Compile() (*ir.Module, error) {
+	m, err := lang.Compile(s.Name, s.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", s.Name, err)
+	}
+	return m, nil
+}
+
+// Args returns (scale, threads) for the experiment scale.
+func (s Spec) Args() []int64 { return []int64{s.DefaultScale, s.Threads} }
+
+// SmallArgs returns (scale, threads) for fast test runs.
+func (s Spec) SmallArgs() []int64 { return []int64{s.SmallScale, s.Threads} }
+
+var registry = map[string]Spec{}
+
+func register(s Spec) Spec {
+	if _, dup := registry[s.Name]; dup {
+		panic("workloads: duplicate benchmark " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists registered benchmarks sorted by name.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every benchmark sorted by name.
+func All() []Spec {
+	var out []Spec
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Suite returns the benchmarks of one suite sorted by name.
+func Suite(suite string) []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.Suite == suite {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"testing"
+
+	"astro/internal/features"
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{
+		"bfs", "blackscholes", "bodytrack", "cfd", "facesim", "ferret",
+		"fluidanimate", "freqmine", "hotspot", "hotspot3d", "matrixmul",
+		"particlefilter", "spin", "sradv2", "streamcluster", "swaptions", "vips",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(names), len(want), names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	if len(Suite("parsec")) != 9 {
+		t.Errorf("parsec suite size %d", len(Suite("parsec")))
+	}
+	if len(Suite("rodinia")) != 6 {
+		t.Errorf("rodinia suite size %d", len(Suite("rodinia")))
+	}
+	if _, ok := ByName("freqmine"); !ok {
+		t.Error("ByName(freqmine) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestAllBenchmarksCompileAndVerify(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			mod, err := s.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := ir.Verify(mod); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			if mod.FuncByName("main") == nil {
+				t.Fatal("no main")
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksRunAtSmallScale(t *testing.T) {
+	plat := hw.OdroidXU4()
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			mod, err := s.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.New(mod, plat, sim.Options{
+				Args: s.SmallArgs(),
+				Seed: 7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.TimeS <= 0 || res.EnergyJ <= 0 || res.Instructions == 0 {
+				t.Errorf("degenerate result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	plat := hw.OdroidXU4()
+	for _, name := range []string{"fluidanimate", "bfs", "particlefilter"} {
+		s, _ := ByName(name)
+		mod, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runOnce := func() (*sim.Result, error) {
+			m, err := sim.New(mod, plat, sim.Options{Args: s.SmallArgs(), Seed: 3})
+			if err != nil {
+				return nil, err
+			}
+			return m.Run()
+		}
+		a, err := runOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runOnce()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TimeS != b.TimeS || a.EnergyJ != b.EnergyJ || a.Instructions != b.Instructions {
+			t.Errorf("%s not deterministic", name)
+		}
+	}
+}
+
+// TestPhaseDiversity checks that the suite exposes all program phases to
+// the scheduler: CPU-bound kernels, IO-bound readers and blocked waiters.
+func TestPhaseDiversity(t *testing.T) {
+	seen := map[features.Phase]string{}
+	for _, s := range All() {
+		mod, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi := features.AnalyzeModule(mod, features.Options{})
+		for _, fi := range mi.Funcs {
+			if _, ok := seen[fi.Phase]; !ok {
+				seen[fi.Phase] = s.Name + "." + fi.Name
+			}
+		}
+	}
+	for p := features.Phase(0); p < features.NumPhases; p++ {
+		if _, ok := seen[p]; !ok {
+			t.Errorf("no benchmark function classifies as %v", p)
+		}
+	}
+	t.Logf("phase witnesses: %v", seen)
+}
+
+// TestQualitativeShapes checks the headline behavioural contrasts the paper
+// relies on.
+func TestQualitativeShapes(t *testing.T) {
+	plat := hw.OdroidXU4()
+	timeOn := func(name string, cfg hw.Config) float64 {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		mod, err := s.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.New(mod, plat, sim.Options{Args: s.SmallArgs(), Seed: 5, InitialConfig: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s on %v: %v", name, cfg, err)
+		}
+		return res.TimeS
+	}
+
+	// Freqmine parallelizes: 4 big cores clearly beat 1 big core.
+	if t1, t4 := timeOn("freqmine", hw.Config{Big: 1}), timeOn("freqmine", hw.Config{Big: 4}); !(t4 < t1*0.6) {
+		t.Errorf("freqmine: 4B (%.4fs) should be well under 1B (%.4fs)", t4, t1)
+	}
+	// Streamcluster does not: 4 cores buy little to nothing.
+	if t1, t4 := timeOn("streamcluster", hw.Config{Big: 1}), timeOn("streamcluster", hw.Config{Big: 4}); t4 < t1*0.7 {
+		t.Errorf("streamcluster: 4B (%.4fs) should NOT be much faster than 1B (%.4fs)", t4, t1)
+	}
+}
