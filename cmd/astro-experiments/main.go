@@ -1,24 +1,38 @@
 // Command astro-experiments regenerates every table and figure of the
 // paper's evaluation. With -scale paper it reproduces the EXPERIMENTS.md
-// numbers; -scale small is a fast smoke run.
+// numbers; -scale small is a fast smoke run. Simulation sweeps execute on
+// the campaign engine: -j widens the worker pool, -cache points at an
+// on-disk result store so a re-run skips every simulation it has already
+// performed, and -timeout stops scheduling new simulations once it
+// expires (in-flight simulations and training finish).
 //
 // Usage:
 //
 //	astro-experiments [-scale small|paper] [-fig 1|3|4|6|9|10|11|table1|headline|all]
+//	                  [-j N] [-cache dir] [-timeout d]
+//
+// Every requested figure runs even if an earlier one fails; the exit
+// status is non-zero when any of them failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"astro/internal/campaign"
 	"astro/internal/experiments"
 )
 
 func main() {
 	scaleStr := flag.String("scale", "small", "experiment scale: small or paper")
 	fig := flag.String("fig", "all", "which artifact: 1,3,4,6,9,10,11,table1,headline,all")
+	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers for simulation sweeps")
+	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
+	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
 	flag.Parse()
 
 	sc := experiments.Small
@@ -29,109 +43,108 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(sc, *fig); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	store, err := campaign.NewStore(*cacheDir)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "astro-experiments:", err)
+		os.Exit(1)
+	}
+	experiments.Configure(experiments.ExecConfig{Workers: *jobs, Store: store, Ctx: ctx})
+
+	if n := run(sc, *fig); n > 0 {
+		fmt.Fprintf(os.Stderr, "astro-experiments: %d artifact(s) failed\n", n)
 		os.Exit(1)
 	}
 }
 
-func run(sc experiments.Scale, fig string) error {
+// run executes the requested artifacts, continuing past failures, and
+// returns how many failed.
+func run(sc experiments.Scale, fig string) int {
 	var f9 *experiments.Fig9Result
 	var f10 *experiments.Fig10Result
 	var f11 *experiments.Fig11Result
 
-	section := func(name string, f func() (string, error)) error {
+	failed := 0
+	section := func(name string, f func() (string, error)) {
 		if fig != "all" && fig != name {
-			return nil
+			return
 		}
 		start := time.Now()
 		out, err := f()
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			failed++
+			fmt.Fprintf(os.Stderr, "astro-experiments: %s: %v\n", name, err)
+			return
 		}
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
-		return nil
 	}
 
-	if err := section("1", func() (string, error) {
+	section("1", func() (string, error) {
 		r, err := experiments.Fig1(sc)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("3", func() (string, error) {
+	})
+	section("3", func() (string, error) {
 		r, err := experiments.Fig3(sc)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("4", func() (string, error) {
+	})
+	section("4", func() (string, error) {
 		r, err := experiments.Fig4(sc)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("6", func() (string, error) {
+	})
+	section("6", func() (string, error) {
 		r, err := experiments.Fig6()
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("9", func() (string, error) {
+	})
+	section("9", func() (string, error) {
 		r, err := experiments.Fig9(sc)
 		if err != nil {
 			return "", err
 		}
 		f9 = r
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("10", func() (string, error) {
+	})
+	section("10", func() (string, error) {
 		r, err := experiments.Fig10(sc)
 		if err != nil {
 			return "", err
 		}
 		f10 = r
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("11", func() (string, error) {
+	})
+	section("11", func() (string, error) {
 		r, err := experiments.Fig11()
 		if err != nil {
 			return "", err
 		}
 		f11 = r
 		return r.Render(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("table1", func() (string, error) {
+	})
+	section("table1", func() (string, error) {
 		return experiments.RenderTable1(), nil
-	}); err != nil {
-		return err
-	}
-	if err := section("headline", func() (string, error) {
+	})
+	section("headline", func() (string, error) {
 		if f9 == nil && f10 == nil && f11 == nil {
 			return "(headline needs figures 9/10/11 in the same invocation)", nil
 		}
 		return experiments.MakeHeadline(f9, f10, f11).Render(), nil
-	}); err != nil {
-		return err
-	}
-	return nil
+	})
+	return failed
 }

@@ -1,0 +1,56 @@
+// Command astro-serve turns the simulator into a service: an HTTP JSON API
+// over the campaign engine. Clients POST declarative campaign specs
+// (benchmark x platform x scheduler x config x seed grids), watch progress
+// over Server-Sent Events, and fetch aggregated result sets. All campaigns
+// share one worker pool and one content-addressed result store, so
+// resubmitting a spec — or any spec overlapping previously simulated grid
+// points — is served from cache.
+//
+// Usage:
+//
+//	astro-serve [-addr :8080] [-j N] [-cache dir]
+//
+// Quick tour (see README.md for a full example):
+//
+//	curl -s localhost:8080/campaigns -d '{"benchmarks":["parsec"],"configs":["all"]}'
+//	curl -s localhost:8080/campaigns/c000001            # status
+//	curl -N localhost:8080/campaigns/c000001/events     # SSE progress
+//	curl -s localhost:8080/campaigns/c000001/results    # aggregated results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"astro/internal/campaign"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers")
+	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
+	flag.Parse()
+
+	store, err := campaign.NewStore(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "astro-serve:", err)
+		os.Exit(1)
+	}
+	eng := campaign.NewEngine(*jobs, store)
+	fmt.Fprintf(os.Stderr, "astro-serve: listening on %s (%d workers, cache %s)\n",
+		*addr, *jobs, cacheOrMem(*cacheDir))
+	if err := http.ListenAndServe(*addr, newServer(eng)); err != nil {
+		fmt.Fprintln(os.Stderr, "astro-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func cacheOrMem(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

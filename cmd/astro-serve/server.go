@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"astro/internal/campaign"
+	"astro/internal/hw"
+	"astro/internal/workloads"
+)
+
+// newServer wires the campaign engine into an HTTP handler. The API is
+// JSON throughout:
+//
+//	GET    /healthz                  liveness probe
+//	GET    /api/benchmarks           bundled benchmark names
+//	GET    /api/platforms            platform names
+//	POST   /campaigns                submit a campaign.Spec; 202 + status
+//	GET    /campaigns                status of every campaign, newest first
+//	GET    /campaigns/{id}           one campaign's status
+//	GET    /campaigns/{id}/results   aggregated result set (202 while running)
+//	GET    /campaigns/{id}/events    Server-Sent Events progress stream
+//	DELETE /campaigns/{id}           cancel a running campaign
+func newServer(eng *campaign.Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, format string, args ...any) {
+		writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+	getCampaign := func(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+		id := r.PathValue("id")
+		c, ok := eng.Get(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown campaign %q", id)
+			return nil, false
+		}
+		return c, true
+	}
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /api/benchmarks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, workloads.Names())
+	})
+	mux.HandleFunc("GET /api/platforms", func(w http.ResponseWriter, r *http.Request) {
+		var names []string
+		for n := range hw.Platforms() {
+			names = append(names, n)
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var spec campaign.Spec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+			return
+		}
+		c, err := eng.Submit(spec)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		w.Header().Set("Location", "/campaigns/"+c.ID)
+		writeJSON(w, http.StatusAccepted, c.Status())
+	})
+
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.List())
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if c, ok := getCampaign(w, r); ok {
+			writeJSON(w, http.StatusOK, c.Status())
+		}
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := getCampaign(w, r)
+		if !ok {
+			return
+		}
+		rs := c.Results()
+		if rs == nil {
+			writeJSON(w, http.StatusAccepted, c.Status())
+			return
+		}
+		writeJSON(w, http.StatusOK, rs)
+	})
+
+	mux.HandleFunc("DELETE /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := getCampaign(w, r)
+		if !ok {
+			return
+		}
+		eng.Cancel(c.ID)
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+
+	mux.HandleFunc("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := getCampaign(w, r)
+		if !ok {
+			return
+		}
+		flusher, canFlush := w.(http.Flusher)
+		if !canFlush {
+			writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+
+		events, unsub := c.Subscribe()
+		defer unsub()
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, ok := <-events:
+				if !ok {
+					return
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+				flusher.Flush()
+			}
+		}
+	})
+
+	return mux
+}

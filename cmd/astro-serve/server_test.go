@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServer(campaign.NewEngine(4, nil)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeCampaignLifecycle(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Discovery endpoints.
+	var names []string
+	if code := getJSON(t, srv.URL+"/api/benchmarks", &names); code != 200 || len(names) == 0 {
+		t.Fatalf("benchmarks: code %d, %d names", code, len(names))
+	}
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// Submit a small campaign.
+	body := `{"name":"http","benchmarks":["spin"],"schedulers":["default","gts"],"seeds":[1,2]}`
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaign.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" || st.Total != 4 {
+		t.Fatalf("submit: code %d, status %+v", resp.StatusCode, st)
+	}
+
+	// Stream progress to completion over SSE.
+	sse, err := http.Get(srv.URL + "/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	if ct := sse.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var progress, terminal int
+	scanner := bufio.NewScanner(sse.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev campaign.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		switch ev.Type {
+		case "progress":
+			progress++
+		case "state":
+			terminal++
+			if ev.State != campaign.StateDone {
+				t.Fatalf("terminal state %s (%s)", ev.State, ev.Error)
+			}
+		}
+	}
+	if progress != 4 || terminal != 1 {
+		t.Fatalf("SSE delivered %d progress / %d state events", progress, terminal)
+	}
+
+	// Status and results after completion.
+	if code := getJSON(t, srv.URL+"/campaigns/"+st.ID, &st); code != 200 || st.State != campaign.StateDone {
+		t.Fatalf("status: code %d, %+v", code, st)
+	}
+	var rs campaign.ResultSet
+	if code := getJSON(t, srv.URL+"/campaigns/"+st.ID+"/results", &rs); code != 200 {
+		t.Fatalf("results code %d", code)
+	}
+	if rs.Total != 4 || rs.Errors != 0 || len(rs.Cells) != 2 || rs.Fingerprint == "" {
+		t.Fatalf("results wrong: %+v", rs)
+	}
+
+	// The campaign list includes it.
+	var list []campaign.Status
+	if code := getJSON(t, srv.URL+"/campaigns", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("list: code %d, %+v", code, list)
+	}
+}
+
+func TestServeRejectsBadSpecs(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"benchmarks":["nope"]}`, http.StatusUnprocessableEntity},
+		{`{"benchmarks":["spin"],"bogus_field":1}`, http.StatusBadRequest},
+		{`{}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/campaigns", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("body %q: code %d, want %d", tc.body, resp.StatusCode, tc.code)
+		}
+	}
+	if code := getJSON(t, srv.URL+"/campaigns/c424242", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown campaign: code %d", code)
+	}
+}
+
+func TestServeCancel(t *testing.T) {
+	srv := newTestServer(t)
+	body := `{"benchmarks":["matrixmul"],"seeds":[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]}`
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaign.Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/campaigns/"+st.ID, nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		getJSON(t, srv.URL+"/campaigns/"+st.ID, &st)
+		if st.State != campaign.StateRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State == campaign.StateRunning {
+		t.Fatalf("campaign still running after cancel: %+v", st)
+	}
+}

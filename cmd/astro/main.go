@@ -9,6 +9,8 @@
 //	astro run       [-sched gts|default] [-config 2L3B] [-scale N] [-threads N] [-seed N] <prog>
 //	astro train     [-episodes N] [-scale N] [-threads N] [-seed N] <prog>
 //	astro bench     (list bundled benchmarks)
+//	astro campaign  [-spec file.json | -bench patterns] [-sched ...] [-configs ...]
+//	                [-seeds ...] [-j N] [-cache dir] [-timeout d]
 //
 // Programs are either astc source paths or "bench:<name>" for a bundled
 // benchmark.
@@ -50,6 +52,8 @@ func main() {
 		err = cmdTrain(args)
 	case "bench":
 		err = cmdBench()
+	case "campaign":
+		err = cmdCampaign(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -61,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench> [flags] <file.astc | bench:name>`)
+	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign> [flags] <file.astc | bench:name>`)
 }
 
 // load resolves a program argument to a module.

@@ -1,0 +1,3 @@
+module astro
+
+go 1.24

@@ -1,0 +1,220 @@
+// Package campaign is the scaling substrate of the reproduction: it treats
+// one deterministic simulation as a schedulable, memoizable unit of work
+// and executes whole evaluation sweeps — benchmark × platform × scheduler ×
+// hardware configuration × seed grids — on a bounded worker pool with
+// content-addressed result caching.
+//
+// The pieces compose bottom-up:
+//
+//   - Job: one fully-specified simulation. Its Key is a SHA-256 over every
+//     input that can influence the result (module IR bytes, platform,
+//     scheduler policy, initial configuration, seed, arguments, simulator
+//     knobs), so two byte-identical jobs are the same job.
+//   - Store: a content-addressed result store, in-memory with an optional
+//     on-disk tier, holding canonical result bytes by job key.
+//   - Pool: a worker pool that shards a job list across N workers
+//     deterministically, consults the store before simulating, retries
+//     failures, aggregates errors, honours context cancellation, and
+//     streams per-job progress.
+//   - Spec: the declarative campaign description (JSON-friendly) that
+//     expands into a job list.
+//   - Engine: the campaign lifecycle manager behind cmd/astro-serve —
+//     submit, observe, subscribe to progress, cancel.
+//
+// Because the simulator is deterministic, a campaign's result set is a pure
+// function of its spec: running with 1 worker or 8 yields byte-identical
+// result sets (campaign determinism tests verify this), and a warm-cache
+// re-run performs zero fresh simulations.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/sched"
+	"astro/internal/sim"
+)
+
+// DefaultPlatform is the platform a job runs on when it names none.
+const DefaultPlatform = "odroid-xu4"
+
+// Job is one simulation: a compiled module executed on a named platform
+// under a named scheduling policy with a fixed seed. Jobs are built either
+// declaratively (Spec.Expand) or programmatically (the experiments figure
+// drivers construct them around pre-trained modules).
+type Job struct {
+	Index     int    // position in the campaign, stable across worker counts
+	Label     string // human-readable identity for progress lines
+	Benchmark string // informational; the module carries the code
+
+	Module   *ir.Module
+	PlatName string // "" = DefaultPlatform
+	// OS selects the OS-level thread scheduler: "" (least-loaded) or "gts".
+	OS string
+	// Actuator selects the per-checkpoint adaptation policy: "",
+	// "octopus-man", "fixed:<xLyB>", or "random:<seed>".
+	Actuator string
+	Config   hw.Config // initial hardware configuration; zero = all cores on
+	Seed     int64
+	Args     []int64
+	Opts     sim.Options // scalar knobs only; OS/Actuator/Hybrid must be nil
+
+	// Hybrid optionally supplies a custom hybrid policy (e.g. a trained
+	// agent). Policies built this way live outside the content hash, so the
+	// caller must name them via HybridKey for the job to be cacheable; a
+	// Hybrid factory with an empty HybridKey marks the job uncacheable.
+	Hybrid    func() sim.HybridPolicy
+	HybridKey string
+
+	// Exclusive serializes jobs sharing the same non-empty tag: jobs whose
+	// policies share mutable state (a DQN's inference scratch buffers, say)
+	// must not run concurrently with each other.
+	Exclusive string
+
+	// modHash caches the module's content hash; see (*Job).moduleHash.
+	modHash string
+}
+
+// ModuleHash returns the content hash of a module's IR encoding.
+func ModuleHash(m *ir.Module) string {
+	sum := sha256.Sum256(ir.Encode(m))
+	return hex.EncodeToString(sum[:])
+}
+
+// moduleHash returns the job's module hash, computing it once per job.
+// Spec.Expand pre-fills it per compiled module so a 24-config sweep hashes
+// its module once; there is deliberately no process-global memo — a
+// long-running astro-serve would otherwise pin every module it ever
+// compiled in memory.
+func (j *Job) moduleHash() string {
+	if j.modHash == "" {
+		j.modHash = ModuleHash(j.Module)
+	}
+	return j.modHash
+}
+
+func (j *Job) platformName() string {
+	if j.PlatName == "" {
+		return DefaultPlatform
+	}
+	return j.PlatName
+}
+
+// Key returns the job's content address and whether the job is cacheable.
+// Uncacheable jobs (custom hybrid policy without a HybridKey) always
+// simulate fresh.
+func (j *Job) Key() (string, bool) {
+	if j.Hybrid != nil && j.HybridKey == "" {
+		return "", false
+	}
+	// Seed, Args and InitialConfig live on the Job itself; clear them in the
+	// knob fingerprint so Opts copies can't disagree with the job fields
+	// (Execute overwrites them the same way).
+	opts := j.Opts
+	opts.Seed, opts.Args, opts.InitialConfig = 0, nil, hw.Config{}
+	fp, err := opts.Fingerprint()
+	if err != nil {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.WriteString("astro-campaign-job-v1\n")
+	sb.WriteString(j.moduleHash())
+	sb.WriteByte('\n')
+	sb.WriteString(j.platformName())
+	sb.WriteByte('\n')
+	sb.WriteString(j.OS)
+	sb.WriteByte('\n')
+	sb.WriteString(j.Actuator)
+	sb.WriteByte('\n')
+	sb.WriteString(j.Config.String())
+	sb.WriteByte('\n')
+	sb.WriteString(strconv.FormatInt(j.Seed, 10))
+	sb.WriteByte('\n')
+	for _, a := range j.Args {
+		sb.WriteString(strconv.FormatInt(a, 10))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(fp)
+	sb.WriteByte('\n')
+	sb.WriteString(j.HybridKey)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:]), true
+}
+
+// buildOS resolves the OS policy name (fresh instance per run: policies may
+// carry state).
+func buildOS(name string) (sim.OSPolicy, error) {
+	switch name {
+	case "":
+		return nil, nil // sim defaults to least-loaded
+	case "gts":
+		return sched.NewGTS(), nil
+	}
+	return nil, fmt.Errorf("campaign: unknown OS policy %q (have \"\", \"gts\")", name)
+}
+
+// buildActuator resolves the actuator name against a platform.
+func buildActuator(name string, plat *hw.Platform) (sim.Actuator, error) {
+	switch {
+	case name == "":
+		return nil, nil
+	case name == "octopus-man":
+		return sched.NewOctopusMan(plat), nil
+	case strings.HasPrefix(name, "fixed:"):
+		cfg, err := hw.ParseConfig(strings.TrimPrefix(name, "fixed:"))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: actuator %q: %w", name, err)
+		}
+		if !cfg.Valid(plat.MaxLittle(), plat.MaxBig()) {
+			// The simulator silently ignores invalid actuation requests, so
+			// an unchecked config would mislabel an all-on run as "fixed:X".
+			return nil, fmt.Errorf("campaign: actuator %q: config invalid on %s", name, plat.Name)
+		}
+		return &sched.Fixed{Config: cfg}, nil
+	case strings.HasPrefix(name, "random:"):
+		seed, err := strconv.ParseUint(strings.TrimPrefix(name, "random:"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: actuator %q: %w", name, err)
+		}
+		return &sched.Random{Plat: plat, Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown actuator %q", name)
+}
+
+// Execute runs the simulation from scratch (no cache involvement).
+func (j *Job) Execute() (*sim.Result, error) {
+	if j.Module == nil {
+		return nil, fmt.Errorf("campaign: job %d (%s) has no module", j.Index, j.Label)
+	}
+	if j.Opts.OS != nil || j.Opts.Actuator != nil || j.Opts.Hybrid != nil {
+		return nil, fmt.Errorf("campaign: job %d (%s): set policies by name, not in Opts", j.Index, j.Label)
+	}
+	plat, err := hw.ByName(j.platformName())
+	if err != nil {
+		return nil, err
+	}
+	opts := j.Opts
+	opts.Seed = j.Seed
+	opts.Args = j.Args
+	opts.InitialConfig = j.Config
+	if opts.OS, err = buildOS(j.OS); err != nil {
+		return nil, err
+	}
+	if opts.Actuator, err = buildActuator(j.Actuator, plat); err != nil {
+		return nil, err
+	}
+	if j.Hybrid != nil {
+		opts.Hybrid = j.Hybrid()
+	}
+	m, err := sim.New(j.Module, plat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}

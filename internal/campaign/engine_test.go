@@ -1,0 +1,127 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+func waitTerminal(t *testing.T, c *Campaign) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := c.Status()
+		if st.State != StateRunning {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish", c.ID)
+	return Status{}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	e := NewEngine(4, nil)
+	if _, err := e.Submit(Spec{}); err == nil {
+		t.Fatal("invalid spec must fail synchronously")
+	}
+
+	c, err := e.Submit(Spec{Name: "life", Benchmarks: []string{"spin"}, Seeds: []int64{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, unsub := c.Subscribe()
+	defer unsub()
+
+	st := waitTerminal(t, c)
+	if st.State != StateDone {
+		t.Fatalf("state %s, want done (%s)", st.State, st.Error)
+	}
+	if st.Done != 3 || st.Total != 3 {
+		t.Fatalf("progress counters wrong: %+v", st)
+	}
+
+	var progress, terminal int
+	for ev := range ch {
+		switch ev.Type {
+		case "progress":
+			progress++
+		case "state":
+			terminal++
+			if ev.State != StateDone {
+				t.Fatalf("terminal event state %s", ev.State)
+			}
+		}
+	}
+	if progress != 3 || terminal != 1 {
+		t.Fatalf("event stream had %d progress / %d state events", progress, terminal)
+	}
+
+	rs := c.Results()
+	if rs == nil || rs.Total != 3 || rs.Errors != 0 {
+		t.Fatalf("results missing or wrong: %+v", rs)
+	}
+
+	// A late subscriber replays the full log of a finished campaign.
+	ch2, unsub2 := c.Subscribe()
+	defer unsub2()
+	n := 0
+	for range ch2 {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("replay delivered %d events, want 4", n)
+	}
+
+	if got, ok := e.Get(c.ID); !ok || got != c {
+		t.Fatal("Get lost the campaign")
+	}
+	if l := e.List(); len(l) != 1 || l[0].ID != c.ID {
+		t.Fatalf("List wrong: %+v", l)
+	}
+}
+
+func TestEngineSharedCacheAcrossCampaigns(t *testing.T) {
+	e := NewEngine(4, nil)
+	spec := Spec{Name: "shared", Benchmarks: []string{"matrixmul"}, Seeds: []int64{5, 6}}
+	c1, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, c1); st.CacheHits != 0 {
+		t.Fatalf("first campaign hit cache: %+v", st)
+	}
+	c2, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, c2)
+	if st.CacheHits != st.Total {
+		t.Fatalf("resubmitted campaign: %d/%d cache hits", st.CacheHits, st.Total)
+	}
+	if c1.Results().Fingerprint != c2.Results().Fingerprint {
+		t.Fatal("resubmission changed the result fingerprint")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	// One worker and a long seed grid leave time to cancel.
+	e := NewEngine(1, nil)
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	c, err := e.Submit(Spec{Name: "cancel", Benchmarks: []string{"matrixmul"}, Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Cancel(c.ID) {
+		t.Fatal("cancel reported unknown campaign")
+	}
+	st := waitTerminal(t, c)
+	if st.State != StateCancelled && st.Done != st.Total {
+		t.Fatalf("after cancel: %+v", st)
+	}
+	if e.Cancel("c999999") {
+		t.Fatal("cancelling unknown ID must report false")
+	}
+}

@@ -1,0 +1,203 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// Progress is one per-job event on the streaming progress API.
+type Progress struct {
+	JobIndex int     `json:"job"`
+	Label    string  `json:"label"`
+	Done     int     `json:"done"`  // jobs finished so far (including this one)
+	Total    int     `json:"total"` // jobs in the batch
+	Worker   int     `json:"worker"`
+	CacheHit bool    `json:"cache_hit"`
+	WallS    float64 `json:"wall_s"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// Outcome is one job's terminal state.
+type Outcome struct {
+	Job      *Job
+	Result   *sim.Result
+	Bytes    []byte // canonical result encoding (what the store holds)
+	CacheHit bool
+	Err      error
+	Attempts int
+	Worker   int
+	WallS    float64
+}
+
+// Pool executes job batches. Jobs are sharded statically: worker w owns
+// list indices w, w+Workers, w+2·Workers, … — a deterministic partition
+// that needs no locked queue and keeps each worker's share independent of
+// run-to-run timing. The zero value is a serial, uncached pool.
+type Pool struct {
+	Workers int    // concurrent workers; <= 0 means 1
+	Store   *Store // nil disables caching
+	Retries int    // extra attempts per failing job
+}
+
+// Run executes the batch. It returns one outcome per job, in job order,
+// together with the aggregate of every job error (nil when all jobs
+// succeeded). onProgress, when non-nil, is invoked once per finished job;
+// calls are serialized. Cancelling ctx stops workers between jobs and
+// returns ctx's error for jobs never started.
+func (p *Pool) Run(ctx context.Context, jobs []*Job, onProgress func(Progress)) ([]*Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	outs := make([]*Outcome, len(jobs))
+	var (
+		progMu sync.Mutex
+		done   int
+		excl   sync.Map // exclusive tag -> *sync.Mutex
+	)
+	report := func(o *Outcome) {
+		progMu.Lock()
+		done++
+		n := done
+		progMu.Unlock()
+		if onProgress == nil {
+			return
+		}
+		pr := Progress{
+			JobIndex: o.Job.Index,
+			Label:    o.Job.Label,
+			Done:     n,
+			Total:    len(jobs),
+			Worker:   o.Worker,
+			CacheHit: o.CacheHit,
+			WallS:    o.WallS,
+		}
+		if o.Err != nil {
+			pr.Err = o.Err.Error()
+		}
+		progMu.Lock()
+		onProgress(pr)
+		progMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(jobs); i += workers {
+				if err := ctx.Err(); err != nil {
+					outs[i] = &Outcome{Job: jobs[i], Err: err, Worker: w}
+					continue
+				}
+				outs[i] = p.runOne(jobs[i], w, &excl)
+				report(outs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var errs []error
+	for _, o := range outs {
+		if o != nil && o.Err != nil {
+			errs = append(errs, fmt.Errorf("job %d (%s): %w", o.Job.Index, o.Job.Label, o.Err))
+		}
+	}
+	return outs, errors.Join(errs...)
+}
+
+// runOne executes one job: cache lookup, simulation with retries, cache
+// fill.
+func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
+	start := time.Now()
+	o := &Outcome{Job: j, Worker: worker}
+	key, cacheable := j.Key()
+	if cacheable && p.Store != nil {
+		if data, ok := p.Store.Get(key); ok {
+			res, err := sim.DecodeResult(data)
+			if err == nil {
+				o.Result, o.Bytes, o.CacheHit = res, data, true
+				o.WallS = time.Since(start).Seconds()
+				return o
+			}
+			// A corrupt entry falls through to a fresh simulation that will
+			// overwrite it.
+		}
+	}
+
+	if j.Exclusive != "" {
+		muAny, _ := excl.LoadOrStore(j.Exclusive, &sync.Mutex{})
+		mu := muAny.(*sync.Mutex)
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	for attempt := 0; ; attempt++ {
+		o.Attempts = attempt + 1
+		res, err := j.Execute()
+		if err == nil {
+			o.Result = res
+			break
+		}
+		o.Err = err
+		if attempt >= p.Retries {
+			o.WallS = time.Since(start).Seconds()
+			return o
+		}
+	}
+	o.Err = nil
+
+	data, err := sim.EncodeResult(o.Result)
+	if err != nil {
+		o.Err = err
+		o.WallS = time.Since(start).Seconds()
+		return o
+	}
+	o.Bytes = data
+	if cacheable && p.Store != nil {
+		// A cache-fill failure (disk full, unwritable directory) must not
+		// discard a successfully computed result: the simulation stands,
+		// only future runs lose the memoization.
+		_ = p.Store.Put(key, data)
+	}
+	o.WallS = time.Since(start).Seconds()
+	return o
+}
+
+// Results unwraps outcomes into results in job order; it fails on the first
+// job error (convenience for callers that need all results).
+func Results(outs []*Outcome) ([]*sim.Result, error) {
+	rs := make([]*sim.Result, len(outs))
+	for i, o := range outs {
+		if o == nil {
+			return nil, fmt.Errorf("campaign: job %d never ran", i)
+		}
+		if o.Err != nil {
+			return nil, o.Err
+		}
+		rs[i] = o.Result
+	}
+	return rs, nil
+}
+
+// CacheHits counts cache-served outcomes.
+func CacheHits(outs []*Outcome) int {
+	n := 0
+	for _, o := range outs {
+		if o != nil && o.CacheHit {
+			n++
+		}
+	}
+	return n
+}

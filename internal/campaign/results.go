@@ -1,0 +1,147 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"astro/internal/stats"
+	"astro/internal/tablefmt"
+)
+
+// Cell aggregates the outcomes of one (benchmark, platform, scheduler,
+// config) grid point across its seeds.
+type Cell struct {
+	Benchmark string `json:"benchmark"`
+	Platform  string `json:"platform"`
+	Scheduler string `json:"scheduler"`
+	Config    string `json:"config"`
+
+	Jobs      int `json:"jobs"`
+	CacheHits int `json:"cache_hits"`
+	Errors    int `json:"errors"`
+
+	Time   stats.Summary `json:"time_s"`
+	Energy stats.Summary `json:"energy_j"`
+	MIPS   stats.Summary `json:"mips"`
+}
+
+// ResultSet is a campaign's aggregated outcome: one cell per grid point
+// plus whole-campaign counters and a content fingerprint.
+type ResultSet struct {
+	Name      string `json:"name,omitempty"`
+	Total     int    `json:"total"`
+	CacheHits int    `json:"cache_hits"`
+	Errors    int    `json:"errors"`
+	// Fingerprint is the SHA-256 over every job's canonical result bytes in
+	// job order — two campaigns with equal fingerprints produced
+	// byte-identical result sets, regardless of worker count or cache
+	// temperature.
+	Fingerprint string `json:"fingerprint"`
+	Cells       []Cell `json:"cells"`
+}
+
+// schedulerLabel reconstructs the spec token from job fields.
+func schedulerLabel(j *Job) string {
+	switch {
+	case j.Actuator != "":
+		return j.Actuator
+	case j.OS != "":
+		return j.OS
+	}
+	return "default"
+}
+
+func configLabel(j *Job) string {
+	if j.Config.Cores() == 0 {
+		return "all-on"
+	}
+	return j.Config.String()
+}
+
+// Fingerprint hashes every outcome's canonical result bytes in job order
+// (failed or skipped jobs contribute an error marker).
+func Fingerprint(outs []*Outcome) string {
+	h := sha256.New()
+	for i, o := range outs {
+		fmt.Fprintf(h, "#%d\n", i)
+		if o == nil || o.Err != nil || o.Bytes == nil {
+			h.Write([]byte("<error>\n"))
+			continue
+		}
+		h.Write(o.Bytes)
+		h.Write([]byte("\n"))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Aggregate folds outcomes into a result set.
+func Aggregate(name string, outs []*Outcome) *ResultSet {
+	rs := &ResultSet{Name: name, Total: len(outs), Fingerprint: Fingerprint(outs)}
+	type acc struct {
+		cell             Cell
+		times, ens, mips []float64
+	}
+	byKey := map[string]*acc{}
+	var order []string
+	for _, o := range outs {
+		if o == nil {
+			continue
+		}
+		j := o.Job
+		key := strings.Join([]string{j.Benchmark, j.platformName(), schedulerLabel(j), configLabel(j)}, "\x00")
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{cell: Cell{
+				Benchmark: j.Benchmark,
+				Platform:  j.platformName(),
+				Scheduler: schedulerLabel(j),
+				Config:    configLabel(j),
+			}}
+			byKey[key] = a
+			order = append(order, key)
+		}
+		a.cell.Jobs++
+		if o.CacheHit {
+			a.cell.CacheHits++
+			rs.CacheHits++
+		}
+		if o.Err != nil {
+			a.cell.Errors++
+			rs.Errors++
+			continue
+		}
+		a.times = append(a.times, o.Result.TimeS)
+		a.ens = append(a.ens, o.Result.EnergyJ)
+		a.mips = append(a.mips, o.Result.MIPS())
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		a := byKey[key]
+		a.cell.Time = stats.Summarize(a.times)
+		a.cell.Energy = stats.Summarize(a.ens)
+		a.cell.MIPS = stats.Summarize(a.mips)
+		rs.Cells = append(rs.Cells, a.cell)
+	}
+	return rs
+}
+
+// Render formats the result set for terminals.
+func (rs *ResultSet) Render() string {
+	var sb strings.Builder
+	name := rs.Name
+	if name == "" {
+		name = "campaign"
+	}
+	fmt.Fprintf(&sb, "CAMPAIGN %s — %d jobs, %d cache hits, %d errors\n", name, rs.Total, rs.CacheHits, rs.Errors)
+	fmt.Fprintf(&sb, "fingerprint %s\n\n", rs.Fingerprint[:16])
+	tb := tablefmt.NewTable("benchmark", "platform", "sched", "config", "n", "time (s)", "±sd", "energy (J)", "MIPS")
+	for _, c := range rs.Cells {
+		tb.Row(c.Benchmark, c.Platform, c.Scheduler, c.Config, c.Time.N,
+			c.Time.Mean, c.Time.SD, c.Energy.Mean, c.MIPS.Mean)
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

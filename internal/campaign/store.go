@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the content-addressed result store: canonical result bytes keyed
+// by job content hash. Reads hit an in-memory tier first, then (when the
+// store was opened with a directory) an on-disk tier laid out as
+// dir/<key[:2]>/<key>.json — the two-character fan-out keeps directories
+// small for hundred-thousand-job campaigns. The disk tier is what makes a
+// warm re-run of a campaign across process restarts perform zero fresh
+// simulations.
+type Store struct {
+	mu  sync.RWMutex
+	mem map[string][]byte
+	dir string
+
+	hits, misses, puts uint64
+}
+
+// NewMemStore builds a memory-only store.
+func NewMemStore() *Store {
+	return &Store{mem: map[string][]byte{}}
+}
+
+// NewStore builds a store backed by dir (created if missing); an empty dir
+// means memory-only.
+func NewStore(dir string) (*Store, error) {
+	s := NewMemStore()
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: store dir: %w", err)
+	}
+	s.dir = dir
+	return s, nil
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get returns the stored canonical result bytes for key, if present.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	data, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok {
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+		return data, true
+	}
+	if s.dir != "" && len(key) > 2 {
+		if data, err := os.ReadFile(s.path(key)); err == nil {
+			s.mu.Lock()
+			s.mem[key] = data
+			s.hits++
+			s.mu.Unlock()
+			return data, true
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores canonical result bytes under key in memory and, when
+// configured, on disk (atomically, via rename).
+func (s *Store) Put(key string, data []byte) error {
+	s.mu.Lock()
+	s.mem[key] = data
+	s.puts++
+	s.mu.Unlock()
+	if s.dir == "" || len(key) <= 2 {
+		return nil
+	}
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of results resident in memory.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Stats returns cumulative hit/miss/put counters.
+func (s *Store) Stats() (hits, misses, puts uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits, s.misses, s.puts
+}

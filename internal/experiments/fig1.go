@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"astro/internal/campaign"
 	"astro/internal/hw"
 	"astro/internal/stats"
 	"astro/internal/tablefmt"
@@ -43,20 +44,43 @@ func Fig1(sc Scale) (*Fig1Result, error) {
 		BestE:  map[string]hw.Config{},
 		BestED: map[string]hw.Config{},
 	}
-	for _, name := range []string{"freqmine", "streamcluster"} {
+	// The whole cross-product (benchmark x configuration x repetition) is one
+	// campaign batch: embarrassingly parallel, cached across re-runs.
+	benches := []string{"freqmine", "streamcluster"}
+	configs := plat.Configs()
+	var jobs []*campaign.Job
+	for _, name := range benches {
 		mod, spec, err := compileBench(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, cfg := range plat.Configs() {
+		for _, cfg := range configs {
+			for r := 0; r < reps; r++ {
+				jobs = append(jobs, &campaign.Job{
+					Index:     len(jobs),
+					Label:     fmt.Sprintf("fig1/%s/%v/rep%d", name, cfg, r),
+					Benchmark: name,
+					Module:    mod,
+					Config:    cfg,
+					Seed:      int64(1000*r + 13),
+					Args:      argsFor(sc, spec),
+					Opts:      simOpts(sc, 0),
+				})
+			}
+		}
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+
+	next := 0
+	for _, name := range benches {
+		for _, cfg := range configs {
 			var times, energies []float64
 			for r := 0; r < reps; r++ {
-				opts := simOpts(sc, int64(1000*r+13))
-				opts.Args = argsFor(sc, spec)
-				res, err := runFixed(mod, plat, cfg, opts)
-				if err != nil {
-					return nil, fmt.Errorf("fig1: %s on %v: %w", name, cfg, err)
-				}
+				res := results[next]
+				next++
 				times = append(times, res.TimeS)
 				energies = append(energies, res.EnergyJ)
 			}

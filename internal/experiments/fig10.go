@@ -3,8 +3,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"astro/internal/campaign"
 	"astro/internal/hw"
+	"astro/internal/ir"
 	"astro/internal/rl"
 	"astro/internal/sched"
 	"astro/internal/sim"
@@ -47,17 +50,44 @@ var fig10Benchmarks = []string{
 	"hotspot3d", "cfd", "hotspot", "sradv2", "particlefilter", "bfs", "swaptions",
 }
 
+// Training hyperparameters for Fig. 10's per-benchmark agent. The hybrid
+// treatment's cache key is derived from these same constants, so changing
+// them automatically invalidates cached hybrid results.
+const (
+	fig10DQNSeed   = 301
+	fig10LR        = 0.05
+	fig10TrainSeed = 41
+)
+
 // Fig10 trains Astro per benchmark, extracts the static policy, and runs
-// the three treatments with per-sample seeds.
+// the three treatments with per-sample seeds. Each benchmark's pipeline
+// (train, then sample) is independent and internally deterministic, so the
+// benchmarks run concurrently up to the configured pool width, with rows
+// assembled in benchmark order; the per-treatment sample sets go through
+// the campaign pool as job batches.
 func Fig10(sc Scale) (*Fig10Result, error) {
-	plat := hw.OdroidXU4()
 	n := samplesFor(sc)
 	out := &Fig10Result{Scale: sc, Samples: n}
-	for _, name := range fig10Benchmarks {
-		row, err := fig10One(plat, name, sc, n)
+	rows := make([]*Fig10Row, len(fig10Benchmarks))
+	errs := make([]error, len(fig10Benchmarks))
+	sem := make(chan struct{}, Workers())
+	var wg sync.WaitGroup
+	for i, name := range fig10Benchmarks {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], errs[i] = fig10One(hw.OdroidXU4(), name, sc, n)
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("fig10: %s: %w", name, err)
+			return nil, fmt.Errorf("fig10: %s: %w", fig10Benchmarks[i], err)
 		}
+	}
+	for _, row := range rows {
 		out.Rows = append(out.Rows, *row)
 	}
 	return out, nil
@@ -72,14 +102,14 @@ func fig10One(plat *hw.Platform, name string, sc Scale, n int) (*Fig10Row, error
 
 	// Train the Q-learner on the learning-instrumented binary, with finer
 	// checkpoints than evaluation so each episode yields more updates.
-	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: 301, LR: 0.05})
+	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: fig10DQNSeed, LR: fig10LR})
 	act := sched.NewAstro(agent, plat, true)
 	base := simOpts(sc, 0)
 	base.OS = sched.NewGTS()
 	base.CheckpointS /= 2
 	if _, err := sched.Train(art.learning, plat, act, sched.TrainOptions{
 		Episodes: episodesFor(sc),
-		Seed:     41,
+		Seed:     fig10TrainSeed,
 		Args:     args,
 		SimOpts:  base,
 	}); err != nil {
@@ -92,54 +122,60 @@ func fig10One(plat *hw.Platform, name string, sc Scale, n int) (*Fig10Row, error
 	}
 
 	row := &Fig10Row{Benchmark: name}
-	sample := func(build func(seed int64) (*sim.Machine, error)) (Fig10Cell, error) {
+	// The three treatments x n samples are one campaign batch. GTS and
+	// static runs are plain cacheable jobs (the static policy is imprinted
+	// in the module, so the module hash carries it). Hybrid runs consult the
+	// trained agent at runtime: the agent lives outside the module, so its
+	// identity is spelled out in HybridKey (it is a pure function of the
+	// training inputs listed there), and the jobs share an Exclusive tag
+	// because DQN inference reuses scratch buffers that must not be raced.
+	hybridKey := fmt.Sprintf("fig10-hybrid:%s:%s:ep%d:dqn%d:lr%g:train%d:pol=%v",
+		name, sc, episodesFor(sc), fig10DQNSeed, fig10LR, fig10TrainSeed, pol.PerPhase)
+	var jobs []*campaign.Job
+	addJobs := func(kind string, mod *ir.Module, hybrid bool) {
+		for s := 0; s < n; s++ {
+			j := &campaign.Job{
+				Index:     len(jobs),
+				Label:     fmt.Sprintf("fig10/%s/%s/sample%d", name, kind, s),
+				Benchmark: name,
+				Module:    mod,
+				OS:        "gts",
+				Seed:      int64(9000 + 97*s),
+				Args:      args,
+				Opts:      simOpts(sc, 0),
+			}
+			if hybrid {
+				j.Hybrid = func() sim.HybridPolicy {
+					hr := sched.NewHybridRuntime(agent, plat)
+					hr.Policy = pol
+					return hr
+				}
+				j.HybridKey = hybridKey
+				j.Exclusive = "fig10-hybrid/" + name
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	addJobs("gts", art.plain, false)
+	addJobs("static", staticMod, false)
+	addJobs("hybrid", art.hybrid, true)
+	// Serial within a benchmark: Fig10 already parallelizes across
+	// benchmarks, so a nested parallel batch would oversubscribe to
+	// Workers^2 concurrent simulations.
+	results, err := runBatchSerial(jobs)
+	if err != nil {
+		return nil, err
+	}
+	cellOf := func(start int) Fig10Cell {
 		var cell Fig10Cell
 		for s := 0; s < n; s++ {
-			m, err := build(int64(9000 + 97*s))
-			if err != nil {
-				return cell, err
-			}
-			res, err := m.Run()
-			if err != nil {
-				return cell, err
-			}
+			res := results[start+s]
 			cell.Times = append(cell.Times, res.TimeS)
 			cell.Energies = append(cell.Energies, res.EnergyJ)
 		}
-		return cell, nil
+		return cell
 	}
-
-	// GTS baseline: all cores on, ARM's scheduler, no actuation.
-	if row.GTS, err = sample(func(seed int64) (*sim.Machine, error) {
-		o := simOpts(sc, seed)
-		o.Args = args
-		o.OS = sched.NewGTS()
-		return sim.New(art.plain, plat, o)
-	}); err != nil {
-		return nil, err
-	}
-	// Astro static: trained policy imprinted in the binary.
-	if row.Static, err = sample(func(seed int64) (*sim.Machine, error) {
-		o := simOpts(sc, seed)
-		o.Args = args
-		o.OS = sched.NewGTS()
-		return sim.New(staticMod, plat, o)
-	}); err != nil {
-		return nil, err
-	}
-	// Astro hybrid: determine-configuration calls consult the trained agent
-	// with the latest hardware phase.
-	if row.Hybrid, err = sample(func(seed int64) (*sim.Machine, error) {
-		o := simOpts(sc, seed)
-		o.Args = args
-		o.OS = sched.NewGTS()
-		hr := sched.NewHybridRuntime(agent, plat)
-		hr.Policy = pol
-		o.Hybrid = hr
-		return sim.New(art.hybrid, plat, o)
-	}); err != nil {
-		return nil, err
-	}
+	row.GTS, row.Static, row.Hybrid = cellOf(0), cellOf(n), cellOf(2*n)
 
 	_, row.PStatic = stats.MannWhitneyU(row.Static.Times, row.GTS.Times)
 	_, row.PHybrid = stats.MannWhitneyU(row.Hybrid.Times, row.GTS.Times)

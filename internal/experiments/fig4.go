@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"astro/internal/campaign"
 	"astro/internal/hw"
 	"astro/internal/tablefmt"
 )
@@ -31,28 +32,44 @@ var fig4Benchmarks = []string{
 	"blackscholes", "bodytrack", "facesim", "ferret", "streamcluster", "vips", "freqmine",
 }
 
-// Fig4 runs the sweep.
+// Fig4 runs the sweep: the 7 x 24 (benchmark x configuration) grid is one
+// campaign batch executed on the shared pool.
 func Fig4(sc Scale) (*Fig4Result, error) {
 	plat := hw.OdroidXU4()
 	out := &Fig4Result{Scale: sc}
+	configs := plat.Configs()
+	var jobs []*campaign.Job
 	for _, name := range fig4Benchmarks {
 		mod, spec, err := compileBench(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, cfg := range configs {
+			jobs = append(jobs, &campaign.Job{
+				Index:     len(jobs),
+				Label:     fmt.Sprintf("fig4/%s/%v", name, cfg),
+				Benchmark: name,
+				Module:    mod,
+				Config:    cfg,
+				Seed:      17,
+				Args:      argsFor(sc, spec),
+				Opts:      simOpts(sc, 0),
+			})
+		}
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	for bi, name := range fig4Benchmarks {
 		type pt struct {
 			cfg  hw.Config
 			time float64
 			en   float64
 		}
 		var pts []pt
-		for _, cfg := range plat.Configs() {
-			opts := simOpts(sc, 17)
-			opts.Args = argsFor(sc, spec)
-			res, err := runFixed(mod, plat, cfg, opts)
-			if err != nil {
-				return nil, fmt.Errorf("fig4: %s on %v: %w", name, cfg, err)
-			}
+		for ci, cfg := range configs {
+			res := results[bi*len(configs)+ci]
 			pts = append(pts, pt{cfg, res.TimeS, res.EnergyJ})
 		}
 		fastest := pts[0]

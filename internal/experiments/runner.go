@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+
+	"astro/internal/campaign"
+	"astro/internal/sim"
+)
+
+// The figure drivers execute their simulation sweeps through a shared
+// campaign pool instead of inline loops: sweeps become job batches that run
+// on -j workers with content-addressed caching, so astro-experiments -j 8
+// parallelizes every cross-product and a re-run against a warm cache skips
+// the simulations entirely. The default executor is serial with an
+// in-process cache, which keeps `go test` behaviour identical to the old
+// inline loops (the simulator is deterministic, so worker count never
+// changes results — internal/campaign's determinism tests hold the proof).
+var (
+	execMu   sync.RWMutex
+	execPool = &campaign.Pool{Workers: 1, Store: campaign.NewMemStore()}
+	execCtx  = context.Background()
+)
+
+// ExecConfig reconfigures the shared executor. Zero/nil fields keep the
+// current setting.
+type ExecConfig struct {
+	Workers int             // pool width (astro-experiments -j)
+	Store   *campaign.Store // result cache (e.g. disk-backed for warm re-runs)
+	Ctx     context.Context // deadline/cancellation (astro-experiments -timeout)
+}
+
+// Configure applies cfg to the executor used by all figure drivers.
+func Configure(cfg ExecConfig) {
+	execMu.Lock()
+	defer execMu.Unlock()
+	if cfg.Workers > 0 {
+		execPool = &campaign.Pool{Workers: cfg.Workers, Store: execPool.Store, Retries: execPool.Retries}
+	}
+	if cfg.Store != nil {
+		execPool = &campaign.Pool{Workers: execPool.Workers, Store: cfg.Store, Retries: execPool.Retries}
+	}
+	if cfg.Ctx != nil {
+		execCtx = cfg.Ctx
+	}
+}
+
+// Workers reports the configured pool width; drivers with serial
+// per-benchmark stages (training) use it to bound benchmark-level
+// concurrency.
+func Workers() int {
+	execMu.RLock()
+	defer execMu.RUnlock()
+	return execPool.Workers
+}
+
+// runBatch executes jobs on the shared pool and returns their results in
+// job order, failing on the first job error.
+func runBatch(jobs []*campaign.Job) ([]*sim.Result, error) {
+	return runBatchWidth(jobs, 0)
+}
+
+// runBatchSerial executes jobs one at a time (same store and context).
+// Drivers that already fan out at a coarser grain — fig10 runs whole
+// benchmark pipelines concurrently up to Workers() — use it so total
+// in-flight simulations stay bounded by the pool width instead of
+// multiplying (outer goroutines x inner workers).
+func runBatchSerial(jobs []*campaign.Job) ([]*sim.Result, error) {
+	return runBatchWidth(jobs, 1)
+}
+
+func runBatchWidth(jobs []*campaign.Job, width int) ([]*sim.Result, error) {
+	execMu.RLock()
+	pool, ctx := execPool, execCtx
+	execMu.RUnlock()
+	if width > 0 {
+		pool = &campaign.Pool{Workers: width, Store: pool.Store, Retries: pool.Retries}
+	}
+	outs, err := pool.Run(ctx, jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Results(outs)
+}

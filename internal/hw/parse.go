@@ -1,0 +1,44 @@
+package hw
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig parses the paper's xLyB notation ("2L3B", case-insensitive)
+// back into a Config. It accepts exactly the format Config.String emits.
+func ParseConfig(s string) (Config, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	li := strings.IndexByte(up, 'L')
+	if li <= 0 || !strings.HasSuffix(up, "B") {
+		return Config{}, fmt.Errorf("hw: config %q is not of the form <n>L<m>B", s)
+	}
+	l, err := strconv.Atoi(up[:li])
+	if err != nil {
+		return Config{}, fmt.Errorf("hw: config %q: bad LITTLE count: %w", s, err)
+	}
+	b, err := strconv.Atoi(up[li+1 : len(up)-1])
+	if err != nil {
+		return Config{}, fmt.Errorf("hw: config %q: bad big count: %w", s, err)
+	}
+	c := Config{Little: l, Big: b}
+	if c.Cores() == 0 || l < 0 || b < 0 {
+		return Config{}, fmt.Errorf("hw: config %q has no active cores", s)
+	}
+	return c, nil
+}
+
+// ByName returns a fresh instance of a built-in platform ("odroid-xu4",
+// "jetson-tk1").
+func ByName(name string) (*Platform, error) {
+	mk, ok := Platforms()[name]
+	if !ok {
+		var have []string
+		for n := range Platforms() {
+			have = append(have, n)
+		}
+		return nil, fmt.Errorf("hw: unknown platform %q (have %v)", name, have)
+	}
+	return mk(), nil
+}

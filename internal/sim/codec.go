@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical result serialization. The campaign engine keys simulations by
+// the content hash of their inputs and stores results by value; the bytes
+// produced here are the stored value. encoding/json emits struct fields in
+// declaration order with a fixed float format, so for a given Result the
+// encoding is byte-stable — which is what lets the campaign determinism
+// tests compare whole result sets bytewise across worker counts and across
+// cache hits.
+
+// EncodeResult serializes a result to its canonical byte form.
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil {
+		return nil, fmt.Errorf("sim: cannot encode nil result")
+	}
+	return json.Marshal(r)
+}
+
+// DecodeResult parses a result previously produced by EncodeResult.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("sim: decode result: %w", err)
+	}
+	return &r, nil
+}
+
+// Fingerprint returns a short stable identity for a set of option knobs,
+// used in simulation cache keys. Interface-valued fields (OS, Actuator,
+// Hybrid) are the caller's responsibility: they carry behaviour that the
+// caller must name in its own part of the key, so Fingerprint rejects
+// options that still have them set.
+func (o Options) Fingerprint() (string, error) {
+	if o.OS != nil || o.Actuator != nil || o.Hybrid != nil {
+		return "", fmt.Errorf("sim: options fingerprint requires nil OS/Actuator/Hybrid (name policies separately)")
+	}
+	// %+v covers every scalar field, including ones added later, in
+	// declaration order.
+	return fmt.Sprintf("%+v", o), nil
+}

@@ -73,14 +73,15 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
-// Summary bundles descriptive statistics of a sample.
+// Summary bundles descriptive statistics of a sample. The JSON form feeds
+// the campaign engine's aggregated result sets.
 type Summary struct {
-	N      int
-	Mean   float64
-	SD     float64
-	Median float64
-	Min    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	SD     float64 `json:"sd"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 // Summarize computes a Summary.

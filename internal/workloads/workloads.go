@@ -12,6 +12,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"astro/internal/ir"
 	"astro/internal/lang"
@@ -90,4 +91,54 @@ func Suite(suite string) []Spec {
 		}
 	}
 	return out
+}
+
+// Expand resolves benchmark patterns to specs, preserving pattern order and
+// de-duplicating. A pattern is an exact benchmark name, a suite name
+// ("parsec", "rodinia", "micro"), "all", or a '*'-suffixed prefix glob
+// ("hotspot*"). Campaign specs and CLI flags use this to name sweeps
+// compactly.
+func Expand(patterns []string) ([]Spec, error) {
+	var out []Spec
+	seen := map[string]bool{}
+	add := func(s Spec) {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all":
+			for _, s := range All() {
+				add(s)
+			}
+		case pat == "parsec" || pat == "rodinia" || pat == "micro":
+			for _, s := range Suite(pat) {
+				add(s)
+			}
+		case strings.HasSuffix(pat, "*"):
+			prefix := strings.TrimSuffix(pat, "*")
+			matched := false
+			for _, s := range All() {
+				if strings.HasPrefix(s.Name, prefix) {
+					add(s)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("workloads: pattern %q matches no benchmark", pat)
+			}
+		default:
+			s, ok := ByName(pat)
+			if !ok {
+				return nil, fmt.Errorf("workloads: unknown benchmark %q (have %v)", pat, Names())
+			}
+			add(s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workloads: no benchmarks selected")
+	}
+	return out, nil
 }
