@@ -1,0 +1,131 @@
+// Command astro-bench converts `go test -bench` output into the repo's
+// BENCH_<n>.json baseline format so the performance trajectory is tracked
+// PR-over-PR (benchmark name → ns/op, allocs/op, custom metrics).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Burst|Observe|Fig1Workload' -benchmem ./... | go run ./cmd/astro-bench -o BENCH_2.json
+//
+// Multiple -count runs of the same benchmark are aggregated by minimum
+// ns/op (the least-noise estimate on a shared machine); custom metrics keep
+// the value from the fastest run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's recorded numbers.
+type Entry struct {
+	N           int64              `json:"n"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkBurstFast-8   2263   470445 ns/op   239.4 Minstr/s   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// extra matches one trailing "<value> <unit>" metric pair.
+var extra = regexp.MustCompile(`([\d.]+) (\S+)`)
+
+// Parse reads benchmark output and returns the aggregated entries.
+func Parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{N: n, NsPerOp: ns}
+		for _, kv := range extra.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				continue
+			}
+			switch kv[2] {
+			case "B/op":
+				b := int64(v)
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a := int64(v)
+				e.AllocsPerOp = &a
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[kv[2]] = v
+			}
+		}
+		if prev, ok := out[name]; !ok || e.NsPerOp < prev.NsPerOp {
+			out[name] = e
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	entries, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "astro-bench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	file := File{Schema: "astro-bench-v1", Go: runtime.Version(), Benchmarks: entries}
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("astro-bench: wrote %d benchmarks to %s (%s)\n", len(names), *outPath, strings.Join(names, ", "))
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out, err := Parse(strings.NewReader(`
+goos: linux
+BenchmarkBurstFast-8   	    2263	    470445 ns/op	       239.4 Minstr/s	       0 B/op	       0 allocs/op
+BenchmarkBurstFast-8   	    2300	    460000 ns/op	       244.0 Minstr/s	       0 B/op	       0 allocs/op
+BenchmarkObserve       	   12345	      9876.5 ns/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(out))
+	}
+	fast := out["BenchmarkBurstFast"]
+	if fast.NsPerOp != 460000 { // min of the two runs
+		t.Fatalf("ns/op = %v, want 460000", fast.NsPerOp)
+	}
+	if fast.Metrics["Minstr/s"] != 244.0 {
+		t.Fatalf("metric = %v, want 244.0", fast.Metrics["Minstr/s"])
+	}
+	if fast.AllocsPerOp == nil || *fast.AllocsPerOp != 0 || fast.BytesPerOp == nil || *fast.BytesPerOp != 0 {
+		t.Fatalf("allocs/bytes not parsed: %+v", fast)
+	}
+	obs := out["BenchmarkObserve"]
+	if obs.NsPerOp != 9876.5 || obs.N != 12345 || obs.AllocsPerOp != nil {
+		t.Fatalf("plain entry wrong: %+v", obs)
+	}
+}

@@ -96,9 +96,21 @@ func TestServeCampaignLifecycle(t *testing.T) {
 		t.Fatalf("SSE delivered %d progress / %d state events", progress, terminal)
 	}
 
-	// Status and results after completion.
+	// Status and results after completion. The status carries the
+	// cold-vs-cached split and the aggregate simulated-work throughput.
 	if code := getJSON(t, srv.URL+"/campaigns/"+st.ID, &st); code != 200 || st.State != campaign.StateDone {
 		t.Fatalf("status: code %d, %+v", code, st)
+	}
+	if st.ColdJobs != st.Total || st.CacheHits != 0 {
+		t.Fatalf("first run of a fresh engine must be all cold: %+v", st)
+	}
+	// Cycle counters accumulate per checkpoint, so ultra-short runs may
+	// legitimately report zero cycles; instructions are always present.
+	if st.SimInstr == 0 {
+		t.Fatalf("simulated-work metrics missing from status: %+v", st)
+	}
+	if st.SimCycles > 0 && st.SimCyclesPerSec <= 0 {
+		t.Fatalf("cycles present but rate missing: %+v", st)
 	}
 	var rs campaign.ResultSet
 	if code := getJSON(t, srv.URL+"/campaigns/"+st.ID+"/results", &rs); code != 200 {

@@ -35,10 +35,19 @@ type Status struct {
 	Total     int       `json:"total"`
 	Done      int       `json:"done"`
 	CacheHits int       `json:"cache_hits"`
+	ColdJobs  int       `json:"cold_jobs"` // finished jobs that simulated fresh
 	Errors    int       `json:"errors"`
 	Created   time.Time `json:"created"`
 	ElapsedS  float64   `json:"elapsed_s"`
 	Error     string    `json:"error,omitempty"`
+
+	// Aggregate simulated work delivered so far and its wall-clock rate.
+	// SimCyclesPerSec is the observable form of every speedup layer: the
+	// fast path raises it on cold runs, the caches raise it by orders of
+	// magnitude on warm runs.
+	SimInstr        uint64  `json:"sim_instructions"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 }
 
 // Campaign is one submitted spec moving through the engine.
@@ -52,6 +61,8 @@ type Campaign struct {
 	done      int
 	cacheHits int
 	errors    int
+	simInstr  uint64
+	simCycles uint64
 	created   time.Time
 	finished  time.Time
 	errMsg    string
@@ -127,6 +138,8 @@ func (e *Engine) run(ctx context.Context, c *Campaign, jobs []*Job) {
 		if p.Err != "" {
 			c.errors++
 		}
+		c.simInstr += p.SimInstr
+		c.simCycles += p.SimCycles
 		c.publishLocked(Event{Type: "progress", Progress: &p})
 		c.mu.Unlock()
 	})
@@ -228,14 +241,20 @@ func (c *Campaign) Status() Status {
 		Total:     c.total,
 		Done:      c.done,
 		CacheHits: c.cacheHits,
+		ColdJobs:  c.done - c.cacheHits,
 		Errors:    c.errors,
 		Created:   c.created,
 		Error:     c.errMsg,
+		SimInstr:  c.simInstr,
+		SimCycles: c.simCycles,
 	}
 	if c.state == StateRunning {
 		st.ElapsedS = time.Since(c.created).Seconds()
 	} else {
 		st.ElapsedS = c.finished.Sub(c.created).Seconds()
+	}
+	if st.ElapsedS > 0 {
+		st.SimCyclesPerSec = float64(st.SimCycles) / st.ElapsedS
 	}
 	return st
 }

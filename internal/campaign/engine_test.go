@@ -98,6 +98,12 @@ func TestEngineSharedCacheAcrossCampaigns(t *testing.T) {
 	if st.CacheHits != st.Total {
 		t.Fatalf("resubmitted campaign: %d/%d cache hits", st.CacheHits, st.Total)
 	}
+	if st.ColdJobs != 0 {
+		t.Fatalf("resubmitted campaign reports %d cold jobs", st.ColdJobs)
+	}
+	if st.SimCycles != waitTerminal(t, c1).SimCycles {
+		t.Fatal("cached campaign delivered different simulated work than the cold one")
+	}
 	if c1.Results().Fingerprint != c2.Results().Fingerprint {
 		t.Fatal("resubmission changed the result fingerprint")
 	}

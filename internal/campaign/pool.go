@@ -20,18 +20,37 @@ type Progress struct {
 	CacheHit bool    `json:"cache_hit"`
 	WallS    float64 `json:"wall_s"`
 	Err      string  `json:"err,omitempty"`
+	// Simulated work delivered by the job (whether simulated fresh or
+	// served from cache): retired instructions and core cycles. The engine
+	// aggregates these into campaign throughput (simulated cycles per wall
+	// second), which is how fast-path and cache speedups show up over HTTP.
+	SimInstr  uint64 `json:"sim_instr,omitempty"`
+	SimCycles uint64 `json:"sim_cycles,omitempty"`
 }
 
 // Outcome is one job's terminal state.
 type Outcome struct {
-	Job      *Job
-	Result   *sim.Result
-	Bytes    []byte // canonical result encoding (what the store holds)
-	CacheHit bool
-	Err      error
-	Attempts int
-	Worker   int
-	WallS    float64
+	Job       *Job
+	Result    *sim.Result
+	Bytes     []byte // canonical result encoding (what the store holds)
+	CacheHit  bool
+	Err       error
+	Attempts  int
+	Worker    int
+	WallS     float64
+	SimInstr  uint64 // retired instructions in the simulated run
+	SimCycles uint64 // core cycles across the run's checkpoints
+}
+
+// resultWork extracts a result's simulated-work totals.
+func resultWork(r *sim.Result) (instr, cycles uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	for _, ck := range r.Checkpoints {
+		cycles += ck.HW.Cycles
+	}
+	return r.Instructions, cycles
 }
 
 // Pool executes job batches. Jobs are sharded statically: worker w owns
@@ -76,13 +95,15 @@ func (p *Pool) Run(ctx context.Context, jobs []*Job, onProgress func(Progress)) 
 			return
 		}
 		pr := Progress{
-			JobIndex: o.Job.Index,
-			Label:    o.Job.Label,
-			Done:     n,
-			Total:    len(jobs),
-			Worker:   o.Worker,
-			CacheHit: o.CacheHit,
-			WallS:    o.WallS,
+			JobIndex:  o.Job.Index,
+			Label:     o.Job.Label,
+			Done:      n,
+			Total:     len(jobs),
+			Worker:    o.Worker,
+			CacheHit:  o.CacheHit,
+			WallS:     o.WallS,
+			SimInstr:  o.SimInstr,
+			SimCycles: o.SimCycles,
 		}
 		if o.Err != nil {
 			pr.Err = o.Err.Error()
@@ -129,6 +150,7 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 			res, err := sim.DecodeResult(data)
 			if err == nil {
 				o.Result, o.Bytes, o.CacheHit = res, data, true
+				o.SimInstr, o.SimCycles = resultWork(res)
 				o.WallS = time.Since(start).Seconds()
 				return o
 			}
@@ -157,6 +179,7 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 		}
 	}
 	o.Err = nil
+	o.SimInstr, o.SimCycles = resultWork(o.Result)
 
 	data, err := sim.EncodeResult(o.Result)
 	if err != nil {

@@ -72,7 +72,13 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Put stores canonical result bytes under key in memory and, when
-// configured, on disk (atomically, via rename).
+// configured, on disk. The disk write is crash-safe: the bytes are written
+// to a temporary file which is fsynced *before* the atomic rename, and the
+// containing directory is fsynced after, so a killed or power-cut run can
+// never leave a visible-but-truncated entry. (Rename-without-fsync can be
+// reordered by the filesystem so the name appears before the data blocks;
+// a truncated-but-parseable JSON prefix would then poison warm-cache
+// determinism, which trusts stored bytes as canonical.)
 func (s *Store) Put(key string, data []byte) error {
 	s.mu.Lock()
 	s.mem[key] = data
@@ -94,6 +100,11 @@ func (s *Store) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: store put: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: store put: %w", err)
@@ -102,7 +113,20 @@ func (s *Store) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("campaign: store put: %w", err)
 	}
+	syncDir(filepath.Dir(p))
 	return nil
+}
+
+// syncDir persists a directory entry (the rename) to stable storage. Best
+// effort: a failure only weakens crash durability, never correctness — the
+// entry is either fully present or absent after recovery either way.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // Len returns the number of results resident in memory.

@@ -1,0 +1,223 @@
+package campaign
+
+// Trained-agent memoization: Q-learning training is a sequential process
+// whose episodes feed the next, so it cannot be cached as simulation jobs —
+// it was the residual ~30s of a warm-cache paper suite. But a *finished*
+// training run is a pure function of its inputs: the learning-instrumented
+// module, the platform, the agent kind and hyper-parameters, the reward
+// exponent, the episode count, the seed, the program arguments and the
+// simulator knobs. TrainCell content-addresses the trained agent under a
+// key derived from exactly those inputs and stores an inference-exact
+// snapshot (rl.Snapshot) in the campaign store, so a warm-cache suite run
+// skips training entirely; TrainCells fans independent cells out across
+// workers the way Pool shards simulation jobs.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/rl"
+	"astro/internal/sched"
+	"astro/internal/sim"
+)
+
+// TrainSpec fully describes one training cell. Every field participates in
+// the cache key (via Key) except Label.
+type TrainSpec struct {
+	Label    string
+	Module   *ir.Module // the learning-instrumented binary
+	PlatName string     // "" = DefaultPlatform
+	OS       string     // OS policy by name, as in Job ("" or "gts")
+	Agent    string     // "dqn" (default) or "tabular"
+	DQN      rl.DQNConfig
+	Gamma    float64 // reward exponent; 0 = the paper's 2.0
+	Hipster  bool    // phase-blind variant (no program phases in the state)
+	Episodes int     // 0 = sched.Train's default
+	Seed     int64
+	Args     []int64
+	Opts     sim.Options // scalar knobs only; policies must be nil
+}
+
+// Key returns the cell's content address. Like Job.Key, it is a SHA-256
+// over every input that can influence the trained agent.
+func (ts *TrainSpec) Key() (string, error) {
+	if ts.Opts.OS != nil || ts.Opts.Actuator != nil || ts.Opts.Hybrid != nil {
+		return "", fmt.Errorf("campaign: train spec %q: set policies by name, not in Opts", ts.Label)
+	}
+	opts := ts.Opts
+	opts.Seed, opts.Args = 0, nil
+	fp, err := opts.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	episodes := ts.Episodes
+	if episodes == 0 {
+		episodes = 12 // sched.Train's default
+	}
+	gamma := ts.Gamma
+	if gamma == 0 {
+		gamma = 2.0
+	}
+	agent := ts.Agent
+	if agent == "" {
+		agent = "dqn"
+	}
+	var sb strings.Builder
+	sb.WriteString("astro-trained-agent-v1\n")
+	sb.WriteString(ModuleHash(ts.Module))
+	sb.WriteByte('\n')
+	plat := ts.PlatName
+	if plat == "" {
+		plat = DefaultPlatform
+	}
+	sb.WriteString(plat)
+	sb.WriteByte('\n')
+	sb.WriteString(ts.OS)
+	sb.WriteByte('\n')
+	sb.WriteString(agent)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%+v\n", ts.DQN)
+	fmt.Fprintf(&sb, "gamma=%g hipster=%t episodes=%d seed=%d\n", gamma, ts.Hipster, episodes, ts.Seed)
+	for _, a := range ts.Args {
+		sb.WriteString(strconv.FormatInt(a, 10))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('\n')
+	sb.WriteString(fp)
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Trained is a training cell's outcome.
+type Trained struct {
+	Agent    rl.Agent
+	Visits   []rl.State
+	Stats    []sched.EpisodeStat
+	CacheHit bool
+}
+
+// trainedSnapshot is the stored byte form of a finished training cell.
+type trainedSnapshot struct {
+	Agent  *rl.Snapshot        `json:"agent"`
+	Visits []rl.State          `json:"visits"`
+	Stats  []sched.EpisodeStat `json:"stats"`
+}
+
+// TrainCell trains one cell, consulting store first (nil store trains
+// fresh). A cache hit restores an inference-exact agent: Best/Q — and
+// therefore extracted policies and hybrid decisions — are bit-identical to
+// the freshly trained agent's, so warm and cold suite runs produce
+// byte-identical results.
+func TrainCell(store *Store, ts *TrainSpec) (*Trained, error) {
+	if ts.Module == nil {
+		return nil, fmt.Errorf("campaign: train spec %q has no module", ts.Label)
+	}
+	key, err := ts.Key()
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		if data, ok := store.Get(key); ok {
+			var snap trainedSnapshot
+			if err := json.Unmarshal(data, &snap); err == nil && snap.Agent != nil {
+				if agent, err := snap.Agent.Restore(); err == nil {
+					return &Trained{
+						Agent:    agent,
+						Visits:   snap.Visits,
+						Stats:    snap.Stats,
+						CacheHit: true,
+					}, nil
+				}
+			}
+			// A corrupt snapshot falls through to fresh training, which
+			// overwrites it.
+		}
+	}
+
+	plat, err := hw.ByName(ts.platformName())
+	if err != nil {
+		return nil, err
+	}
+	opts := ts.Opts
+	if opts.OS, err = buildOS(ts.OS); err != nil {
+		return nil, err
+	}
+	tr, err := sched.TrainAstro(ts.Module, plat, ts.Agent, ts.DQN, ts.Hipster, ts.Gamma, sched.TrainOptions{
+		Episodes: ts.Episodes,
+		Seed:     ts.Seed,
+		Args:     ts.Args,
+		SimOpts:  opts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: train %q: %w", ts.Label, err)
+	}
+	out := &Trained{Agent: tr.Agent, Visits: tr.Visits, Stats: tr.Stats}
+	if store != nil {
+		var snap trainedSnapshot
+		switch a := tr.Agent.(type) {
+		case *rl.DQN:
+			snap.Agent = a.Snapshot()
+		case *rl.Tabular:
+			snap.Agent = a.Snapshot()
+		default:
+			return out, nil // unknown agent kind: usable, just not cacheable
+		}
+		snap.Visits = tr.Visits
+		snap.Stats = tr.Stats
+		if data, err := json.Marshal(&snap); err == nil {
+			// Best effort, like Pool's cache fill: a failed Put only costs
+			// future memoization.
+			_ = store.Put(key, data)
+		}
+	}
+	return out, nil
+}
+
+func (ts *TrainSpec) platformName() string {
+	if ts.PlatName == "" {
+		return DefaultPlatform
+	}
+	return ts.PlatName
+}
+
+// TrainCells trains independent cells on workers goroutines with the same
+// deterministic index sharding as Pool.Run. Each cell is internally
+// sequential (episodes feed the next), but cells share nothing, so the
+// result set is identical for any worker count — the training counterpart
+// of the -j1 ≡ -j8 campaign invariant.
+func TrainCells(store *Store, specs []*TrainSpec, workers int) ([]*Trained, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) && len(specs) > 0 {
+		workers = len(specs)
+	}
+	outs := make([]*Trained, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(specs); i += workers {
+				outs[i], errs[i] = TrainCell(store, specs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("cell %d (%s): %w", i, specs[i].Label, err))
+		}
+	}
+	return outs, errors.Join(joined...)
+}

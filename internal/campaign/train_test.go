@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"astro/internal/features"
+	"astro/internal/instrument"
+	"astro/internal/rl"
+	"astro/internal/sim"
+	"astro/internal/workloads"
+)
+
+// trainSpecFor builds a small training cell for a bundled workload.
+func trainSpecFor(t *testing.T, name string, seed int64) *TrainSpec {
+	t.Helper()
+	spec, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("workload %s not registered", name)
+	}
+	mod, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := features.AnalyzeModule(mod, features.Options{})
+	learn, err := instrument.ForLearning(mod, mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TrainSpec{
+		Label:    "train/" + name,
+		Module:   learn,
+		OS:       "gts",
+		Agent:    "dqn",
+		DQN:      rl.DQNConfig{Seed: seed, LR: 0.05},
+		Episodes: 2,
+		Seed:     seed,
+		Args:     spec.SmallArgs(),
+		Opts: sim.Options{
+			CheckpointS: 200e-6,
+			QuantumS:    50e-6,
+			TickS:       100e-6,
+		},
+	}
+}
+
+// agentFingerprint reduces an agent to the observable surface downstream
+// consumers use: greedy actions and Q-values over a state sample.
+func agentFingerprint(t *testing.T, a rl.Agent) []byte {
+	t.Helper()
+	type probe struct {
+		Best int
+		Q    float64
+	}
+	var probes []probe
+	for cfg := 0; cfg < a.NumActions(); cfg += 3 {
+		for ph := 0; ph < features.NumPhases; ph++ {
+			s := rl.State{ConfigID: cfg, ProgPhase: ph, HWPhaseID: (cfg*7 + ph) % 81}
+			probes = append(probes, probe{Best: a.Best(s), Q: a.Q(s, a.Best(s))})
+		}
+	}
+	data, err := json.Marshal(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTrainCellMemoization trains a cell cold, then re-trains against the
+// same store and requires a cache hit whose restored agent is
+// inference-identical (bit-equal Best/Q everywhere sampled) and whose
+// visits and stats round-tripped.
+func TestTrainCellMemoization(t *testing.T) {
+	store := NewMemStore()
+	cold, err := TrainCell(store, trainSpecFor(t, "spin", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first training run reported a cache hit")
+	}
+	warm, err := TrainCell(store, trainSpecFor(t, "spin", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second training run missed the cache")
+	}
+	if !bytes.Equal(agentFingerprint(t, cold.Agent), agentFingerprint(t, warm.Agent)) {
+		t.Fatal("restored agent's Best/Q diverge from the trained agent's")
+	}
+	if len(warm.Visits) != len(cold.Visits) || len(warm.Stats) != len(cold.Stats) {
+		t.Fatalf("visits/stats did not round-trip: %d/%d vs %d/%d",
+			len(warm.Visits), len(warm.Stats), len(cold.Visits), len(cold.Stats))
+	}
+	for i := range cold.Visits {
+		if warm.Visits[i] != cold.Visits[i] {
+			t.Fatalf("visit %d changed across the cache: %+v vs %+v", i, warm.Visits[i], cold.Visits[i])
+		}
+	}
+}
+
+// TestTrainCellsWorkerCountInvariance is the training counterpart of the
+// -j1 ≡ -j8 campaign determinism invariant: training independent cells on
+// 1 worker and on 4 workers must produce identical agents.
+func TestTrainCellsWorkerCountInvariance(t *testing.T) {
+	names := []string{"spin", "matrixmul", "blackscholes"}
+	build := func() []*TrainSpec {
+		var specs []*TrainSpec
+		for i, n := range names {
+			specs = append(specs, trainSpecFor(t, n, int64(100+i)))
+		}
+		return specs
+	}
+	serial, err := TrainCells(NewMemStore(), build(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := TrainCells(NewMemStore(), build(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if parallel[i].CacheHit || serial[i].CacheHit {
+			t.Fatalf("cell %d: unexpected cache hit on fresh stores", i)
+		}
+		if !bytes.Equal(agentFingerprint(t, serial[i].Agent), agentFingerprint(t, parallel[i].Agent)) {
+			t.Fatalf("cell %d (%s): 1-worker and 4-worker training disagree", i, names[i])
+		}
+	}
+}
+
+// TestTrainSpecKeySensitivity checks that every training-relevant input
+// moves the cache key, and that label changes do not.
+func TestTrainSpecKeySensitivity(t *testing.T) {
+	base := trainSpecFor(t, "spin", 9)
+	key := func(ts *TrainSpec) string {
+		k, err := ts.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	k0 := key(base)
+
+	same := trainSpecFor(t, "spin", 9)
+	same.Label = "different label"
+	if key(same) != k0 {
+		t.Fatal("label participates in the key")
+	}
+	mut := func(f func(*TrainSpec)) string {
+		ts := trainSpecFor(t, "spin", 9)
+		f(ts)
+		return key(ts)
+	}
+	changes := map[string]string{
+		"seed":     mut(func(ts *TrainSpec) { ts.Seed++ }),
+		"episodes": mut(func(ts *TrainSpec) { ts.Episodes++ }),
+		"lr":       mut(func(ts *TrainSpec) { ts.DQN.LR = 0.01 }),
+		"agent":    mut(func(ts *TrainSpec) { ts.Agent = "tabular" }),
+		"gamma":    mut(func(ts *TrainSpec) { ts.Gamma = 1.0 }),
+		"hipster":  mut(func(ts *TrainSpec) { ts.Hipster = true }),
+		"os":       mut(func(ts *TrainSpec) { ts.OS = "" }),
+		"args":     mut(func(ts *TrainSpec) { ts.Args = []int64{1, 2} }),
+		"opts":     mut(func(ts *TrainSpec) { ts.Opts.QuantumS = 75e-6 }),
+	}
+	seen := map[string]string{k0: "base"}
+	for name, k := range changes {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestTrainCellTabular exercises the tabular snapshot round trip.
+func TestTrainCellTabular(t *testing.T) {
+	store := NewMemStore()
+	spec := trainSpecFor(t, "spin", 4)
+	spec.Agent = "tabular"
+	cold, err := TrainCell(store, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := trainSpecFor(t, "spin", 4)
+	spec2.Agent = "tabular"
+	warm, err := TrainCell(store, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("tabular cell missed the cache")
+	}
+	if !bytes.Equal(agentFingerprint(t, cold.Agent), agentFingerprint(t, warm.Agent)) {
+		t.Fatal("restored tabular agent diverges")
+	}
+	if _, ok := warm.Agent.(*rl.Tabular); !ok {
+		t.Fatalf("restored agent has kind %T, want *rl.Tabular", warm.Agent)
+	}
+}

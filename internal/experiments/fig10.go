@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"astro/internal/campaign"
 	"astro/internal/hw"
@@ -60,128 +59,124 @@ const (
 )
 
 // Fig10 trains Astro per benchmark, extracts the static policy, and runs
-// the three treatments with per-sample seeds. Each benchmark's pipeline
-// (train, then sample) is independent and internally deterministic, so the
-// benchmarks run concurrently up to the configured pool width, with rows
-// assembled in benchmark order; the per-treatment sample sets go through
-// the campaign pool as job batches.
+// the three treatments with per-sample seeds. The pipeline has two phases,
+// both scaled by the configured pool width:
+//
+//  1. Training: every (benchmark, hyper-parameter) cell is independent, so
+//     the cells train concurrently via campaign.TrainCells, and each
+//     trained agent is content-addressed in the shared store — a warm-cache
+//     re-run restores the agents instead of re-training (the former ~30s
+//     residual of a warm paper suite).
+//  2. Sampling: the 7 benchmarks x 3 treatments x n samples form one
+//     campaign batch on the shared pool (hybrid jobs serialize per
+//     benchmark via their Exclusive tag).
 func Fig10(sc Scale) (*Fig10Result, error) {
 	n := samplesFor(sc)
+	plat := hw.OdroidXU4()
 	out := &Fig10Result{Scale: sc, Samples: n}
-	rows := make([]*Fig10Row, len(fig10Benchmarks))
-	errs := make([]error, len(fig10Benchmarks))
-	sem := make(chan struct{}, Workers())
-	var wg sync.WaitGroup
+
+	arts := make([]*learningArtifacts, len(fig10Benchmarks))
+	specs := make([]*campaign.TrainSpec, len(fig10Benchmarks))
 	for i, name := range fig10Benchmarks {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], errs[i] = fig10One(hw.OdroidXU4(), name, sc, n)
-		}(i, name)
-	}
-	wg.Wait()
-	for i, err := range errs {
+		art, err := prepare(name)
 		if err != nil {
-			return nil, fmt.Errorf("fig10: %s: %w", fig10Benchmarks[i], err)
+			return nil, fmt.Errorf("fig10: %s: %w", name, err)
+		}
+		arts[i] = art
+		// Train with finer checkpoints than evaluation so each episode
+		// yields more updates.
+		base := simOpts(sc, 0)
+		base.CheckpointS /= 2
+		specs[i] = &campaign.TrainSpec{
+			Label:    "fig10/train/" + name,
+			Module:   art.learning,
+			OS:       "gts",
+			Agent:    "dqn",
+			DQN:      rl.DQNConfig{Seed: fig10DQNSeed, LR: fig10LR},
+			Episodes: episodesFor(sc),
+			Seed:     fig10TrainSeed,
+			Args:     argsFor(sc, art.spec),
+			Opts:     base,
 		}
 	}
-	for _, row := range rows {
-		out.Rows = append(out.Rows, *row)
+	trained, err := campaign.TrainCells(Store(), specs, Workers())
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+
+	var jobs []*campaign.Job
+	starts := make([]int, len(fig10Benchmarks))
+	for i, name := range fig10Benchmarks {
+		art := arts[i]
+		agent := trained[i].Agent
+		args := argsFor(sc, art.spec)
+		pol := sched.ExtractPolicyVisited(agent, plat, trained[i].Visits)
+		staticMod, err := art.static(plat, pol)
+		if err != nil {
+			return nil, fmt.Errorf("fig10: %s: %w", name, err)
+		}
+		// GTS and static runs are plain cacheable jobs (the static policy is
+		// imprinted in the module, so the module hash carries it). Hybrid
+		// runs consult the trained agent at runtime: the agent lives outside
+		// the module, so its identity is spelled out in HybridKey (a pure
+		// function of the training inputs listed there), and the jobs share
+		// an Exclusive tag because DQN inference reuses scratch buffers that
+		// must not be raced.
+		hybridKey := fmt.Sprintf("fig10-hybrid:%s:%s:ep%d:dqn%d:lr%g:train%d:pol=%v",
+			name, sc, episodesFor(sc), fig10DQNSeed, fig10LR, fig10TrainSeed, pol.PerPhase)
+		starts[i] = len(jobs)
+		addJobs := func(kind string, mod *ir.Module, hybrid bool) {
+			for s := 0; s < n; s++ {
+				j := &campaign.Job{
+					Index:     len(jobs),
+					Label:     fmt.Sprintf("fig10/%s/%s/sample%d", name, kind, s),
+					Benchmark: name,
+					Module:    mod,
+					OS:        "gts",
+					Seed:      int64(9000 + 97*s),
+					Args:      args,
+					Opts:      simOpts(sc, 0),
+				}
+				if hybrid {
+					j.Hybrid = func() sim.HybridPolicy {
+						hr := sched.NewHybridRuntime(agent, plat)
+						hr.Policy = pol
+						return hr
+					}
+					j.HybridKey = hybridKey
+					j.Exclusive = "fig10-hybrid/" + name
+				}
+				jobs = append(jobs, j)
+			}
+		}
+		addJobs("gts", art.plain, false)
+		addJobs("static", staticMod, false)
+		addJobs("hybrid", art.hybrid, true)
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+
+	for i, name := range fig10Benchmarks {
+		row := Fig10Row{Benchmark: name}
+		cellOf := func(start int) Fig10Cell {
+			var cell Fig10Cell
+			for s := 0; s < n; s++ {
+				res := results[start+s]
+				cell.Times = append(cell.Times, res.TimeS)
+				cell.Energies = append(cell.Energies, res.EnergyJ)
+			}
+			return cell
+		}
+		row.GTS, row.Static, row.Hybrid = cellOf(starts[i]), cellOf(starts[i]+n), cellOf(starts[i]+2*n)
+		_, row.PStatic = stats.MannWhitneyU(row.Static.Times, row.GTS.Times)
+		_, row.PHybrid = stats.MannWhitneyU(row.Hybrid.Times, row.GTS.Times)
+		_, row.PStaticE = stats.MannWhitneyU(row.Static.Energies, row.GTS.Energies)
+		_, row.PHybridE = stats.MannWhitneyU(row.Hybrid.Energies, row.GTS.Energies)
+		out.Rows = append(out.Rows, row)
 	}
 	return out, nil
-}
-
-func fig10One(plat *hw.Platform, name string, sc Scale, n int) (*Fig10Row, error) {
-	art, err := prepare(name)
-	if err != nil {
-		return nil, err
-	}
-	args := argsFor(sc, art.spec)
-
-	// Train the Q-learner on the learning-instrumented binary, with finer
-	// checkpoints than evaluation so each episode yields more updates.
-	agent := rl.NewDQN(plat.NumConfigs(), rl.DQNConfig{Seed: fig10DQNSeed, LR: fig10LR})
-	act := sched.NewAstro(agent, plat, true)
-	base := simOpts(sc, 0)
-	base.OS = sched.NewGTS()
-	base.CheckpointS /= 2
-	if _, err := sched.Train(art.learning, plat, act, sched.TrainOptions{
-		Episodes: episodesFor(sc),
-		Seed:     fig10TrainSeed,
-		Args:     args,
-		SimOpts:  base,
-	}); err != nil {
-		return nil, err
-	}
-	pol := sched.ExtractPolicyVisited(agent, plat, act.Visits())
-	staticMod, err := art.static(plat, pol)
-	if err != nil {
-		return nil, err
-	}
-
-	row := &Fig10Row{Benchmark: name}
-	// The three treatments x n samples are one campaign batch. GTS and
-	// static runs are plain cacheable jobs (the static policy is imprinted
-	// in the module, so the module hash carries it). Hybrid runs consult the
-	// trained agent at runtime: the agent lives outside the module, so its
-	// identity is spelled out in HybridKey (it is a pure function of the
-	// training inputs listed there), and the jobs share an Exclusive tag
-	// because DQN inference reuses scratch buffers that must not be raced.
-	hybridKey := fmt.Sprintf("fig10-hybrid:%s:%s:ep%d:dqn%d:lr%g:train%d:pol=%v",
-		name, sc, episodesFor(sc), fig10DQNSeed, fig10LR, fig10TrainSeed, pol.PerPhase)
-	var jobs []*campaign.Job
-	addJobs := func(kind string, mod *ir.Module, hybrid bool) {
-		for s := 0; s < n; s++ {
-			j := &campaign.Job{
-				Index:     len(jobs),
-				Label:     fmt.Sprintf("fig10/%s/%s/sample%d", name, kind, s),
-				Benchmark: name,
-				Module:    mod,
-				OS:        "gts",
-				Seed:      int64(9000 + 97*s),
-				Args:      args,
-				Opts:      simOpts(sc, 0),
-			}
-			if hybrid {
-				j.Hybrid = func() sim.HybridPolicy {
-					hr := sched.NewHybridRuntime(agent, plat)
-					hr.Policy = pol
-					return hr
-				}
-				j.HybridKey = hybridKey
-				j.Exclusive = "fig10-hybrid/" + name
-			}
-			jobs = append(jobs, j)
-		}
-	}
-	addJobs("gts", art.plain, false)
-	addJobs("static", staticMod, false)
-	addJobs("hybrid", art.hybrid, true)
-	// Serial within a benchmark: Fig10 already parallelizes across
-	// benchmarks, so a nested parallel batch would oversubscribe to
-	// Workers^2 concurrent simulations.
-	results, err := runBatchSerial(jobs)
-	if err != nil {
-		return nil, err
-	}
-	cellOf := func(start int) Fig10Cell {
-		var cell Fig10Cell
-		for s := 0; s < n; s++ {
-			res := results[start+s]
-			cell.Times = append(cell.Times, res.TimeS)
-			cell.Energies = append(cell.Energies, res.EnergyJ)
-		}
-		return cell
-	}
-	row.GTS, row.Static, row.Hybrid = cellOf(0), cellOf(n), cellOf(2*n)
-
-	_, row.PStatic = stats.MannWhitneyU(row.Static.Times, row.GTS.Times)
-	_, row.PHybrid = stats.MannWhitneyU(row.Hybrid.Times, row.GTS.Times)
-	_, row.PStaticE = stats.MannWhitneyU(row.Static.Energies, row.GTS.Energies)
-	_, row.PHybridE = stats.MannWhitneyU(row.Hybrid.Energies, row.GTS.Energies)
-	return row, nil
 }
 
 // Wins counts the benchmarks where each Astro flavour beats GTS on mean

@@ -54,28 +54,21 @@ func Workers() int {
 	return execPool.Workers
 }
 
+// Store returns the executor's result store. Figure drivers use it to
+// memoize trained agents next to the simulation results they produce, so a
+// disk-backed -cache directory also persists training across runs.
+func Store() *campaign.Store {
+	execMu.RLock()
+	defer execMu.RUnlock()
+	return execPool.Store
+}
+
 // runBatch executes jobs on the shared pool and returns their results in
 // job order, failing on the first job error.
 func runBatch(jobs []*campaign.Job) ([]*sim.Result, error) {
-	return runBatchWidth(jobs, 0)
-}
-
-// runBatchSerial executes jobs one at a time (same store and context).
-// Drivers that already fan out at a coarser grain — fig10 runs whole
-// benchmark pipelines concurrently up to Workers() — use it so total
-// in-flight simulations stay bounded by the pool width instead of
-// multiplying (outer goroutines x inner workers).
-func runBatchSerial(jobs []*campaign.Job) ([]*sim.Result, error) {
-	return runBatchWidth(jobs, 1)
-}
-
-func runBatchWidth(jobs []*campaign.Job, width int) ([]*sim.Result, error) {
 	execMu.RLock()
 	pool, ctx := execPool, execCtx
 	execMu.RUnlock()
-	if width > 0 {
-		pool = &campaign.Pool{Workers: width, Store: pool.Store, Retries: pool.Retries}
-	}
 	outs, err := pool.Run(ctx, jobs, nil)
 	if err != nil {
 		return nil, err

@@ -280,6 +280,7 @@ type Tabular struct {
 	epsDecay float64
 	q        []float64
 	rng      *rand.Rand
+	seed     int64
 }
 
 // NewTabular builds the table-based agent.
@@ -288,6 +289,7 @@ func NewTabular(nConfigs int, seed int64) *Tabular {
 	return &Tabular{
 		nActions: nConfigs,
 		nConfigs: nConfigs,
+		seed:     seed,
 		alpha:    0.3,
 		discount: 0.6,
 		eps:      0.5,

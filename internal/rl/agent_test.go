@@ -236,3 +236,35 @@ func TestTabularStateIndexBounds(t *testing.T) {
 		tab.Observe(s, 0, 0.5, s)
 	}
 }
+
+// TestObserveSteadyStateZeroAllocs pins the per-checkpoint learning cost:
+// once the replay ring is full, a DQN.Observe (one TD step plus replayed
+// steps) performs zero heap allocations, and Tabular.Observe never
+// allocates. Training throughput is what makes the paper suite's residual
+// warm-cache time, so regressions here are regressions everywhere.
+func TestObserveSteadyStateZeroAllocs(t *testing.T) {
+	d := NewDQN(24, DQNConfig{Seed: 5})
+	s := State{ConfigID: 3, ProgPhase: 2, HWPhaseID: 40}
+	for i := 0; i < 5000; i++ {
+		d.Observe(s, i%24, 0.5, s) // fill the replay ring
+	}
+	if allocs := testing.AllocsPerRun(200, func() { d.Observe(s, 1, 0.5, s) }); allocs != 0 {
+		t.Fatalf("DQN.Observe allocates %.1f objects/run in steady state, want 0", allocs)
+	}
+	tab := NewTabular(24, 5)
+	if allocs := testing.AllocsPerRun(200, func() { tab.Observe(s, 1, 0.5, s) }); allocs != 0 {
+		t.Fatalf("Tabular.Observe allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// BenchmarkObserve measures one Q-learning update with replay (the
+// per-checkpoint cost of the Astro runtime while learning).
+func BenchmarkObserve(b *testing.B) {
+	d := NewDQN(24, DQNConfig{Seed: 5})
+	s := State{ConfigID: 3, ProgPhase: 2, HWPhaseID: 40}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(s, i%24, 0.5, s)
+	}
+}

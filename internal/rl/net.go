@@ -24,6 +24,7 @@ type Network struct {
 	acts [][]float64 // acts[0] = input copy, acts[l+1] = layer l output
 	zs   [][]float64 // pre-activation values
 	errs [][]float64 // backprop deltas
+	grad []float64   // output-gradient scratch (training is allocation-free)
 }
 
 // NewNetwork builds a network with the given layer sizes (at least input
@@ -51,6 +52,7 @@ func NewNetwork(seed int64, sizes ...int) *Network {
 	n.acts = make([][]float64, len(sizes))
 	n.zs = make([][]float64, len(sizes)-1)
 	n.errs = make([][]float64, len(sizes)-1)
+	n.grad = make([]float64, sizes[len(sizes)-1])
 	for i, s := range sizes {
 		n.acts[i] = make([]float64, s)
 		if i > 0 {
@@ -102,7 +104,10 @@ func (n *Network) Forward(x []float64) []float64 {
 func (n *Network) TrainAction(x []float64, action int, target, lr float64) float64 {
 	out := n.Forward(x)
 	diff := out[action] - target
-	grad := make([]float64, len(out))
+	grad := n.grad
+	for i := range grad {
+		grad[i] = 0
+	}
 	grad[action] = diff
 	n.backprop(grad, lr)
 	return diff * diff
@@ -115,7 +120,7 @@ func (n *Network) TrainVector(x, target []float64, lr float64) float64 {
 	if len(target) != len(out) {
 		panic("rl: target size mismatch")
 	}
-	grad := make([]float64, len(out))
+	grad := n.grad
 	var loss float64
 	for i := range out {
 		d := out[i] - target[i]

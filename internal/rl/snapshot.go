@@ -1,0 +1,118 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Snapshot is a serializable capture of a trained agent, exact for
+// inference: a restored agent returns bit-identical Best and Q answers for
+// every state, because the parameters round-trip losslessly (encoding/json
+// emits float64 with the shortest representation that parses back to the
+// same value). That is the property the trained-agent cache needs — policy
+// extraction and hybrid-runtime decisions are pure functions of Best/Q.
+//
+// Continued *training* from a snapshot is supported but not bit-identical
+// to continuing the original: the exploration RNG restarts from the
+// configured seed and the DQN replay ring restarts empty. Callers that
+// memoize trained agents must treat training as finished at snapshot time
+// (the campaign trained-agent cache keys include the full training recipe,
+// so a cached agent is only ever reused for inference).
+type Snapshot struct {
+	Kind     string  `json:"kind"` // "dqn" | "tabular"
+	NConfigs int     `json:"n_configs"`
+	Eps      float64 `json:"eps"` // exploration rate at capture time
+
+	// DQN state.
+	Config  *DQNConfig    `json:"dqn_config,omitempty"`
+	Weights [][][]float64 `json:"w,omitempty"`
+	Biases  [][]float64   `json:"b,omitempty"`
+
+	// Tabular state.
+	Q        []float64 `json:"q,omitempty"`
+	Alpha    float64   `json:"alpha,omitempty"`
+	Discount float64   `json:"discount,omitempty"`
+	EpsMin   float64   `json:"eps_min,omitempty"`
+	EpsDecay float64   `json:"eps_decay,omitempty"`
+	Seed     int64     `json:"seed,omitempty"` // tabular RNG seed
+}
+
+// Snapshot captures the DQN's learned parameters and hyper-parameters.
+func (d *DQN) Snapshot() *Snapshot {
+	cfg := d.cfg
+	w, b := d.net.Weights()
+	return &Snapshot{
+		Kind:     "dqn",
+		NConfigs: d.nConfigs,
+		Eps:      d.eps,
+		Config:   &cfg,
+		Weights:  w,
+		Biases:   b,
+	}
+}
+
+// Snapshot captures the tabular learner's Q-table and hyper-parameters.
+func (t *Tabular) Snapshot() *Snapshot {
+	return &Snapshot{
+		Kind:     "tabular",
+		NConfigs: t.nConfigs,
+		Eps:      t.eps,
+		Q:        append([]float64(nil), t.q...),
+		Alpha:    t.alpha,
+		Discount: t.discount,
+		EpsMin:   t.epsMin,
+		EpsDecay: t.epsDecay,
+		Seed:     t.seed,
+	}
+}
+
+// Restore reconstructs the captured agent.
+func (s *Snapshot) Restore() (Agent, error) {
+	switch s.Kind {
+	case "dqn":
+		if s.Config == nil {
+			return nil, fmt.Errorf("rl: dqn snapshot missing config")
+		}
+		d := NewDQN(s.NConfigs, *s.Config)
+		if err := d.net.SetWeights(s.Weights, s.Biases); err != nil {
+			return nil, fmt.Errorf("rl: restore dqn: %w", err)
+		}
+		d.eps = s.Eps
+		return d, nil
+	case "tabular":
+		t := NewTabular(s.NConfigs, s.Seed)
+		if len(s.Q) != len(t.q) {
+			return nil, fmt.Errorf("rl: restore tabular: q size %d, want %d", len(s.Q), len(t.q))
+		}
+		copy(t.q, s.Q)
+		t.eps = s.Eps
+		if s.Alpha != 0 {
+			t.alpha = s.Alpha
+		}
+		if s.Discount != 0 {
+			t.discount = s.Discount
+		}
+		if s.EpsMin != 0 {
+			t.epsMin = s.EpsMin
+		}
+		if s.EpsDecay != 0 {
+			t.epsDecay = s.EpsDecay
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("rl: unknown snapshot kind %q", s.Kind)
+}
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeSnapshot parses an encoded snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("rl: decode snapshot: %w", err)
+	}
+	return &s, nil
+}

@@ -161,6 +161,50 @@ func Train(mod *ir.Module, plat *hw.Platform, act *AstroActuator, opts TrainOpti
 	return stats, nil
 }
 
+// TrainedAgent bundles everything a training run produces that downstream
+// consumers need: the agent itself (hybrid runtimes query it), the visited
+// states (policy extraction votes over them) and the per-episode statistics
+// (convergence figures). It is the unit the campaign layer memoizes.
+type TrainedAgent struct {
+	Agent  rl.Agent
+	Visits []rl.State
+	Stats  []EpisodeStat
+}
+
+// TrainAstro is the bundled training entry point: build the named agent
+// kind ("dqn" or "tabular", using cfg for both — the tabular learner takes
+// cfg.Seed), wrap it in an Astro (or Hipster, when hipster is set) actuator
+// with the given reward exponent (0 means the paper's 2.0), and run the
+// training loop. The result is a pure function of (mod, plat, agentKind,
+// cfg, hipster, gamma, opts) — the property the campaign trained-agent
+// cache keys rely on.
+func TrainAstro(mod *ir.Module, plat *hw.Platform, agentKind string, cfg rl.DQNConfig,
+	hipster bool, gamma float64, opts TrainOptions) (*TrainedAgent, error) {
+	var agent rl.Agent
+	switch agentKind {
+	case "", "dqn":
+		agent = rl.NewDQN(plat.NumConfigs(), cfg)
+	case "tabular":
+		agent = rl.NewTabular(plat.NumConfigs(), cfg.Seed)
+	default:
+		return nil, fmt.Errorf("sched: unknown agent kind %q (have \"dqn\", \"tabular\")", agentKind)
+	}
+	var act *AstroActuator
+	if hipster {
+		act = NewHipster(agent, plat, true)
+	} else {
+		act = NewAstro(agent, plat, true)
+	}
+	if gamma != 0 {
+		act.Gamma = gamma
+	}
+	stats, err := Train(mod, plat, act, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainedAgent{Agent: agent, Visits: act.Visits(), Stats: stats}, nil
+}
+
 // ExtractPolicy derives the per-phase static policy from a trained agent by
 // majority vote of the greedy action across all hardware phases and current
 // configurations (the knowledge "imprinted" into the final binary,

@@ -7,12 +7,15 @@ package sim
 // instruction semantics in one sweep.
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/workloads"
 )
 
 // expr is a host-evaluable random expression tree over int.
@@ -172,6 +175,109 @@ func TestDifferentialExpressions(t *testing.T) {
 					trial, i, res.Output[i], want, e.src())
 			}
 		}
+	}
+}
+
+// runEncoded executes mod on plat and returns the canonical result bytes.
+func runEncoded(t *testing.T, mod *ir.Module, plat *hw.Platform, opts Options) []byte {
+	t.Helper()
+	m, err := New(mod, plat, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatalf("EncodeResult: %v", err)
+	}
+	return data
+}
+
+// TestDifferentialFastPathWorkloads runs every bundled workload (parsec,
+// rodinia and micro suites) once on the precompiled fast path and once on
+// the legacy interpreter and requires the canonical result encodings to be
+// byte-identical: same times, energies, counters, checkpoints and outputs.
+// This is the contract that lets the fast path replace the interpreter for
+// all campaign and experiment runs without perturbing cached results.
+func TestDifferentialFastPathWorkloads(t *testing.T) {
+	plat := hw.OdroidXU4()
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mod, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			opts := Options{
+				Seed:          7,
+				Args:          spec.SmallArgs(),
+				CheckpointS:   400e-6,
+				QuantumS:      50e-6,
+				TickS:         200e-6,
+				CaptureOutput: true,
+				BoundsCheck:   true,
+			}
+			fast := runEncoded(t, mod, plat, opts)
+			legacy := opts
+			legacy.LegacyInterp = true
+			slow := runEncoded(t, mod, plat, legacy)
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("fast path diverged from interpreter:\nfast:   %.400s\nlegacy: %.400s", fast, slow)
+			}
+		})
+	}
+}
+
+// cyclingActuator deterministically rotates the hardware configuration at
+// every checkpoint, exercising requestConfig (hotplug stalls, migrations,
+// L1 invalidation) under both execution paths.
+type cyclingActuator struct {
+	plat *hw.Platform
+	n    int
+}
+
+func (a *cyclingActuator) Name() string { return "cycling-test" }
+
+func (a *cyclingActuator) OnCheckpoint(m *Machine, ck Checkpoint) hw.Config {
+	a.n++
+	return a.plat.ConfigFromID(a.n % a.plat.NumConfigs())
+}
+
+// TestDifferentialFastPathActuated cross-checks the paths under config
+// churn: every checkpoint switches configuration, forcing migrations,
+// displaced run queues and cache invalidations between bursts.
+func TestDifferentialFastPathActuated(t *testing.T) {
+	plat := hw.OdroidXU4()
+	spec, ok := workloads.ByName("fluidanimate")
+	if !ok {
+		t.Fatal("fluidanimate not registered")
+	}
+	mod, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	base := Options{
+		Seed:          11,
+		Args:          spec.SmallArgs(),
+		CheckpointS:   160e-6,
+		QuantumS:      50e-6,
+		TickS:         100e-6,
+		CaptureOutput: true,
+		BoundsCheck:   true,
+	}
+	run := func(opts Options) []byte {
+		opts.Actuator = &cyclingActuator{plat: plat}
+		return runEncoded(t, mod, plat, opts)
+	}
+	fast := run(base)
+	legacy := base
+	legacy.LegacyInterp = true
+	slow := run(legacy)
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("actuated fast path diverged from interpreter:\nfast:   %.400s\nlegacy: %.400s", fast, slow)
 	}
 }
 

@@ -39,7 +39,10 @@ func (m *Machine) coreStep(c *core) {
 			return // idle; a placeThread will re-arm us
 		}
 		c.cur = c.runq[0]
-		c.runq = c.runq[1:]
+		// Pop-front by copy-down: re-slicing from the front leaks capacity
+		// and makes the enqueue side reallocate under sustained rotation.
+		copy(c.runq, c.runq[1:])
+		c.runq = c.runq[:len(c.runq)-1]
 		c.cur.state = tsRunning
 	}
 	t := c.cur
@@ -65,7 +68,11 @@ func (m *Machine) coreStep(c *core) {
 		return
 	}
 	if status == stRun {
-		status = m.runBurst(c, t, budget, &bc)
+		if m.prog != nil {
+			status = m.runBurstFast(c, t, budget, &bc)
+		} else {
+			status = m.runBurst(c, t, budget, &bc)
+		}
 	}
 	if m.err != nil {
 		return
@@ -371,12 +378,12 @@ func (m *Machine) runBurst(c *core, t *Thread, budget float64, bc *burstCtx) bur
 
 		case ir.OpCall:
 			callee := m.mod.Funcs[in.Sym]
-			regs := make([]uint64, len(callee.Regs))
+			regs := t.allocRegs(len(callee.Regs))
 			for i, a := range in.Args {
 				regs[i] = fr.regs[a]
 			}
 			fr.pc++ // return to the next instruction
-			if _, err := m.pushFramePrepared(t, callee, regs, in.Dst); err != nil {
+			if _, err := m.pushFramePrepared(t, int(in.Sym), callee, regs, in.Dst); err != nil {
 				m.fail("%v", err)
 				return stErr
 			}

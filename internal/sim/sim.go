@@ -48,6 +48,13 @@ type Options struct {
 	CaptureOutput bool
 	MaxOutput     int // default 10000 entries
 
+	// LegacyInterp disables the precompiled fast path and interprets the IR
+	// structure directly (the original per-instruction decoder). The two
+	// paths produce byte-identical results — differential tests pin this —
+	// so the flag exists for cross-checking and for isolating fast-path
+	// regressions, not for behavioural choice.
+	LegacyInterp bool
+
 	// Blocking latencies (seconds). Zero values take defaults. These model
 	// the simulated board's I/O paths, scaled with the time axis.
 	UserInputLatencyS float64 // read_user_data (default 3 ms)
@@ -136,6 +143,7 @@ func (r *Result) AvgWatts() float64 {
 type Machine struct {
 	plat *hw.Platform
 	mod  *ir.Module
+	prog *program // precompiled fast-path code (nil with Options.LegacyInterp)
 	opts Options
 
 	mem      []uint64
@@ -185,6 +193,7 @@ type core struct {
 	idx    int
 	spec   *hw.CoreSpec
 	hier   cache.Hierarchy
+	costs  costTable // resolved per-class cycle costs for spec
 	active bool
 
 	cur        *Thread
@@ -242,14 +251,18 @@ func New(mod *ir.Module, plat *hw.Platform, opts Options) (*Machine, error) {
 	for i := range plat.Cores {
 		spec := &plat.Cores[i]
 		c := &core{
-			idx:  i,
-			spec: spec,
+			idx:   i,
+			spec:  spec,
+			costs: makeCostTable(spec),
 			hier: cache.Hierarchy{
 				L1c: cache.MustNew(plat.L1KB*1024, plat.L1Ways, plat.LineBytes),
 				L2c: m.l2[spec.Type],
 			},
 		}
 		m.cores = append(m.cores, c)
+	}
+	if !opts.LegacyInterp {
+		m.prog = compiledProgram(mod)
 	}
 	for _, ci := range plat.ActiveCores(cfg) {
 		m.cores[ci].active = true

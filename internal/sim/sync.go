@@ -24,7 +24,7 @@ func (m *Machine) execSync(c *core, t *Thread, in *ir.Instr, bc *burstCtx) burst
 		for i, a := range in.Args {
 			regs[i] = fr.regs[a]
 		}
-		nt, err := m.newThreadBits(t.ID, callee, regs)
+		nt, err := m.newThreadBits(t.ID, int(in.Sym), regs)
 		if err != nil {
 			m.fail("%v", err)
 			return stErr

@@ -62,6 +62,40 @@ type Thread struct {
 	busyAcc float64
 
 	migrPenaltyS float64 // latency charged to the next burst after migration
+
+	// Frame-storage recycling: register files and array-base tables of
+	// popped frames are kept for reuse by later calls, so a steady-state
+	// call/return cycle performs no heap allocations. Frames are strictly
+	// LIFO per thread, which makes the top of the free list almost always
+	// the right size for the next call.
+	regPool [][]uint64
+	arrPool [][]int64
+}
+
+// allocRegs returns a zeroed register file of length n, reusing a recycled
+// one when possible (matching the make() the allocation path used to do).
+func (t *Thread) allocRegs(n int) []uint64 {
+	if k := len(t.regPool); k > 0 {
+		if s := t.regPool[k-1]; cap(s) >= n {
+			t.regPool = t.regPool[:k-1]
+			s = s[:n]
+			clear(s)
+			return s
+		}
+	}
+	return make([]uint64, n)
+}
+
+// allocArrays returns an array-base table of length n; every entry is
+// assigned by the caller, so recycled storage needs no zeroing.
+func (t *Thread) allocArrays(n int) []int64 {
+	if k := len(t.arrPool); k > 0 {
+		if s := t.arrPool[k-1]; cap(s) >= n {
+			t.arrPool = t.arrPool[:k-1]
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
 }
 
 // Phase returns the thread's current static program phase, accounting for
@@ -96,6 +130,7 @@ func NewThreadForTest(load float64, instr uint64, core int) *Thread {
 
 type frame struct {
 	fn     *ir.Function
+	fnIdx  int32 // index of fn in the module (fast-path code lookup)
 	regs   []uint64
 	arrays []int64 // base cell address per frame array
 	block  int32
@@ -117,12 +152,13 @@ func (m *Machine) newThread(parent int, fnIdx int, args []int64) (*Thread, error
 	for i, a := range args {
 		regs[i] = uint64(a)
 	}
-	return m.newThreadBits(parent, fn, regs)
+	return m.newThreadBits(parent, fnIdx, regs)
 }
 
 // newThreadBits creates a thread whose entry frame registers are pre-filled
 // (spawn path, where arguments may be floats).
-func (m *Machine) newThreadBits(parent int, fn *ir.Function, regs []uint64) (*Thread, error) {
+func (m *Machine) newThreadBits(parent int, fnIdx int, regs []uint64) (*Thread, error) {
+	fn := m.mod.Funcs[fnIdx]
 	if len(m.threads) >= m.opts.MaxThreads {
 		return nil, fmt.Errorf("sim: thread limit %d exceeded", m.opts.MaxThreads)
 	}
@@ -138,7 +174,7 @@ func (m *Machine) newThreadBits(parent int, fn *ir.Function, regs []uint64) (*Th
 	t.sp = t.stackBase
 	full := make([]uint64, len(fn.Regs))
 	copy(full, regs)
-	if _, err := m.pushFramePrepared(t, fn, full, ir.NoReg); err != nil {
+	if _, err := m.pushFramePrepared(t, fnIdx, fn, full, ir.NoReg); err != nil {
 		return nil, err
 	}
 	m.threads = append(m.threads, t)
@@ -149,18 +185,19 @@ func (m *Machine) newThreadBits(parent int, fn *ir.Function, regs []uint64) (*Th
 
 // pushFramePrepared installs a frame whose register file is pre-filled with
 // arguments.
-func (m *Machine) pushFramePrepared(t *Thread, fn *ir.Function, regs []uint64, retReg int32) (*frame, error) {
+func (m *Machine) pushFramePrepared(t *Thread, fnIdx int, fn *ir.Function, regs []uint64, retReg int32) (*frame, error) {
 	if len(t.frames) >= 10000 {
 		return nil, fmt.Errorf("sim: call depth limit in thread %d (%s)", t.ID, fn.Name)
 	}
 	fr := frame{
 		fn:     fn,
+		fnIdx:  int32(fnIdx),
 		regs:   regs,
 		retReg: retReg,
 		spSave: t.sp,
 	}
 	if n := len(fn.Arrays); n > 0 {
-		fr.arrays = make([]int64, n)
+		fr.arrays = t.allocArrays(n)
 		for i, a := range fn.Arrays {
 			fr.arrays[i] = t.sp
 			t.sp += a.Size
@@ -185,6 +222,11 @@ func (t *Thread) popFrame(retBits uint64, hasRet bool) bool {
 	fr := &t.frames[len(t.frames)-1]
 	t.sp = fr.spSave
 	retReg := fr.retReg
+	t.regPool = append(t.regPool, fr.regs)
+	if fr.arrays != nil {
+		t.arrPool = append(t.arrPool, fr.arrays)
+	}
+	fr.regs, fr.arrays, fr.fn = nil, nil, nil
 	t.frames = t.frames[:len(t.frames)-1]
 	if len(t.frames) == 0 {
 		return true
