@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"astro/internal/campaign"
+	"astro/internal/scenario"
+)
+
+// scenarioRun tracks one submitted scenario matrix and the campaign batches
+// it compiled into. The engine owns campaign lifecycles; this layer only
+// groups them so clients can fetch a cross-batch scheduler report.
+type scenarioRun struct {
+	ID        string          `json:"id"`
+	Name      string          `json:"name,omitempty"`
+	Cells     int             `json:"cells"`
+	Programs  []string        `json:"programs"`
+	Platforms []string        `json:"platforms"`
+	Campaigns []string        `json:"campaigns"`
+	Matrix    scenario.Matrix `json:"matrix"`
+}
+
+// scenarioStore is the server's scenario registry.
+type scenarioStore struct {
+	mu   sync.Mutex
+	seq  int
+	runs map[string]*scenarioRun
+}
+
+func newScenarioStore() *scenarioStore {
+	return &scenarioStore{runs: map[string]*scenarioRun{}}
+}
+
+// submit materializes the matrix, submits every batch to the engine and
+// registers the grouping. Programs register into the workloads registry as
+// a side effect of Materialize and stay registered for the server's
+// lifetime (later matrices naming the same programs reuse them, and the
+// shared store serves overlapping cells from cache).
+func (ss *scenarioStore) submit(eng *campaign.Engine, m scenario.Matrix) (*scenarioRun, error) {
+	specs, err := m.Campaigns() // materializes (registers programs) once
+	if err != nil {
+		return nil, err
+	}
+	run := &scenarioRun{
+		Name:   m.Name,
+		Matrix: m,
+	}
+	// The batches partition the program axis and share the platform axis,
+	// so the grouping derives from the specs without re-materializing.
+	for _, sp := range specs {
+		run.Programs = append(run.Programs, sp.Benchmarks...)
+	}
+	run.Cells = m.Cells()
+	run.Platforms = append(run.Platforms, specs[0].Platforms...)
+	for _, sp := range specs {
+		c, err := eng.Submit(sp)
+		if err != nil {
+			// Batches already submitted keep running; they are ordinary
+			// campaigns the client can observe and cancel individually.
+			return nil, fmt.Errorf("batch %q: %w", sp.Name, err)
+		}
+		run.Campaigns = append(run.Campaigns, c.ID)
+	}
+	ss.mu.Lock()
+	ss.seq++
+	run.ID = fmt.Sprintf("s%06d", ss.seq)
+	ss.runs[run.ID] = run
+	ss.mu.Unlock()
+	return run, nil
+}
+
+func (ss *scenarioStore) get(id string) (*scenarioRun, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	r, ok := ss.runs[id]
+	return r, ok
+}
+
+// list returns every scenario, newest first.
+func (ss *scenarioStore) list() []*scenarioRun {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	out := make([]*scenarioRun, 0, len(ss.runs))
+	for _, r := range ss.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// report builds the cross-batch scheduler report once every campaign of
+// the scenario has finished cleanly. pending counts batches still running;
+// failed counts batches that were cancelled, failed, or vanished — a
+// report over a partial contest would rank schedulers authoritatively on
+// incomplete data, so it is withheld instead.
+func (ss *scenarioStore) report(eng *campaign.Engine, r *scenarioRun) (rep *scenario.Report, pending, failed int) {
+	var sets []*campaign.ResultSet
+	for _, id := range r.Campaigns {
+		c, ok := eng.Get(id)
+		if !ok {
+			failed++
+			continue
+		}
+		switch c.Status().State {
+		case campaign.StateRunning:
+			pending++
+		case campaign.StateDone:
+			sets = append(sets, c.Results())
+		default: // failed or cancelled
+			failed++
+		}
+	}
+	if pending > 0 || failed > 0 {
+		return nil, pending, failed
+	}
+	return scenario.BuildReport(r.Name, sets...), 0, 0
+}

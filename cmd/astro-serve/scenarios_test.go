@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"astro/internal/scenario"
+)
+
+func TestServeScenarioLifecycle(t *testing.T) {
+	srv := newTestServer(t)
+
+	// Submit a small 2-batch matrix: 2 programs x (1 board + 1 zoo machine)
+	// x 2 schedulers x 2 seeds = 16 cells.
+	body := `{
+		"name": "http-scn",
+		"program_count": 2,
+		"program_seed": 900,
+		"platforms": ["odroid-xu4"],
+		"zoo": {"topologies": ["1L2B"], "ladder": [{"little_mhz": 1000, "big_mhz": 1600}]},
+		"schedulers": ["default", "gts"],
+		"seeds": [1, 2],
+		"batch": 1
+	}`
+	resp, err := http.Post(srv.URL+"/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run scenarioRun
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /scenarios: %d", resp.StatusCode)
+	}
+	if len(run.Campaigns) != 2 || len(run.Programs) != 2 || len(run.Platforms) != 2 {
+		t.Fatalf("unexpected grouping: %+v", run)
+	}
+	if run.Cells != 16 {
+		t.Errorf("cells = %d, want 16", run.Cells)
+	}
+
+	// The report becomes available once both batches finish.
+	var rep scenario.Report
+	deadline := time.Now().Add(time.Minute)
+	for {
+		code := getJSON(t, srv.URL+"/scenarios/"+run.ID+"/report", &rep)
+		if code == http.StatusOK {
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("report: %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scenario batches did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep.Cells != 8 { // 2 programs x 2 platforms x 2 schedulers
+		t.Errorf("report cells = %d, want 8", rep.Cells)
+	}
+	if len(rep.Schedulers) != 2 {
+		t.Errorf("report schedulers: %+v", rep.Schedulers)
+	}
+
+	// Listing and status endpoints know the scenario.
+	var runs []scenarioRun
+	if code := getJSON(t, srv.URL+"/scenarios", &runs); code != 200 || len(runs) != 1 {
+		t.Fatalf("GET /scenarios: code %d, %d runs", code, len(runs))
+	}
+	var detail struct {
+		Batches []json.RawMessage `json:"batches"`
+	}
+	if code := getJSON(t, srv.URL+"/scenarios/"+run.ID, &detail); code != 200 || len(detail.Batches) != 2 {
+		t.Fatalf("GET /scenarios/{id}: code %d, %d batches", code, len(detail.Batches))
+	}
+	if code := getJSON(t, srv.URL+"/scenarios/zzz", nil); code != http.StatusNotFound {
+		t.Errorf("unknown scenario: %d", code)
+	}
+
+	// Generated programs are now registered and visible to discovery.
+	var names []string
+	getJSON(t, srv.URL+"/api/benchmarks", &names)
+	found := false
+	for _, n := range names {
+		if n == run.Programs[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("generated program %q not in /api/benchmarks", run.Programs[0])
+	}
+
+	// A scenario with a cancelled batch withholds its report (409) rather
+	// than ranking schedulers over a partial contest.
+	resp, err = http.Post(srv.URL+"/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run2 scenarioRun
+	if err := json.NewDecoder(resp.Body).Decode(&run2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/campaigns/"+run2.Campaigns[0], nil)
+	if cresp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		cresp.Body.Close()
+	}
+	deadline = time.Now().Add(time.Minute)
+	for {
+		code := getJSON(t, srv.URL+"/scenarios/"+run2.ID+"/report", nil)
+		if code == http.StatusConflict {
+			break
+		}
+		if code != http.StatusAccepted && code != http.StatusOK {
+			t.Fatalf("report after cancel: %d", code)
+		}
+		// The cancel can race the tiny batch finishing cleanly; either the
+		// conflict surfaces or everything completed before the DELETE landed.
+		if code == http.StatusOK {
+			t.Log("batch finished before the cancel landed; skipping 409 assertion")
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("report never settled after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Bad matrices are rejected with 4xx.
+	for _, bad := range []string{
+		`{"program_count": 1, "schedulers": ["warp"]}`,
+		`{"program_count": 1, "platforms": ["zoo:nope"]}`,
+		`{"nonsense": true}`,
+		`{`,
+	} {
+		resp, err := http.Post(srv.URL+"/scenarios", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("bad matrix %s: code %d", bad, resp.StatusCode)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"astro/internal/campaign"
 	"astro/internal/hw"
+	"astro/internal/scenario"
 	"astro/internal/workloads"
 )
 
@@ -22,8 +23,13 @@ import (
 //	GET    /campaigns/{id}/results   aggregated result set (202 while running)
 //	GET    /campaigns/{id}/events    Server-Sent Events progress stream
 //	DELETE /campaigns/{id}           cancel a running campaign
+//	POST   /scenarios                submit a scenario.Matrix; 202 + grouping
+//	GET    /scenarios                every scenario, newest first
+//	GET    /scenarios/{id}           one scenario's grouping + batch statuses
+//	GET    /scenarios/{id}/report    scheduler report (202 while batches run)
 func newServer(eng *campaign.Engine) http.Handler {
 	mux := http.NewServeMux()
+	scenarios := newScenarioStore()
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
@@ -52,11 +58,7 @@ func newServer(eng *campaign.Engine) http.Handler {
 		writeJSON(w, http.StatusOK, workloads.Names())
 	})
 	mux.HandleFunc("GET /api/platforms", func(w http.ResponseWriter, r *http.Request) {
-		var names []string
-		for n := range hw.Platforms() {
-			names = append(names, n)
-		}
-		writeJSON(w, http.StatusOK, names)
+		writeJSON(w, http.StatusOK, hw.PlatformNames())
 	})
 
 	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
@@ -106,6 +108,70 @@ func newServer(eng *campaign.Engine) http.Handler {
 		}
 		eng.Cancel(c.ID)
 		writeJSON(w, http.StatusOK, c.Status())
+	})
+
+	mux.HandleFunc("POST /scenarios", func(w http.ResponseWriter, r *http.Request) {
+		var m scenario.Matrix
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad scenario matrix: %v", err)
+			return
+		}
+		run, err := scenarios.submit(eng, m)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		w.Header().Set("Location", "/scenarios/"+run.ID)
+		writeJSON(w, http.StatusAccepted, run)
+	})
+
+	mux.HandleFunc("GET /scenarios", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, scenarios.list())
+	})
+
+	getScenario := func(w http.ResponseWriter, r *http.Request) (*scenarioRun, bool) {
+		run, ok := scenarios.get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown scenario %q", r.PathValue("id"))
+		}
+		return run, ok
+	}
+
+	mux.HandleFunc("GET /scenarios/{id}", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := getScenario(w, r)
+		if !ok {
+			return
+		}
+		statuses := make([]campaign.Status, 0, len(run.Campaigns))
+		for _, id := range run.Campaigns {
+			if c, ok := eng.Get(id); ok {
+				statuses = append(statuses, c.Status())
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"scenario": run, "batches": statuses})
+	})
+
+	mux.HandleFunc("GET /scenarios/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := getScenario(w, r)
+		if !ok {
+			return
+		}
+		rep, pending, failed := scenarios.report(eng, run)
+		if failed > 0 {
+			writeErr(w, http.StatusConflict,
+				"%d of %d batches failed or were cancelled; report unavailable",
+				failed, len(run.Campaigns))
+			return
+		}
+		if pending > 0 {
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"pending_batches": pending, "batches": len(run.Campaigns),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
 	})
 
 	mux.HandleFunc("GET /campaigns/{id}/events", func(w http.ResponseWriter, r *http.Request) {

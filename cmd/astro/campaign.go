@@ -64,6 +64,9 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("campaign needs -spec file or -bench patterns")
 	}
 
+	// Spec.Expand validates every axis (platforms, schedulers, configs,
+	// benchmark patterns) before compiling or simulating anything, so typos
+	// fail here with the list of valid choices.
 	expanded, err := spec.Expand()
 	if err != nil {
 		return err

@@ -11,6 +11,8 @@
 //	astro bench     (list bundled benchmarks)
 //	astro campaign  [-spec file.json | -bench patterns] [-sched ...] [-configs ...]
 //	                [-seeds ...] [-j N] [-cache dir] [-timeout d]
+//	astro scenario  generate [-seed N] [-cpu N -io N -blocked N -mixed N] [...]
+//	astro scenario  sweep|report [-spec matrix.json | -programs N -zoo ...]
 //
 // Programs are either astc source paths or "bench:<name>" for a bundled
 // benchmark.
@@ -54,6 +56,8 @@ func main() {
 		err = cmdBench()
 	case "campaign":
 		err = cmdCampaign(args)
+	case "scenario":
+		err = cmdScenario(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign> [flags] <file.astc | bench:name>`)
+	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign|scenario> [flags] <file.astc | bench:name>`)
 }
 
 // load resolves a program argument to a module.
@@ -138,6 +142,7 @@ func cmdDisasm(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	schedName := fs.String("sched", "gts", "OS scheduler: gts or default")
+	platName := fs.String("platform", "odroid-xu4", "platform name (built-in or zoo:...)")
 	configStr := fs.String("config", "", "pin a hardware configuration, e.g. 2L3B")
 	scale := fs.Int64("scale", 0, "benchmark scale (0 = benchmark default)")
 	threads := fs.Int64("threads", 0, "worker threads (0 = benchmark default)")
@@ -149,6 +154,30 @@ func cmdRun(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run takes one program argument")
 	}
+	// Validate every flag before loading or simulating anything, so typos
+	// fail with the valid choices instead of silently running a default.
+	if *schedName != "gts" && *schedName != "default" {
+		return fmt.Errorf("unknown scheduler %q (have gts, default)", *schedName)
+	}
+	plat, err := hw.ByName(*platName)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{Seed: *seed, CaptureOutput: true}
+	if *schedName == "gts" {
+		opts.OS = sched.NewGTS()
+	}
+	if *configStr != "" {
+		cfg, err := hw.ParseConfig(*configStr)
+		if err != nil {
+			return err
+		}
+		if !cfg.Valid(plat.MaxLittle(), plat.MaxBig()) {
+			return fmt.Errorf("config %v invalid on %s (max %dL%dB)",
+				cfg, plat.Name, plat.MaxLittle(), plat.MaxBig())
+		}
+		opts.InitialConfig = cfg
+	}
 	mod, spec, err := load(fs.Arg(0))
 	if err != nil {
 		return err
@@ -156,18 +185,6 @@ func cmdRun(args []string) error {
 	if *optimize {
 		n := ir.Optimize(mod)
 		fmt.Printf("optimizer: %d rewrites\n", n)
-	}
-	plat := hw.OdroidXU4()
-	opts := sim.Options{Seed: *seed, CaptureOutput: true}
-	if *schedName == "gts" {
-		opts.OS = sched.NewGTS()
-	}
-	if *configStr != "" {
-		cfg, err := parseConfig(*configStr)
-		if err != nil {
-			return err
-		}
-		opts.InitialConfig = cfg
 	}
 	opts.Args = progArgs(mod, spec, *scale, *threads)
 	m, err := sim.New(mod, plat, opts)
@@ -256,12 +273,4 @@ func progArgs(mod *ir.Module, spec workloads.Spec, scale, threads int64) []int64
 	}
 	args := []int64{s, t}
 	return args[:len(mainFn.Params)]
-}
-
-func parseConfig(s string) (hw.Config, error) {
-	var l, b int
-	if _, err := fmt.Sscanf(strings.ToUpper(s), "%dL%dB", &l, &b); err != nil {
-		return hw.Config{}, fmt.Errorf("bad config %q (want e.g. 2L3B)", s)
-	}
-	return hw.Config{Little: l, Big: b}, nil
 }

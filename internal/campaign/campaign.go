@@ -147,6 +147,39 @@ func (j *Job) Key() (string, bool) {
 	return hex.EncodeToString(sum[:]), true
 }
 
+// ValidateScheduler checks a scheduler token without building anything.
+// CLIs use it to reject typos before a campaign compiles or runs; the error
+// lists the valid tokens. Platform-dependent tokens ("fixed:<xLyB>") are
+// only syntax-checked here — Spec.Validate still checks them against every
+// target platform.
+func ValidateScheduler(tok string) error {
+	osName, actName, err := schedToken(tok)
+	if err != nil {
+		return err
+	}
+	if _, err := buildOS(osName); err != nil {
+		return err
+	}
+	if strings.HasPrefix(actName, "fixed:") {
+		// Syntax only: the config must parse, but whether it is valid on a
+		// particular board is Spec.Validate's per-platform job.
+		if _, err := hw.ParseConfig(strings.TrimPrefix(actName, "fixed:")); err != nil {
+			return fmt.Errorf("campaign: scheduler %q: %w", tok, err)
+		}
+		return nil
+	}
+	if actName != "" {
+		plat, err := hw.ByName(DefaultPlatform)
+		if err != nil {
+			return err
+		}
+		if _, err := buildActuator(actName, plat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // buildOS resolves the OS policy name (fresh instance per run: policies may
 // carry state).
 func buildOS(name string) (sim.OSPolicy, error) {

@@ -266,3 +266,16 @@ func TestAggregateShape(t *testing.T) {
 		t.Fatalf("render incomplete:\n%s", out)
 	}
 }
+
+func TestValidateScheduler(t *testing.T) {
+	for _, tok := range []string{"", "default", "gts", "octopus-man", "fixed:2L2B", "random:7"} {
+		if err := ValidateScheduler(tok); err != nil {
+			t.Errorf("ValidateScheduler(%q): %v", tok, err)
+		}
+	}
+	for _, tok := range []string{"warp", "fixed:", "fixed:zzz", "fixed:0L0B", "random:x"} {
+		if err := ValidateScheduler(tok); err == nil {
+			t.Errorf("ValidateScheduler(%q) should fail", tok)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -29,16 +30,31 @@ func ParseConfig(s string) (Config, error) {
 	return c, nil
 }
 
-// ByName returns a fresh instance of a built-in platform ("odroid-xu4",
-// "jetson-tk1").
+// ByName returns a fresh instance of a platform: a built-in board
+// ("odroid-xu4", "jetson-tk1") or a parametric zoo machine named by its
+// canonical "zoo:..." form (see PlatformParams). Because zoo names encode
+// every parameter, equal names always denote identical platforms.
 func ByName(name string) (*Platform, error) {
-	mk, ok := Platforms()[name]
-	if !ok {
-		var have []string
-		for n := range Platforms() {
-			have = append(have, n)
-		}
-		return nil, fmt.Errorf("hw: unknown platform %q (have %v)", name, have)
+	if mk, ok := Platforms()[name]; ok {
+		return mk(), nil
 	}
-	return mk(), nil
+	if IsZooName(name) {
+		pp, err := ParsePlatformParams(name)
+		if err != nil {
+			return nil, err
+		}
+		return pp.Platform()
+	}
+	return nil, fmt.Errorf("hw: unknown platform %q (have %v or zoo:<L>L<B>B:l<MHz>@<blend>:b<MHz>@<blend>)",
+		name, PlatformNames())
+}
+
+// PlatformNames lists the built-in platform names, sorted.
+func PlatformNames() []string {
+	var names []string
+	for n := range Platforms() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,141 @@
+package hw
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for _, c := range []Config{
+		{Little: 0, Big: 1}, {Little: 1, Big: 0}, {Little: 4, Big: 4},
+		{Little: 2, Big: 3}, {Little: 16, Big: 1},
+	} {
+		got, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Errorf("ParseConfig(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	// Case-insensitivity and whitespace, as documented.
+	if got, err := ParseConfig("  2l3b "); err != nil || (got != Config{Little: 2, Big: 3}) {
+		t.Errorf("ParseConfig lenient form = %v, %v", got, err)
+	}
+}
+
+func TestParseConfigMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "L", "B", "LB", "2L", "3B", "2L3", "xLyB", "2.5L3B",
+		"0L0B", "-1L2B", "2L-3B", "2 L 3 B", "2L3B4",
+	} {
+		if c, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) = %v, want error", s, c)
+		}
+	}
+}
+
+func TestPlatformParamsRoundTrip(t *testing.T) {
+	cases := []PlatformParams{
+		DefaultZooParams(),
+		{Little: 0, Big: 8, LittleMHz: 1000, BigMHz: 2400, BigBlend: 1},
+		{Little: 6, Big: 0, LittleMHz: 600, BigMHz: 2000, LittleBlend: 0.25},
+		{Little: 2, Big: 2, LittleMHz: 800, BigMHz: 1600, LittleBlend: 0.1, BigBlend: 0.9},
+	}
+	for _, pp := range cases {
+		name := pp.String()
+		got, err := ParsePlatformParams(name)
+		if err != nil {
+			t.Fatalf("ParsePlatformParams(%q): %v", name, err)
+		}
+		if got != pp.Canon() {
+			t.Errorf("round-trip %q: got %+v, want %+v", name, got, pp.Canon())
+		}
+		if got.String() != name {
+			t.Errorf("re-print of %q = %q", name, got.String())
+		}
+	}
+}
+
+func TestPlatformParamsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"zoo:",                            // empty body
+		"zoo:4L4B",                        // missing clusters
+		"zoo:4L4B:l1400@0.00",             // one cluster only
+		"zoo:4L4B:b2000@1.00:l1400@0.00",  // swapped cluster tags
+		"zoo:4L4B:l1400:b2000@1.00",       // missing blend
+		"zoo:4L4B:l@0.0:b2000@1.00",       // missing clock
+		"zoo:4L4B:lfast@0.0:b2000@1.00",   // non-numeric clock
+		"zoo:4L4B:l1400@x:b2000@1.00",     // non-numeric blend
+		"zoo:4L4B:l1400@0.00:b2000@1.50",  // blend out of range
+		"zoo:4L4B:l50@0.00:b2000@1.00",    // clock below range
+		"zoo:4L4B:l1400@0.00:b9000@1.00",  // clock above range
+		"zoo:0L0B:l1400@0.00:b2000@1.00",  // no cores
+		"zoo:17L4B:l1400@0.00:b2000@1.00", // cluster too large
+		"odroid-xu4",                      // not a zoo name
+		// Non-canonical spellings of a valid machine are rejected: job keys
+		// hash the name, so synonyms would fragment the result store.
+		"zoo:4L4B:l0@0.00:b2000@1.00",     // zero clock (canon would fill 1400)
+		"zoo:4L4B:l1400@0.004:b2000@1.00", // blend quantizes to 0.00
+		"zoo:4L4B:l1400@0.1:b2000@1.00",   // blend needs two decimals
+		"zoo:4L4B:l1400@0.00:b2000@1",     // likewise
+	} {
+		if pp, err := ParsePlatformParams(s); err == nil {
+			t.Errorf("ParsePlatformParams(%q) = %+v, want error", s, pp)
+		}
+	}
+}
+
+func TestByNameZoo(t *testing.T) {
+	pp := PlatformParams{Little: 2, Big: 4, LittleMHz: 1000, BigMHz: 1800, BigBlend: 0.75}
+	p, err := ByName(pp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != pp.String() {
+		t.Errorf("platform name %q, want %q", p.Name, pp.String())
+	}
+	if p.MaxLittle() != 2 || p.MaxBig() != 4 {
+		t.Errorf("topology %dL%dB, want 2L4B", p.MaxLittle(), p.MaxBig())
+	}
+	// Same name twice must build an identical machine (cache-key soundness).
+	q, err := ByName(pp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Error("two builds of the same zoo name differ")
+	}
+
+	if _, err := ByName("no-such-board"); err == nil || !strings.Contains(err.Error(), "zoo:") {
+		t.Errorf("unknown-platform error should list choices and the zoo form, got %v", err)
+	}
+	if _, err := ByName("zoo:bogus"); err == nil {
+		t.Error("malformed zoo name should error")
+	}
+}
+
+func TestZooBlendInterpolation(t *testing.T) {
+	mk := func(blend float64) *Platform {
+		p, err := PlatformParams{Little: 1, Big: 1, LittleMHz: 1400, BigMHz: 1400,
+			LittleBlend: blend, BigBlend: blend}.Platform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a7, mid, a15 := mk(0), mk(0.5), mk(1)
+	// Endpoints reproduce the calibrated tables.
+	if got, want := a7.Cores[0].CPIIntALU, cortexA7(1400).CPIIntALU; got != want {
+		t.Errorf("blend 0 CPIIntALU = %v, want %v", got, want)
+	}
+	if got, want := a15.Cores[1].CPIFPALU, cortexA15(1400).CPIFPALU; got != want {
+		t.Errorf("blend 1 CPIFPALU = %v, want %v", got, want)
+	}
+	// Midpoint sits strictly between on a monotone axis.
+	if !(mid.Cores[0].ActiveWatts > a7.Cores[0].ActiveWatts && mid.Cores[0].ActiveWatts < a15.Cores[1].ActiveWatts) {
+		t.Errorf("blend 0.5 ActiveWatts %v not between %v and %v",
+			mid.Cores[0].ActiveWatts, a7.Cores[0].ActiveWatts, a15.Cores[1].ActiveWatts)
+	}
+}

@@ -1,0 +1,240 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The platform zoo generalizes the two measured boards into a parametric
+// family of big.LITTLE machines: variable cluster sizes, cluster clock
+// rates (DVFS operating points), and cost tables linearly interpolated
+// between the calibrated Cortex-A7 and Cortex-A15 models.
+//
+// A zoo platform is identified entirely by its canonical name
+// ("zoo:<L>L<B>B:l<MHz>@<blend>:b<MHz>@<blend>"), so the name alone
+// reconstructs the machine in any process. That property is load-bearing:
+// campaign job keys hash the platform *name*, and the content-addressed
+// result store is only sound if equal names imply identical platforms.
+
+// Bounds on zoo parameters. Counts above 16 per cluster or clocks outside
+// the embedded big.LITTLE envelope would leave the regime the cost tables
+// were calibrated for.
+const (
+	MaxZooCores  = 16
+	MinZooMHz    = 200
+	MaxZooMHz    = 4000
+	zooNamePfx   = "zoo:"
+	blendDecimal = 100 // blends are quantized to 1/100 steps for round-trip
+)
+
+// PlatformParams describes one zoo platform. Blend selects the cluster's
+// cost/power table: 0 is the calibrated Cortex-A7, 1 the Cortex-A15, and
+// intermediate values interpolate linearly (a "medium" core). Blends are
+// quantized to 0.01 steps so that String/ParsePlatformParams round-trip
+// exactly.
+type PlatformParams struct {
+	Little int `json:"little"`
+	Big    int `json:"big"`
+
+	LittleMHz int `json:"little_mhz"`
+	BigMHz    int `json:"big_mhz"`
+
+	LittleBlend float64 `json:"little_blend"` // default 0 (pure A7)
+	BigBlend    float64 `json:"big_blend"`    // default 1 (pure A15)
+}
+
+// Canon returns the canonical form: zero clock rates are filled with the
+// Odroid defaults (1400/2000 MHz) and blends are quantized. Blends are
+// otherwise taken as given — 0 is a legal value for a big cluster (an
+// all-A7-table machine) — so start from DefaultZooParams for the
+// conventional A7/A15 split.
+func (pp PlatformParams) Canon() PlatformParams {
+	if pp.LittleMHz == 0 {
+		pp.LittleMHz = 1400
+	}
+	if pp.BigMHz == 0 {
+		pp.BigMHz = 2000
+	}
+	pp.LittleBlend = quantBlend(pp.LittleBlend)
+	pp.BigBlend = quantBlend(pp.BigBlend)
+	return pp
+}
+
+// DefaultZooParams is a canonical starting point: an Odroid-shaped 4L4B
+// board with pure A7 LITTLE and pure A15 big clusters.
+func DefaultZooParams() PlatformParams {
+	return PlatformParams{Little: 4, Big: 4, LittleMHz: 1400, BigMHz: 2000, LittleBlend: 0, BigBlend: 1}
+}
+
+func quantBlend(b float64) float64 {
+	return math.Round(b*blendDecimal) / blendDecimal
+}
+
+func fmtBlend(b float64) string {
+	return strconv.FormatFloat(b, 'f', 2, 64)
+}
+
+// Validate reports whether the (canonicalized) parameters describe a
+// buildable machine.
+func (pp PlatformParams) Validate() error {
+	c := pp.Canon()
+	if c.Little < 0 || c.Big < 0 || c.Little > MaxZooCores || c.Big > MaxZooCores {
+		return fmt.Errorf("hw: zoo cluster sizes %dL%dB out of range [0, %d]", c.Little, c.Big, MaxZooCores)
+	}
+	if c.Little+c.Big == 0 {
+		return fmt.Errorf("hw: zoo platform needs at least one core")
+	}
+	for _, mhz := range []int{c.LittleMHz, c.BigMHz} {
+		if mhz < MinZooMHz || mhz > MaxZooMHz {
+			return fmt.Errorf("hw: zoo clock %d MHz out of range [%d, %d]", mhz, MinZooMHz, MaxZooMHz)
+		}
+	}
+	for _, b := range []float64{c.LittleBlend, c.BigBlend} {
+		if b < 0 || b > 1 {
+			return fmt.Errorf("hw: zoo blend %.2f out of range [0, 1]", b)
+		}
+	}
+	return nil
+}
+
+// String renders the canonical zoo name, e.g. "zoo:2L4B:l1000@0.00:b1800@1.00".
+func (pp PlatformParams) String() string {
+	c := pp.Canon()
+	return fmt.Sprintf("%s%dL%dB:l%d@%s:b%d@%s",
+		zooNamePfx, c.Little, c.Big,
+		c.LittleMHz, fmtBlend(c.LittleBlend),
+		c.BigMHz, fmtBlend(c.BigBlend))
+}
+
+// IsZooName reports whether name is in the zoo namespace.
+func IsZooName(name string) bool { return strings.HasPrefix(name, zooNamePfx) }
+
+// ParsePlatformParams parses a canonical zoo name back into parameters.
+// It accepts exactly the format String emits.
+func ParsePlatformParams(name string) (PlatformParams, error) {
+	var pp PlatformParams
+	if !IsZooName(name) {
+		return pp, fmt.Errorf("hw: %q is not a zoo platform name (want %q prefix)", name, zooNamePfx)
+	}
+	parts := strings.Split(strings.TrimPrefix(name, zooNamePfx), ":")
+	if len(parts) != 3 {
+		return pp, fmt.Errorf("hw: zoo name %q: want zoo:<L>L<B>B:l<MHz>@<blend>:b<MHz>@<blend>", name)
+	}
+	cfg, err := ParseConfig(parts[0])
+	if err != nil {
+		return pp, fmt.Errorf("hw: zoo name %q: %w", name, err)
+	}
+	pp.Little, pp.Big = cfg.Little, cfg.Big
+	if pp.LittleMHz, pp.LittleBlend, err = parseCluster(parts[1], 'l'); err != nil {
+		return PlatformParams{}, fmt.Errorf("hw: zoo name %q: %w", name, err)
+	}
+	if pp.BigMHz, pp.BigBlend, err = parseCluster(parts[2], 'b'); err != nil {
+		return PlatformParams{}, fmt.Errorf("hw: zoo name %q: %w", name, err)
+	}
+	if err := pp.Validate(); err != nil {
+		return PlatformParams{}, err
+	}
+	// Only canonical names are accepted: job keys hash the name string, so
+	// synonymous spellings of one machine ("l0" canon-filled to 1400 MHz,
+	// "b@0.004" quantized to "b@0.00") would fragment the result store and
+	// mislabel results. Canon is therefore required, not applied.
+	if got := pp.String(); got != name {
+		return PlatformParams{}, fmt.Errorf("hw: zoo name %q is not canonical (want %q)", name, got)
+	}
+	return pp, nil
+}
+
+// parseCluster parses one "<tag><MHz>@<blend>" segment.
+func parseCluster(s string, tag byte) (mhz int, blend float64, err error) {
+	if len(s) == 0 || s[0] != tag {
+		return 0, 0, fmt.Errorf("cluster %q: want %q prefix", s, string(tag))
+	}
+	body := s[1:]
+	at := strings.IndexByte(body, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("cluster %q: missing @<blend>", s)
+	}
+	if mhz, err = strconv.Atoi(body[:at]); err != nil {
+		return 0, 0, fmt.Errorf("cluster %q: bad clock: %w", s, err)
+	}
+	if blend, err = strconv.ParseFloat(body[at+1:], 64); err != nil {
+		return 0, 0, fmt.Errorf("cluster %q: bad blend: %w", s, err)
+	}
+	return mhz, quantBlend(blend), nil
+}
+
+// lerp interpolates a scalar model parameter between the A7 and A15 tables.
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// blendCore builds a core whose cost/power table sits at fraction t between
+// the calibrated Cortex-A7 (t=0) and Cortex-A15 (t=1) models, clocked at
+// freqMHz, tagged with the cluster's scheduling type.
+func blendCore(typ CoreType, freqMHz int, t float64) CoreSpec {
+	a, b := cortexA7(freqMHz), cortexA15(freqMHz)
+	return CoreSpec{
+		Type:          typ,
+		FreqMHz:       freqMHz,
+		CPIIntALU:     lerp(a.CPIIntALU, b.CPIIntALU, t),
+		CPIFPALU:      lerp(a.CPIFPALU, b.CPIFPALU, t),
+		CPIMem:        lerp(a.CPIMem, b.CPIMem, t),
+		CPIBranch:     lerp(a.CPIBranch, b.CPIBranch, t),
+		CPICall:       lerp(a.CPICall, b.CPICall, t),
+		L1HitCycles:   lerp(a.L1HitCycles, b.L1HitCycles, t),
+		L2HitCycles:   lerp(a.L2HitCycles, b.L2HitCycles, t),
+		IdleWatts:     lerp(a.IdleWatts, b.IdleWatts, t),
+		ActiveWatts:   lerp(a.ActiveWatts, b.ActiveWatts, t),
+		FPExtraWatts:  lerp(a.FPExtraWatts, b.FPExtraWatts, t),
+		MemExtraWatts: lerp(a.MemExtraWatts, b.MemExtraWatts, t),
+	}
+}
+
+// l2KB maps a blend to the cluster's L2 capacity: interpolated between the
+// LITTLE (512 KB) and big (2048 KB) clusters, then snapped to the nearest
+// power of two — the simulator's set-associative cache model requires a
+// power-of-two set count.
+func l2KB(blend float64) int {
+	kb := lerp(512, 2048, blend)
+	p := 512
+	for p*2 <= 2048 && float64(p*2)-kb < kb-float64(p) {
+		p *= 2
+	}
+	return p
+}
+
+// Platform materializes the zoo machine. The cache geometry follows the
+// Odroid XU4; per-cluster L2 capacity interpolates between the LITTLE
+// (512 KB) and big (2048 KB) clusters with the blend, and uncore power
+// scales linearly with core count (0.25 W board + 12.5 mW per core, which
+// reproduces the XU4's 0.35 W at 8 cores).
+func (pp PlatformParams) Platform() (*Platform, error) {
+	if err := pp.Validate(); err != nil {
+		return nil, err
+	}
+	c := pp.Canon()
+	p := &Platform{
+		Name:      c.String(),
+		L1KB:      32,
+		L1Ways:    4,
+		LineBytes: 64,
+		L2KB: map[CoreType]int{
+			Little: l2KB(c.LittleBlend),
+			Big:    l2KB(c.BigBlend),
+		},
+		L2Ways:             16,
+		DRAMLatencyNs:      100,
+		SwitchLatencyUs:    40,
+		MigrationLatencyUs: 12,
+		BasePowerWatts:     0.25 + 0.0125*float64(c.Little+c.Big),
+	}
+	for i := 0; i < c.Little; i++ {
+		p.LittleIdx = append(p.LittleIdx, len(p.Cores))
+		p.Cores = append(p.Cores, blendCore(Little, c.LittleMHz, c.LittleBlend))
+	}
+	for i := 0; i < c.Big; i++ {
+		p.BigIdx = append(p.BigIdx, len(p.Cores))
+		p.Cores = append(p.Cores, blendCore(Big, c.BigMHz, c.BigBlend))
+	}
+	return p, nil
+}

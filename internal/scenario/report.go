@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"astro/internal/campaign"
+	"astro/internal/stats"
+	"astro/internal/tablefmt"
+)
+
+// Report aggregates one or more campaign result sets along the scheduler
+// axis: for every (program, platform, config) group the schedulers compete
+// on the energy-delay product, and a scheduler's cells are scored against
+// the group's time/energy Pareto frontier.
+type Report struct {
+	Name string `json:"name,omitempty"`
+	// Groups is the number of (program, platform, config) contests scored.
+	Groups int `json:"groups"`
+	// Cells is the number of scheduler cells across all groups.
+	Cells int `json:"cells"`
+	// Schedulers are scored entries sorted by wins (desc), then name.
+	Schedulers []SchedulerScore `json:"schedulers"`
+}
+
+// SchedulerScore is one scheduler's aggregate standing.
+type SchedulerScore struct {
+	Scheduler string `json:"scheduler"`
+	Cells     int    `json:"cells"`
+	// Wins counts groups where this scheduler had the (strictly or jointly)
+	// lowest mean energy-delay product; Losses the rest of its groups.
+	Wins   int `json:"wins"`
+	Losses int `json:"losses"`
+	// Pareto counts this scheduler's cells on their group's time/energy
+	// Pareto frontier (not dominated by any other scheduler in the group).
+	Pareto int `json:"pareto"`
+	// EDP summarizes the scheduler's mean energy-delay products (J·s), and
+	// NormEDP the per-group ratio to the group's best EDP (1 = always
+	// best; 1.2 = 20% above the winner on average).
+	EDP     stats.Summary `json:"edp"`
+	NormEDP stats.Summary `json:"norm_edp"`
+}
+
+// cellEDP is a cell's mean energy-delay product.
+func cellEDP(c campaign.Cell) float64 { return c.Time.Mean * c.Energy.Mean }
+
+// dominates reports whether cell a Pareto-dominates cell b on (time,
+// energy): no worse on both axes, strictly better on at least one.
+func dominates(a, b campaign.Cell) bool {
+	if a.Time.Mean > b.Time.Mean || a.Energy.Mean > b.Energy.Mean {
+		return false
+	}
+	return a.Time.Mean < b.Time.Mean || a.Energy.Mean < b.Energy.Mean
+}
+
+// BuildReport scores the scheduler contest over the given result sets.
+// Cells with errors or no successful runs are excluded. Groups with a
+// single scheduler still contribute EDP summaries but no win/loss signal.
+func BuildReport(name string, sets ...*campaign.ResultSet) *Report {
+	type group struct {
+		key   string
+		cells []campaign.Cell
+	}
+	byKey := map[string]*group{}
+	var order []string
+	for _, rs := range sets {
+		if rs == nil {
+			continue
+		}
+		for _, c := range rs.Cells {
+			if c.Time.N == 0 { // all seeds errored
+				continue
+			}
+			key := strings.Join([]string{c.Benchmark, c.Platform, c.Config}, "\x00")
+			g, ok := byKey[key]
+			if !ok {
+				g = &group{key: key}
+				byKey[key] = g
+				order = append(order, key)
+			}
+			g.cells = append(g.cells, c)
+		}
+	}
+	sort.Strings(order)
+
+	scores := map[string]*SchedulerScore{}
+	var schedOrder []string
+	score := func(name string) *SchedulerScore {
+		s, ok := scores[name]
+		if !ok {
+			s = &SchedulerScore{Scheduler: name}
+			scores[name] = s
+			schedOrder = append(schedOrder, name)
+		}
+		return s
+	}
+
+	rep := &Report{Name: name}
+	edps := map[string][]float64{}
+	norms := map[string][]float64{}
+	for _, key := range order {
+		g := byKey[key]
+		rep.Groups++
+		best := cellEDP(g.cells[0])
+		for _, c := range g.cells[1:] {
+			if e := cellEDP(c); e < best {
+				best = e
+			}
+		}
+		for _, c := range g.cells {
+			rep.Cells++
+			s := score(c.Scheduler)
+			s.Cells++
+			e := cellEDP(c)
+			edps[c.Scheduler] = append(edps[c.Scheduler], e)
+			if best > 0 {
+				norms[c.Scheduler] = append(norms[c.Scheduler], e/best)
+			}
+			if len(g.cells) > 1 {
+				if e == best {
+					s.Wins++
+				} else {
+					s.Losses++
+				}
+			}
+			onFrontier := true
+			for _, o := range g.cells {
+				if o.Scheduler != c.Scheduler && dominates(o, c) {
+					onFrontier = false
+					break
+				}
+			}
+			if onFrontier {
+				s.Pareto++
+			}
+		}
+	}
+
+	for _, name := range schedOrder {
+		s := scores[name]
+		s.EDP = stats.Summarize(edps[name])
+		s.NormEDP = stats.Summarize(norms[name])
+		rep.Schedulers = append(rep.Schedulers, *s)
+	}
+	sort.Slice(rep.Schedulers, func(i, j int) bool {
+		a, b := rep.Schedulers[i], rep.Schedulers[j]
+		if a.Wins != b.Wins {
+			return a.Wins > b.Wins
+		}
+		return a.Scheduler < b.Scheduler
+	})
+	return rep
+}
+
+// Render formats the report for terminals.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Fprintf(&sb, "SCENARIO %s — %d groups, %d scheduler cells\n", name, r.Groups, r.Cells)
+	sb.WriteString("win = lowest mean energy-delay product in its (program, platform, config) group\n\n")
+	tb := tablefmt.NewTable("scheduler", "cells", "wins", "losses", "pareto", "mean EDP (J·s)", "norm EDP", "worst norm")
+	for _, s := range r.Schedulers {
+		tb.Row(s.Scheduler, s.Cells, s.Wins, s.Losses, s.Pareto, s.EDP.Mean, s.NormEDP.Mean, s.NormEDP.Max)
+	}
+	sb.WriteString(tb.String())
+	return sb.String()
+}

@@ -1,0 +1,280 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+	"astro/internal/hw"
+)
+
+func TestZooPlatformsDeterministic(t *testing.T) {
+	zp := ZooParams{
+		Topologies: []string{"2L2B", "1L4B"},
+		Ladder:     []DVFSStep{{800, 1200}, {1400, 2000}},
+		BigBlends:  []float64{0.5, 1},
+	}
+	a, err := zp.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2*2*2 {
+		t.Fatalf("zoo size %d, want 8: %v", len(a), a)
+	}
+	b, _ := zp.Platforms()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("zoo enumeration not deterministic: %v vs %v", a, b)
+		}
+		if _, err := hw.ByName(a[i]); err != nil {
+			t.Errorf("zoo name %q does not build: %v", a[i], err)
+		}
+	}
+	// Defaults expand non-trivially and build.
+	def, err := ZooParams{}.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 4*3*1 {
+		t.Errorf("default zoo size %d, want 12", len(def))
+	}
+	if _, err := (ZooParams{Topologies: []string{"notatopo"}}).Platforms(); err == nil {
+		t.Error("bad topology should error")
+	}
+}
+
+// sweepMatrix is the shared ≥200-cell acceptance matrix: 5 generated
+// programs × 5 platforms (2 boards + 3 zoo machines) × 2 schedulers × 4
+// seeds = 200 jobs.
+func sweepMatrix() Matrix {
+	return Matrix{
+		Name:         "acceptance",
+		ProgramCount: 5,
+		ProgramSeed:  100,
+		Platforms:    []string{"odroid-xu4", "jetson-tk1"},
+		Zoo: &ZooParams{
+			Topologies: []string{"2L2B"},
+			Ladder:     []DVFSStep{{800, 1200}, {1000, 1600}, {1400, 2000}},
+			BigBlends:  []float64{0.5},
+		},
+		Schedulers: []string{"default", "gts"},
+		Seeds:      []int64{0, 1, 2, 3},
+		Sim:        campaign.Knobs{MaxTimeS: 0.25},
+	}
+}
+
+// TestMatrixDeterministicJobKeys pins the end-to-end determinism contract:
+// expanding the same matrix twice yields identical campaign job hashes in
+// identical order, and every job is cacheable.
+func TestMatrixDeterministicJobKeys(t *testing.T) {
+	m := sweepMatrix()
+	defer m.Unregister()
+	keys := func() []string {
+		specs, err := m.Campaigns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, sp := range specs {
+			jobs, err := sp.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range jobs {
+				k, ok := j.Key()
+				if !ok {
+					t.Fatalf("job %s not cacheable", j.Label)
+				}
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	a, b := keys(), keys()
+	if len(a) != 200 {
+		t.Fatalf("matrix expands to %d jobs, want 200", len(a))
+	}
+	if m.Cells() != 200 {
+		t.Errorf("Cells() = %d, want 200", m.Cells())
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job key %d differs between expansions", i)
+		}
+	}
+}
+
+// TestMatrixSweepThroughEngine runs the 200-cell matrix through the
+// campaign engine twice against one store: the cold pass simulates every
+// cell, the warm pass must perform zero fresh simulations. The scheduler
+// report built from the results must cover the full grid.
+func TestMatrixSweepThroughEngine(t *testing.T) {
+	m := sweepMatrix()
+	defer m.Unregister()
+	specs, err := m.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := campaign.NewEngine(4, nil)
+
+	run := func(sp campaign.Spec) campaign.Status {
+		c, err := eng.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(3 * time.Minute)
+		for {
+			st := c.Status()
+			if st.State != campaign.StateRunning {
+				if st.State != campaign.StateDone {
+					t.Fatalf("campaign %s finished %s: %s", sp.Name, st.State, st.Error)
+				}
+				return st
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign %s timed out (%d/%d done)", sp.Name, st.Done, st.Total)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	var cold, warm []*campaign.ResultSet
+	total := 0
+	for _, sp := range specs {
+		st := run(sp)
+		total += st.Total
+		if st.Errors != 0 {
+			t.Fatalf("cold pass had %d errors", st.Errors)
+		}
+		c, _ := eng.Get(st.ID)
+		cold = append(cold, c.Results())
+	}
+	if total != 200 {
+		t.Fatalf("engine ran %d jobs, want 200", total)
+	}
+	for _, sp := range specs {
+		st := run(sp)
+		if st.ColdJobs != 0 || st.CacheHits != st.Total {
+			t.Fatalf("warm pass simulated fresh: %d cold, %d/%d hits",
+				st.ColdJobs, st.CacheHits, st.Total)
+		}
+		c, _ := eng.Get(st.ID)
+		warm = append(warm, c.Results())
+	}
+	// Byte-identical result sets, cold vs warm.
+	for i := range cold {
+		if cold[i].Fingerprint != warm[i].Fingerprint {
+			t.Fatalf("batch %d: warm fingerprint differs from cold", i)
+		}
+	}
+
+	rep := BuildReport(m.Name, cold...)
+	if rep.Groups != 25 { // 5 programs x 5 platforms x 1 config
+		t.Errorf("report groups = %d, want 25", rep.Groups)
+	}
+	if rep.Cells != 50 { // x 2 schedulers
+		t.Errorf("report cells = %d, want 50", rep.Cells)
+	}
+	if len(rep.Schedulers) != 2 {
+		t.Fatalf("report schedulers = %v", rep.Schedulers)
+	}
+	wins, losses := 0, 0
+	for _, s := range rep.Schedulers {
+		wins += s.Wins
+		losses += s.Losses
+		if s.Cells != 25 {
+			t.Errorf("%s scored %d cells, want 25", s.Scheduler, s.Cells)
+		}
+		if s.NormEDP.Min < 1 && s.NormEDP.N > 0 {
+			t.Errorf("%s norm EDP min %.3f < 1", s.Scheduler, s.NormEDP.Min)
+		}
+		if s.Pareto == 0 {
+			t.Errorf("%s has no Pareto-optimal cells at all", s.Scheduler)
+		}
+	}
+	// Every group produces one winner; joint winners can push wins above
+	// groups but wins+losses always equals the contested cell count.
+	if wins+losses != rep.Cells {
+		t.Errorf("wins %d + losses %d != cells %d", wins, losses, rep.Cells)
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "gts") || !strings.Contains(out, "default") {
+		t.Errorf("rendered report missing schedulers:\n%s", out)
+	}
+}
+
+// TestMatrixCellsMatchesExpansion pins Cells() against the real job count,
+// including the per-platform "all" config expansion and axis dedup.
+func TestMatrixCellsMatchesExpansion(t *testing.T) {
+	dupZoo, _ := (&ZooParams{Topologies: []string{"2L2B"}, Ladder: []DVFSStep{{800, 1200}}}).Platforms()
+	for _, m := range []Matrix{
+		{ProgramCount: 1, Platforms: []string{"odroid-xu4"}, Configs: []string{"all", "2L2B"}},
+		{ProgramCount: 2, Platforms: []string{"odroid-xu4", "jetson-tk1"}, Configs: []string{"all"}, Seeds: []int64{1, 2}},
+		{ProgramCount: 1}, // every axis defaulted
+		{ // platform listed explicitly AND emitted by the zoo: deduped
+			ProgramCount: 1,
+			Platforms:    dupZoo,
+			Zoo:          &ZooParams{Topologies: []string{"2L2B"}, Ladder: []DVFSStep{{800, 1200}}},
+		},
+	} {
+		m := m
+		defer m.Unregister()
+		specs, err := m.Campaigns()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := 0
+		for _, sp := range specs {
+			ex, err := sp.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs += len(ex)
+		}
+		if got := m.Cells(); got != jobs {
+			t.Errorf("Cells() = %d, expansion = %d jobs (%+v)", got, jobs, m)
+		}
+	}
+}
+
+func TestMatrixBatching(t *testing.T) {
+	m := sweepMatrix()
+	m.Batch = 2
+	defer m.Unregister()
+	specs, err := m.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 { // 5 programs in batches of 2
+		t.Fatalf("batched into %d specs, want 3", len(specs))
+	}
+	names := map[string]bool{}
+	progs := 0
+	for _, sp := range specs {
+		if names[sp.Name] {
+			t.Errorf("duplicate batch name %q", sp.Name)
+		}
+		names[sp.Name] = true
+		progs += len(sp.Benchmarks)
+	}
+	if progs != 5 {
+		t.Errorf("batches cover %d programs, want 5", progs)
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := (&Matrix{}).Campaigns(); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	bad := Matrix{ProgramCount: 1, Schedulers: []string{"warp-drive"}}
+	defer bad.Unregister()
+	if _, err := bad.Campaigns(); err == nil {
+		t.Error("unknown scheduler should fail spec validation")
+	}
+	badPlat := Matrix{ProgramCount: 1, Platforms: []string{"zoo:bogus"}}
+	defer badPlat.Unregister()
+	if _, err := badPlat.Campaigns(); err == nil {
+		t.Error("malformed zoo platform should fail spec validation")
+	}
+}

@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"fmt"
+
+	"astro/internal/hw"
+)
+
+// DVFSStep is one operating point of a platform ladder: the two cluster
+// clocks that scale together under a governor.
+type DVFSStep struct {
+	LittleMHz int `json:"little_mhz"`
+	BigMHz    int `json:"big_mhz"`
+}
+
+// ZooParams declares a generated platform family: the cross product of
+// big.LITTLE topologies, a DVFS frequency ladder, and big-cluster blend
+// points (cost tables interpolated between the A7 and A15 models). Every
+// resulting machine is named canonically (hw.PlatformParams.String), so the
+// list of names alone reproduces the zoo anywhere.
+type ZooParams struct {
+	// Topologies in xLyB notation ("2L4B"); default a four-machine spread
+	// around the measured boards.
+	Topologies []string `json:"topologies,omitempty"`
+
+	// Ladder of DVFS operating points; default three steps from
+	// low-power to the Odroid's performance governor.
+	Ladder []DVFSStep `json:"ladder,omitempty"`
+
+	// BigBlends are cost-table interpolation points for the big cluster
+	// (1 = pure A15, 0.5 = a "medium" core); default [1]. The LITTLE
+	// cluster always uses the calibrated A7 table.
+	BigBlends []float64 `json:"big_blends,omitempty"`
+}
+
+func (zp ZooParams) topologies() []string {
+	if len(zp.Topologies) == 0 {
+		return []string{"4L4B", "2L4B", "4L2B", "1L4B"}
+	}
+	return zp.Topologies
+}
+
+func (zp ZooParams) ladder() []DVFSStep {
+	if len(zp.Ladder) == 0 {
+		return []DVFSStep{{800, 1200}, {1000, 1600}, {1400, 2000}}
+	}
+	return zp.Ladder
+}
+
+func (zp ZooParams) bigBlends() []float64 {
+	if len(zp.BigBlends) == 0 {
+		return []float64{1}
+	}
+	return zp.BigBlends
+}
+
+// Platforms enumerates the zoo deterministically (topology-major, then
+// ladder step, then blend) and returns canonical platform names, validated.
+func (zp ZooParams) Platforms() ([]string, error) {
+	var names []string
+	for _, topo := range zp.topologies() {
+		cfg, err := hw.ParseConfig(topo)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: zoo topology %q: %w", topo, err)
+		}
+		for _, step := range zp.ladder() {
+			for _, blend := range zp.bigBlends() {
+				pp := hw.PlatformParams{
+					Little: cfg.Little, Big: cfg.Big,
+					LittleMHz: step.LittleMHz, BigMHz: step.BigMHz,
+					LittleBlend: 0, BigBlend: blend,
+				}
+				if err := pp.Validate(); err != nil {
+					return nil, fmt.Errorf("scenario: zoo %s @ %d/%d MHz: %w",
+						topo, step.LittleMHz, step.BigMHz, err)
+				}
+				names = append(names, pp.String())
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenario: zoo expands to zero platforms")
+	}
+	return names, nil
+}

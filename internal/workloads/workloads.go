@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"astro/internal/ir"
 	"astro/internal/lang"
@@ -21,7 +22,7 @@ import (
 // Spec describes one benchmark.
 type Spec struct {
 	Name   string
-	Suite  string // "parsec", "rodinia" or "micro"
+	Suite  string // one of Suites: "parsec", "rodinia", "micro", "scenario"
 	Desc   string
 	Source string
 
@@ -47,24 +48,79 @@ func (s Spec) Args() []int64 { return []int64{s.DefaultScale, s.Threads} }
 // SmallArgs returns (scale, threads) for fast test runs.
 func (s Spec) SmallArgs() []int64 { return []int64{s.SmallScale, s.Threads} }
 
-var registry = map[string]Spec{}
+// Suites are the benchmark families Expand accepts as patterns. The
+// built-in programs populate the first three; "scenario" holds generated
+// programs registered at runtime (see internal/scenario).
+var Suites = []string{"parsec", "rodinia", "micro", "scenario"}
 
+// The registry is mutated at runtime by scenario generation (astro-serve
+// registers generated programs while campaigns read concurrently), so every
+// access goes through the mutex.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// register adds a built-in benchmark at package init; duplicates are a
+// programming error.
 func register(s Spec) Spec {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Register adds a benchmark at runtime, rejecting duplicate names and specs
+// that could not compile into the campaign pipeline (empty name or source,
+// unknown suite).
+func Register(s Spec) error {
+	if s.Name == "" || s.Source == "" {
+		return fmt.Errorf("workloads: register %q: name and source are required", s.Name)
+	}
+	suiteOK := false
+	for _, su := range Suites {
+		if s.Suite == su {
+			suiteOK = true
+		}
+	}
+	if !suiteOK {
+		return fmt.Errorf("workloads: register %q: unknown suite %q (have %v)", s.Name, s.Suite, Suites)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[s.Name]; dup {
-		panic("workloads: duplicate benchmark " + s.Name)
+		return fmt.Errorf("workloads: duplicate benchmark %q", s.Name)
 	}
 	registry[s.Name] = s
-	return s
+	return nil
+}
+
+// Unregister removes a runtime-registered benchmark, reporting whether it
+// was present. Built-in benchmarks (suites other than "scenario") are
+// permanent: the experiment drivers assume them.
+func Unregister(name string) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	if !ok || s.Suite != "scenario" {
+		return false
+	}
+	delete(registry, name)
+	return true
 }
 
 // ByName looks a benchmark up.
 func ByName(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	s, ok := registry[name]
 	return s, ok
 }
 
 // Names lists registered benchmarks sorted by name.
 func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	var out []string
 	for n := range registry {
 		out = append(out, n)
@@ -73,12 +129,16 @@ func Names() []string {
 	return out
 }
 
-// All returns every benchmark sorted by name.
+// All returns every benchmark sorted by name, as one atomic snapshot of
+// the registry.
 func All() []Spec {
-	var out []Spec
-	for _, n := range Names() {
-		out = append(out, registry[n])
+	regMu.RLock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
 	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
@@ -95,9 +155,9 @@ func Suite(suite string) []Spec {
 
 // Expand resolves benchmark patterns to specs, preserving pattern order and
 // de-duplicating. A pattern is an exact benchmark name, a suite name
-// ("parsec", "rodinia", "micro"), "all", or a '*'-suffixed prefix glob
-// ("hotspot*"). Campaign specs and CLI flags use this to name sweeps
-// compactly.
+// ("parsec", "rodinia", "micro", "scenario"), "all", or a '*'-suffixed
+// prefix glob ("hotspot*"). Campaign specs and CLI flags use this to name
+// sweeps compactly.
 func Expand(patterns []string) ([]Spec, error) {
 	var out []Spec
 	seen := map[string]bool{}
@@ -107,13 +167,21 @@ func Expand(patterns []string) ([]Spec, error) {
 			out = append(out, s)
 		}
 	}
+	isSuite := func(pat string) bool {
+		for _, su := range Suites {
+			if pat == su {
+				return true
+			}
+		}
+		return false
+	}
 	for _, pat := range patterns {
 		switch {
 		case pat == "all":
 			for _, s := range All() {
 				add(s)
 			}
-		case pat == "parsec" || pat == "rodinia" || pat == "micro":
+		case isSuite(pat):
 			for _, s := range Suite(pat) {
 				add(s)
 			}

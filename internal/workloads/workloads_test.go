@@ -137,6 +137,64 @@ func TestPhaseDiversity(t *testing.T) {
 	t.Logf("phase witnesses: %v", seen)
 }
 
+// TestRegisterUnregister covers the runtime registration path used by
+// generated scenario programs.
+func TestRegisterUnregister(t *testing.T) {
+	src := `func main(scale int, threads int) { print_int(scale); }`
+	spec := Spec{Name: "scn-test-reg", Suite: "scenario", Source: src,
+		DefaultScale: 1, SmallScale: 1, Threads: 1}
+	if err := Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister(spec.Name)
+
+	// Duplicate names are rejected, both against built-ins and re-registration.
+	if err := Register(spec); err == nil {
+		t.Error("re-registering the same name should fail")
+	}
+	if err := Register(Spec{Name: "freqmine", Suite: "scenario", Source: src}); err == nil {
+		t.Error("shadowing a built-in benchmark should fail")
+	}
+	// Invalid specs are rejected up front.
+	if err := Register(Spec{Name: "scn-bad", Suite: "nope", Source: src}); err == nil {
+		t.Error("unknown suite should fail")
+	}
+	if err := Register(Spec{Name: "", Suite: "scenario", Source: src}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := Register(Spec{Name: "scn-empty", Suite: "scenario"}); err == nil {
+		t.Error("empty source should fail")
+	}
+
+	// Expand sees the registered program via name, suite and glob patterns.
+	for _, pats := range [][]string{{"scn-test-reg"}, {"scenario"}, {"scn-test-*"}} {
+		specs, err := Expand(pats)
+		if err != nil {
+			t.Fatalf("Expand(%v): %v", pats, err)
+		}
+		if len(specs) != 1 || specs[0].Name != "scn-test-reg" {
+			t.Errorf("Expand(%v) = %v", pats, specs)
+		}
+	}
+
+	// Unregister removes it; built-ins are permanent.
+	if !Unregister("scn-test-reg") {
+		t.Error("Unregister should report removal")
+	}
+	if Unregister("scn-test-reg") {
+		t.Error("second Unregister should report absence")
+	}
+	if _, ok := ByName("scn-test-reg"); ok {
+		t.Error("benchmark still visible after Unregister")
+	}
+	if Unregister("freqmine") {
+		t.Error("built-in benchmarks must not be unregisterable")
+	}
+	if _, ok := ByName("freqmine"); !ok {
+		t.Error("freqmine vanished")
+	}
+}
+
 // TestQualitativeShapes checks the headline behavioural contrasts the paper
 // relies on.
 func TestQualitativeShapes(t *testing.T) {
