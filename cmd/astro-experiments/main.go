@@ -9,7 +9,12 @@
 // Usage:
 //
 //	astro-experiments [-scale small|paper] [-fig 1|3|4|6|9|10|11|table1|headline|all]
-//	                  [-j N] [-cache dir] [-timeout d]
+//	                  [-j N] [-cache dir] [-coordinator URL] [-timeout d]
+//
+// -coordinator fronts the store with a trained-agent snapshot exchange
+// against a running astro-serve: fig10-style training cells finished on
+// any machine pointing at the same coordinator are cache hits here, with
+// inference-exact snapshots (results stay byte-identical).
 //
 // Every requested figure runs even if an earlier one fails; the exit
 // status is non-zero when any of them failed.
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"astro/internal/campaign"
@@ -32,6 +38,7 @@ func main() {
 	fig := flag.String("fig", "all", "which artifact: 1,3,4,6,9,10,11,table1,headline,all")
 	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers for simulation sweeps")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
+	coordinator := flag.String("coordinator", "", "astro-serve URL: exchange trained-agent snapshots with its store, so fig10-style training done on any machine warms this one (and vice versa)")
 	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
 	flag.Parse()
 
@@ -54,7 +61,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "astro-experiments:", err)
 		os.Exit(1)
 	}
-	experiments.Configure(experiments.ExecConfig{Workers: *jobs, Store: store, Ctx: ctx})
+	var exec campaign.ResultStore = store
+	if *coordinator != "" {
+		exec = campaign.NewAgentExchange(strings.TrimRight(*coordinator, "/")+"/work", store)
+	}
+	experiments.Configure(experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx})
 
 	if n := run(sc, *fig); n > 0 {
 		fmt.Fprintf(os.Stderr, "astro-experiments: %d artifact(s) failed\n", n)

@@ -6,9 +6,17 @@
 // resubmitting a spec — or any spec overlapping previously simulated grid
 // points — is served from cache.
 //
+// With -remote, astro-serve is also the coordinator of a distributed
+// campaign fleet: instead of simulating in-process it publishes campaign
+// cells on the /work lease endpoints, and any number of `astro worker`
+// processes — on this machine or others — pull cells, simulate, and push
+// canonical results back. Leases expire and re-issue, so killing a worker
+// loses nothing; results are byte-identical to local execution (a pinned
+// test diffs the fingerprints).
+//
 // Usage:
 //
-//	astro-serve [-addr :8080] [-j N] [-cache dir]
+//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d]
 //
 // Quick tour (see README.md for a full example):
 //
@@ -16,6 +24,7 @@
 //	curl -s localhost:8080/campaigns/c000001            # status
 //	curl -N localhost:8080/campaigns/c000001/events     # SSE progress
 //	curl -s localhost:8080/campaigns/c000001/results    # aggregated results
+//	curl -s localhost:8080/work/status                  # worker fleet status
 package main
 
 import (
@@ -30,19 +39,42 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers")
+	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers (local execution and -remote fallback)")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
+	shards := flag.Int("shards", 0, "shard the result store by key prefix (0 = single directory; use with concurrent workers)")
+	remote := flag.Bool("remote", false, "execute campaigns on pull-based workers (`astro worker`) instead of in-process")
+	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "how long a worker holds a cell before it re-leases")
 	flag.Parse()
 
-	store, err := campaign.NewStore(*cacheDir)
+	var store campaign.ResultStore
+	var err error
+	if *shards > 0 {
+		store, err = campaign.NewShardedStore(*cacheDir, *shards)
+	} else {
+		store, err = campaign.NewStore(*cacheDir)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astro-serve:", err)
 		os.Exit(1)
 	}
-	eng := campaign.NewEngine(*jobs, store)
-	fmt.Fprintf(os.Stderr, "astro-serve: listening on %s (%d workers, cache %s)\n",
-		*addr, *jobs, cacheOrMem(*cacheDir))
-	if err := http.ListenAndServe(*addr, newServer(eng)); err != nil {
+
+	queue := campaign.NewWorkQueue(*leaseTTL)
+	queue.Store = store // keep late results of cancelled campaigns
+	var runner campaign.Runner = &campaign.Pool{Workers: *jobs, Store: store}
+	mode := "local pool"
+	if *remote {
+		// The local pool stays as the fallback for non-wireable jobs.
+		runner = &campaign.RemoteRunner{
+			Queue: queue,
+			Store: store,
+			Local: campaign.Pool{Workers: *jobs, Store: store},
+		}
+		mode = "remote workers"
+	}
+	eng := campaign.NewEngineWith(runner, store)
+	fmt.Fprintf(os.Stderr, "astro-serve: listening on %s (%s, %d pool workers, cache %s)\n",
+		*addr, mode, *jobs, cacheOrMem(*cacheDir))
+	if err := http.ListenAndServe(*addr, newServer(eng, queue)); err != nil {
 		fmt.Fprintln(os.Stderr, "astro-serve:", err)
 		os.Exit(1)
 	}

@@ -27,9 +27,23 @@ import (
 //	GET    /scenarios                every scenario, newest first
 //	GET    /scenarios/{id}           one scenario's grouping + batch statuses
 //	GET    /scenarios/{id}/report    scheduler report (202 while batches run)
-func newServer(eng *campaign.Engine) http.Handler {
+//	POST   /work/lease               worker protocol: lease campaign cells
+//	POST   /work/result              worker protocol: push a cell result
+//	GET    /work/status              queue + per-worker fleet status
+//	GET    /work/agents/{key}        trained-agent snapshot exchange (fetch)
+//	PUT    /work/agents/{key}        trained-agent snapshot exchange (publish)
+//
+// The /work endpoints (campaign.WorkHandler) are always mounted; they only
+// hand out cells when the engine runs with -remote, but the agent exchange
+// and status are live either way. Campaign SSE progress streams cover
+// remote cells too — a leased cell's completion flows through the engine's
+// progress path exactly like a locally simulated one.
+func newServer(eng *campaign.Engine, queue *campaign.WorkQueue) http.Handler {
 	mux := http.NewServeMux()
 	scenarios := newScenarioStore()
+	if queue != nil {
+		mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(queue, eng.Store())))
+	}
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -15,7 +16,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(campaign.NewEngine(4, nil)))
+	srv := httptest.NewServer(newServer(campaign.NewEngine(4, nil), campaign.NewWorkQueue(0)))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -180,5 +181,61 @@ func TestServeCancel(t *testing.T) {
 	}
 	if st.State == campaign.StateRunning {
 		t.Fatalf("campaign still running after cancel: %+v", st)
+	}
+}
+
+// TestServeRemoteCampaign runs a campaign through a -remote engine: the
+// server's /work endpoints hand cells to a pull-based worker, and the
+// campaign completes with results identical in shape to local execution.
+func TestServeRemoteCampaign(t *testing.T) {
+	store := campaign.NewMemStore()
+	queue := campaign.NewWorkQueue(time.Minute)
+	runner := &campaign.RemoteRunner{
+		Queue: queue,
+		Store: store,
+		Local: campaign.Pool{Workers: 2, Store: store},
+	}
+	eng := campaign.NewEngineWith(runner, store)
+	srv := httptest.NewServer(newServer(eng, queue))
+	t.Cleanup(srv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &campaign.Worker{
+		Coordinator: srv.URL + "/work",
+		ID:          "serve-test-worker",
+		Max:         2,
+		Poll:        5 * time.Millisecond,
+	}
+	go w.Run(ctx)
+
+	body := `{"name":"remote","benchmarks":["spin"],"schedulers":["default","gts"],"seeds":[1,2]}`
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaign.Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		getJSON(t, srv.URL+"/campaigns/"+st.ID, &st)
+		if st.State != campaign.StateRunning {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != campaign.StateDone || st.Done != 4 {
+		t.Fatalf("remote campaign: %+v", st)
+	}
+
+	// The fleet status reflects the worker that did the cells.
+	var qs campaign.QueueStats
+	if code := getJSON(t, srv.URL+"/work/status", &qs); code != 200 {
+		t.Fatalf("work status: %d", code)
+	}
+	if qs.Done != 4 || len(qs.Workers) != 1 || qs.Workers[0].Completed != 4 {
+		t.Fatalf("queue stats: %+v", qs)
 	}
 }

@@ -28,6 +28,7 @@ func cmdCampaign(args []string) error {
 	seeds := fs.String("seeds", "", "comma-separated int64 seeds (default 0)")
 	scale := fs.String("scale", "small", "benchmark scale: small or paper")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker pool width")
+	workers := fs.Int("workers", 0, "run through N pull-based loopback workers over the distributed protocol (0 = in-process pool)")
 	cacheDir := fs.String("cache", "", "on-disk result cache directory")
 	timeout := fs.Duration("timeout", 0, "stop scheduling jobs after this duration; in-flight jobs finish (0 = none)")
 	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
@@ -82,9 +83,13 @@ func cmdCampaign(args []string) error {
 		defer cancel()
 	}
 
-	fmt.Fprintf(os.Stderr, "campaign: %d jobs on %d workers\n", len(expanded), *jobs)
+	runner, cleanup, err := newRunner(*jobs, *workers, store)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Fprintf(os.Stderr, "campaign: %d jobs on %d workers\n", len(expanded), max(*jobs, *workers))
 	start := time.Now()
-	pool := &campaign.Pool{Workers: *jobs, Store: store}
 	onProgress := func(p campaign.Progress) {
 		if *quiet {
 			return
@@ -98,7 +103,7 @@ func cmdCampaign(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "[%4d/%4d]%s %s (%.2fs)\n", p.Done, p.Total, mark, p.Label, p.WallS)
 	}
-	outs, runErr := pool.Run(ctx, expanded, onProgress)
+	outs, runErr := runner.Run(ctx, expanded, onProgress)
 	rs := campaign.Aggregate(spec.Name, outs)
 	fmt.Println(rs.Render())
 	fmt.Fprintf(os.Stderr, "campaign: %d jobs, %d cache hits, %d errors in %v\n",

@@ -10,9 +10,10 @@
 //	astro train     [-episodes N] [-scale N] [-threads N] [-seed N] <prog>
 //	astro bench     (list bundled benchmarks)
 //	astro campaign  [-spec file.json | -bench patterns] [-sched ...] [-configs ...]
-//	                [-seeds ...] [-j N] [-cache dir] [-timeout d]
+//	                [-seeds ...] [-j N] [-workers N] [-cache dir] [-timeout d]
 //	astro scenario  generate [-seed N] [-cpu N -io N -blocked N -mixed N] [...]
-//	astro scenario  sweep|report [-spec matrix.json | -programs N -zoo ...]
+//	astro scenario  sweep|report [-spec matrix.json | -programs N -zoo ...] [-workers N]
+//	astro worker    [-coordinator URL] [-id name] [-max N] [-cache dir]
 //
 // Programs are either astc source paths or "bench:<name>" for a bundled
 // benchmark.
@@ -58,6 +59,8 @@ func main() {
 		err = cmdCampaign(args)
 	case "scenario":
 		err = cmdScenario(args)
+	case "worker":
+		err = cmdWorker(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -69,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign|scenario> [flags] <file.astc | bench:name>`)
+	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign|scenario|worker> [flags] <file.astc | bench:name>`)
 }
 
 // load resolves a program argument to a module.

@@ -103,6 +103,7 @@ func scenarioSweep(args []string, reportOnly bool) error {
 	scale := fs.String("scale", "small", "benchmark scale: small or paper")
 	batch := fs.Int("batch", 0, "programs per campaign batch (0 = all in one)")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker pool width")
+	workers := fs.Int("workers", 0, "run through N pull-based loopback workers over the distributed protocol (0 = in-process pool)")
 	cacheDir := fs.String("cache", "", "on-disk result cache directory")
 	timeout := fs.Duration("timeout", 0, "stop scheduling jobs after this duration (0 = none)")
 	quiet := fs.Bool("q", false, "suppress per-job progress on stderr")
@@ -148,6 +149,9 @@ func scenarioSweep(args []string, reportOnly bool) error {
 		return err
 	}
 
+	// Remote dispatch works in smaller batches: a slow worker then gates one
+	// slice of the program axis, not the whole matrix.
+	m.AutoBatch(*workers)
 	specs, err := m.Campaigns()
 	if err != nil {
 		return err
@@ -163,9 +167,13 @@ func scenarioSweep(args []string, reportOnly bool) error {
 		defer cancel()
 	}
 
-	fmt.Fprintf(os.Stderr, "scenario: %d cells in %d batches on %d workers\n", m.Cells(), len(specs), *jobs)
+	runner, cleanup, err := newRunner(*jobs, *workers, store)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Fprintf(os.Stderr, "scenario: %d cells in %d batches on %d workers\n", m.Cells(), len(specs), max(*jobs, *workers))
 	start := time.Now()
-	pool := &campaign.Pool{Workers: *jobs, Store: store}
 	var sets []*campaign.ResultSet
 	var firstErr error
 	for _, sp := range specs {
@@ -173,7 +181,7 @@ func scenarioSweep(args []string, reportOnly bool) error {
 		if err != nil {
 			return err
 		}
-		outs, runErr := pool.Run(ctx, expanded, func(p campaign.Progress) {
+		outs, runErr := runner.Run(ctx, expanded, func(p campaign.Progress) {
 			if *quiet {
 				return
 			}

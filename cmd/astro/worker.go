@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"astro/internal/campaign"
+)
+
+// cmdWorker runs one pull-based campaign worker against a coordinator
+// (astro-serve with its /work endpoints). The worker leases
+// content-addressed cells, simulates them and pushes canonical results
+// back; killing it at any point is safe — its in-flight cells re-lease
+// after the coordinator's TTL.
+func cmdWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "http://localhost:8080", "coordinator base URL (astro-serve)")
+	id := fs.String("id", defaultWorkerID(), "worker identity for lease accounting")
+	maxCells := fs.Int("max", 2, "cells per lease")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval")
+	cacheDir := fs.String("cache", "", "local result cache directory (answers re-leased cells without resimulating)")
+	shards := fs.Int("shards", 0, "shard the local cache (0 = single directory)")
+	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var store campaign.ResultStore
+	var err error
+	if *shards > 0 {
+		store, err = campaign.NewShardedStore(*cacheDir, *shards)
+	} else if *cacheDir != "" {
+		store, err = campaign.NewStore(*cacheDir)
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(bgContext(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := &campaign.Worker{
+		Coordinator: strings.TrimRight(*coordinator, "/") + "/work",
+		ID:          *id,
+		Max:         *maxCells,
+		Poll:        *poll,
+		Store:       store,
+	}
+	if !*quiet {
+		w.OnProgress = func(p campaign.Progress) {
+			mark := " "
+			if p.CacheHit {
+				mark = "+"
+			}
+			if p.Err != "" {
+				mark = "!"
+			}
+			fmt.Fprintf(os.Stderr, "worker %s:%s %s (%.2fs)%s\n", *id, mark, p.Label, p.WallS, errSuffix(p.Err))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "astro worker %s: pulling from %s (max %d cells/lease)\n", *id, *coordinator, *maxCells)
+	return w.Run(ctx)
+}
+
+func errSuffix(err string) string {
+	if err == "" {
+		return ""
+	}
+	return " — " + err
+}
+
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

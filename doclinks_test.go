@@ -1,0 +1,71 @@
+package astro
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocLinks is the docs gate run by CI's docs job (and by every
+// `go test ./...`): every relative link in every tracked markdown file
+// must point at a path that exists in the repository. External links
+// (http, https, mailto) and pure anchors are skipped — the check is for
+// the cross-references (DESIGN.md ↔ EXPERIMENTS.md ↔ README.md ↔ source
+// files) that silently rot as the tree is refactored.
+func TestDocLinks(t *testing.T) {
+	var mds []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mds) == 0 {
+		t.Fatal("no markdown files found — walking from the wrong directory?")
+	}
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[0], resolved)
+			}
+		}
+	}
+}

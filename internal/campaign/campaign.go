@@ -9,22 +9,33 @@
 //   - Job: one fully-specified simulation. Its Key is a SHA-256 over every
 //     input that can influence the result (module IR bytes, platform,
 //     scheduler policy, initial configuration, seed, arguments, simulator
-//     knobs), so two byte-identical jobs are the same job.
-//   - Store: a content-addressed result store, in-memory with an optional
-//     on-disk tier, holding canonical result bytes by job key.
-//   - Pool: a worker pool that shards a job list across N workers
-//     deterministically, consults the store before simulating, retries
-//     failures, aggregates errors, honours context cancellation, and
-//     streams per-job progress.
+//     knobs), so two byte-identical jobs are the same job. Behaviour that
+//     lives outside those bytes (a custom Hybrid policy) must be named
+//     into the key via HybridKey or the job is uncacheable.
+//   - ResultStore: the storage contract — canonical bytes by content key —
+//     implemented by Store (in-memory + optional crash-safe on-disk tier),
+//     ShardedStore (key-prefix shards with an on-disk index, for N
+//     concurrent writers), and AgentExchange (a worker-local tier backed
+//     by a coordinator over HTTP).
+//   - Runner: the execution contract, implemented by Pool (in-process
+//     worker pool with deterministic static sharding) and RemoteRunner
+//     (cells leased to pull-based workers over HTTP via a WorkQueue, with
+//     lease expiry, retry, and result validation). The two are drop-in
+//     replacements: same jobs, same keys, byte-identical outcomes.
 //   - Spec: the declarative campaign description (JSON-friendly) that
-//     expands into a job list.
+//     expands into a job list in a fixed order.
 //   - Engine: the campaign lifecycle manager behind cmd/astro-serve —
-//     submit, observe, subscribe to progress, cancel.
+//     submit, observe, subscribe to progress, cancel — written against
+//     Runner and ResultStore.
+//   - Worker: the pull side of the distributed protocol (cmd/astro's
+//     worker subcommand): lease WireJob cells, verify their content keys,
+//     execute, push canonical results back.
 //
 // Because the simulator is deterministic, a campaign's result set is a pure
-// function of its spec: running with 1 worker or 8 yields byte-identical
-// result sets (campaign determinism tests verify this), and a warm-cache
-// re-run performs zero fresh simulations.
+// function of its spec: running with 1 worker or 8, in-process or through
+// remote workers, cold or from a warm cache, yields byte-identical result
+// sets. The determinism tests and TestRemoteByteIdentity pin exactly this,
+// and a warm re-run performs zero fresh simulations on any path.
 package campaign
 
 import (

@@ -79,27 +79,40 @@ type Campaign struct {
 // process; campaigns share its store, so a resubmitted spec is served
 // entirely from cache.
 type Engine struct {
-	pool Pool
+	runner Runner
+	store  ResultStore
 
 	mu        sync.Mutex
 	seq       int
 	campaigns map[string]*Campaign
 }
 
-// NewEngine builds an engine whose campaigns run on workers workers and
-// memoize into store (nil = fresh in-memory store).
-func NewEngine(workers int, store *Store) *Engine {
+// NewEngine builds an engine whose campaigns run in-process on workers
+// workers and memoize into store (nil = fresh in-memory store).
+func NewEngine(workers int, store ResultStore) *Engine {
+	if store == nil {
+		store = NewMemStore()
+	}
+	return NewEngineWith(&Pool{Workers: workers, Store: store}, store)
+}
+
+// NewEngineWith builds an engine around an explicit runner — the local Pool
+// or a RemoteRunner leasing cells to pull-based workers. The store must be
+// the one the runner memoizes into (it backs the /work agent-exchange
+// endpoints and warm-cache accounting).
+func NewEngineWith(r Runner, store ResultStore) *Engine {
 	if store == nil {
 		store = NewMemStore()
 	}
 	return &Engine{
-		pool:      Pool{Workers: workers, Store: store},
+		runner:    r,
+		store:     store,
 		campaigns: map[string]*Campaign{},
 	}
 }
 
 // Store exposes the engine's result store.
-func (e *Engine) Store() *Store { return e.pool.Store }
+func (e *Engine) Store() ResultStore { return e.store }
 
 // Submit expands the spec (validation errors surface synchronously) and
 // launches the campaign asynchronously, returning its handle.
@@ -128,7 +141,7 @@ func (e *Engine) Submit(spec Spec) (*Campaign, error) {
 }
 
 func (e *Engine) run(ctx context.Context, c *Campaign, jobs []*Job) {
-	outs, err := e.pool.Run(ctx, jobs, func(p Progress) {
+	outs, err := e.runner.Run(ctx, jobs, func(p Progress) {
 		c.mu.Lock()
 		c.done++
 		p.Done, p.Total = c.done, c.total

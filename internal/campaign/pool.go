@@ -58,9 +58,9 @@ func resultWork(r *sim.Result) (instr, cycles uint64) {
 // that needs no locked queue and keeps each worker's share independent of
 // run-to-run timing. The zero value is a serial, uncached pool.
 type Pool struct {
-	Workers int    // concurrent workers; <= 0 means 1
-	Store   *Store // nil disables caching
-	Retries int    // extra attempts per failing job
+	Workers int         // concurrent workers; <= 0 means 1
+	Store   ResultStore // nil disables caching
+	Retries int         // extra attempts per failing job
 }
 
 // Run executes the batch. It returns one outcome per job, in job order,

@@ -1,0 +1,466 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// WorkQueue is the coordinator side of the pull-based worker protocol: a
+// deduplicated queue of campaign cells keyed by job content address, with
+// per-cell leases that expire and re-issue when a worker dies mid-cell.
+//
+// Cell lifecycle (the worker-protocol state machine, also documented in
+// DESIGN.md):
+//
+//	          Enqueue                Lease                Complete(ok)
+//	(absent) ────────▶ pending ──────────────▶ leased ────────────────▶ done
+//	                      ▲                      │
+//	                      │   lease expired, or  │
+//	                      │   worker error, or   │ attempts > MaxAttempts
+//	                      │   malformed result   ▼
+//	                      └──────────────────  done(err)
+//
+// Invariants the failure-path tests pin:
+//
+//   - A key is enqueued once no matter how many campaigns want it; later
+//     Enqueues of a pending/leased key attach additional waiters.
+//   - A lease that expires re-queues the cell at the front (the retried
+//     cell goes out before fresh work) and counts an attempt.
+//   - The first valid result wins; duplicate submissions — the expired
+//     worker finishing late — are acknowledged as duplicates and change
+//     nothing.
+//   - A result that fails sim.DecodeResult is rejected before any waiter
+//     (and therefore any store) sees it, and the cell is re-queued.
+//   - Error or malformed submissions from a worker that no longer holds
+//     the lease (it expired and the cell moved on) are ignored: a stale
+//     failure must not re-queue or fail a cell a healthy worker is
+//     executing.
+//   - A cell that exhausts MaxAttempts completes with an error so campaigns
+//     fail loudly instead of hanging on a poisoned cell.
+//   - Done cells are evicted immediately: completed bytes live in the
+//     ResultStore (which runners consult before enqueueing), a bounded
+//     done-key set keeps duplicate detection, and a permanently failed
+//     cell is forgotten entirely — a resubmitted campaign retries fresh
+//     instead of replaying a stale error forever. The queue's footprint is
+//     therefore proportional to in-flight work, not to history.
+//
+// All methods are safe for concurrent use. Time is read through an
+// injectable clock so lease expiry is testable without sleeping.
+type WorkQueue struct {
+	// Store, when non-nil, receives every validated result the queue
+	// accepts — including results whose waiters were all cancelled (a
+	// cancelled campaign's in-flight cells), which would otherwise be
+	// discarded with the simulation already paid for. Set it before
+	// serving; it must be the same store the runners consult.
+	Store ResultStore
+
+	mu sync.Mutex
+
+	ttl         time.Duration
+	maxAttempts int
+	now         func() time.Time
+
+	order    []string // FIFO of (possibly stale) pending keys
+	cells    map[string]*workCell
+	leased   map[string]*workCell // the cellLeased subset of cells, so expiry sweeps touch only in-flight leases, not the whole campaign
+	doneKeys map[string]bool      // successfully completed keys, for duplicate detection
+	workers  map[string]*WorkerStatus
+
+	nextWaiter int
+	done       int
+	requeues   uint64
+	rejects    uint64
+	duplicates uint64
+}
+
+// maxDoneKeys bounds the duplicate-detection set. Past the cap it resets:
+// the only cost is that a very late duplicate of a very old cell reports
+// "unknown" instead of "duplicate" — workers ignore both.
+const maxDoneKeys = 1 << 20
+
+type cellState uint8
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+)
+
+type workCell struct {
+	wire     *WireJob
+	state    cellState
+	worker   string
+	expires  time.Time
+	attempts int
+	waiters  map[int]func(data []byte, err error)
+}
+
+// CompleteStatus is the coordinator's verdict on a result submission.
+type CompleteStatus string
+
+const (
+	CompleteAccepted  CompleteStatus = "accepted"
+	CompleteDuplicate CompleteStatus = "duplicate" // cell already done; submission ignored
+	CompleteRejected  CompleteStatus = "rejected"  // malformed result; cell re-queued
+	CompleteUnknown   CompleteStatus = "unknown"   // key never enqueued or withdrawn
+)
+
+// WorkerStatus is one worker's view in /work/status: liveness and the
+// lease/completion counters the operator watches during a multi-machine
+// sweep.
+type WorkerStatus struct {
+	ID        string    `json:"id"`
+	LastSeen  time.Time `json:"last_seen"`
+	Leased    int       `json:"leased"` // cells currently leased to this worker
+	Completed int       `json:"completed"`
+	Errors    int       `json:"errors"`
+}
+
+// QueueStats is the aggregate queue snapshot.
+type QueueStats struct {
+	Pending    int            `json:"pending"`
+	Leased     int            `json:"leased"`
+	Done       int            `json:"done"`
+	Requeues   uint64         `json:"requeues"`
+	Rejects    uint64         `json:"rejects"`
+	Duplicates uint64         `json:"duplicates"`
+	Workers    []WorkerStatus `json:"workers"`
+}
+
+// DefaultLeaseTTL is how long a worker holds a cell before the coordinator
+// re-issues it. It bounds the latency cost of a killed worker: its cells
+// re-enter the queue one TTL later. There is no in-protocol lease renewal
+// yet, so the TTL must comfortably exceed the slowest single cell —
+// otherwise healthy long-running cells are re-issued (and, past
+// maxAttempts, failed) while workers are still computing them. Size
+// -lease-ttl to the workload; late valid results are still banked into the
+// queue's Store either way.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// NewWorkQueue builds a queue with the given lease TTL (0 =
+// DefaultLeaseTTL) and the default 3-attempt cap per cell.
+func NewWorkQueue(ttl time.Duration) *WorkQueue {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &WorkQueue{
+		ttl:         ttl,
+		maxAttempts: 3,
+		now:         time.Now,
+		cells:       map[string]*workCell{},
+		leased:      map[string]*workCell{},
+		doneKeys:    map[string]bool{},
+		workers:     map[string]*WorkerStatus{},
+	}
+}
+
+// Enqueue registers a cell and a completion callback: the callback joins
+// the waiters of the key's in-flight cell, or a fresh pending cell is
+// created. (Completed cells are evicted — callers consult the ResultStore
+// before enqueueing, so reaching Enqueue for an already-done key means the
+// store lost the bytes and re-simulating is the correct response.) The
+// returned cancel function detaches the callback and reports whether it
+// succeeded: true means the callback will never be invoked (the caller
+// owns the outcome); false means the callback has already run or is being
+// invoked concurrently. Cancelling the last waiter of a still-pending cell
+// drops the cell entirely — the campaign was cancelled before any worker
+// picked it up.
+func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (cancel func() bool) {
+	q.mu.Lock()
+	c, ok := q.cells[wire.Key]
+	if !ok {
+		c = &workCell{wire: wire, waiters: map[int]func([]byte, error){}}
+		q.cells[wire.Key] = c
+		q.order = append(q.order, wire.Key)
+	}
+	id := q.nextWaiter
+	q.nextWaiter++
+	c.waiters[id] = done
+	q.mu.Unlock()
+
+	key := wire.Key
+	return func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		cc, ok := q.cells[key]
+		if !ok || cc != c {
+			return false
+		}
+		if _, attached := cc.waiters[id]; !attached {
+			return false // finishLocked already snapshotted it
+		}
+		delete(cc.waiters, id)
+		if len(cc.waiters) == 0 && cc.state == cellPending {
+			// Lazy removal: the key stays in order but Lease skips cells
+			// that are gone from the map.
+			delete(q.cells, key)
+		}
+		return true
+	}
+}
+
+// Lease hands out up to max pending cells to workerID, marking each leased
+// until now+TTL. Expired leases are swept (re-queued) first, so a dead
+// worker's cells are re-issued by the very next lease call from anyone.
+func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
+	if max <= 0 {
+		max = 1
+	}
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+	w := q.workerLocked(workerID, now)
+
+	var out []*WireJob
+	keep := q.order[:0]
+	for _, key := range q.order {
+		c, ok := q.cells[key]
+		if !ok || c.state != cellPending {
+			continue // stale entry (withdrawn, already leased via requeue, or done)
+		}
+		if len(out) < max {
+			c.state = cellLeased
+			c.worker = workerID
+			c.expires = now.Add(q.ttl)
+			c.attempts++
+			q.leased[key] = c
+			w.Leased++
+			out = append(out, c.wire)
+			continue
+		}
+		keep = append(keep, key)
+	}
+	q.order = keep
+	q.mu.Unlock()
+	expired()
+	return out
+}
+
+// Complete records a worker's result for key. workerErr, when non-empty, is
+// the worker reporting that it could not execute the cell (module decode
+// failure, simulation error): the cell is re-queued, or failed outright
+// once its attempts are exhausted. Valid data completes the cell and wakes
+// every waiter; see CompleteStatus for the other verdicts.
+//
+// A valid result is accepted from any submitter — the first one wins, even
+// a worker whose lease expired (its simulation is just as deterministic).
+// Failure reports, by contrast, only count when the submitter still holds
+// the lease: a stale error from an expired worker must not re-queue or
+// fail a cell that a healthy worker is currently executing.
+func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string) CompleteStatus {
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+	w := q.workerLocked(workerID, now)
+
+	c, ok := q.cells[key]
+	if !ok {
+		var st CompleteStatus = CompleteUnknown
+		if q.doneKeys[key] {
+			q.duplicates++
+			st = CompleteDuplicate
+		}
+		q.mu.Unlock()
+		expired()
+		// A valid result for a key the queue no longer tracks — the cell
+		// was withdrawn, or failed after its leases expired while this
+		// worker was still computing — is still a finished simulation.
+		// Bank the bytes so the next campaign wanting this key is warm.
+		// Only well-formed content addresses may reach the store's path
+		// logic (the HTTP handler rejects others; this guards direct
+		// callers too).
+		if st == CompleteUnknown && workerErr == "" && q.Store != nil && keyPattern.MatchString(key) {
+			if _, err := sim.DecodeResult(data); err == nil {
+				_ = q.Store.Put(key, data)
+			}
+		}
+		return st
+	}
+	holds := c.state == cellLeased && c.worker == workerID
+	if holds {
+		w.Leased--
+	}
+	if workerErr != "" {
+		w.Errors++
+		if !holds {
+			// Stale failure report: the lease moved on. Ignore it.
+			q.mu.Unlock()
+			expired()
+			return CompleteUnknown
+		}
+		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s: %s", workerID, workerErr))
+		q.mu.Unlock()
+		expired()
+		st()
+		return CompleteAccepted
+	}
+	// Validate before any waiter (and any store behind it) can see the
+	// bytes: a malformed result must not poison the content-addressed
+	// store, whose entries are trusted as canonical on every warm run.
+	if _, err := sim.DecodeResult(data); err != nil {
+		q.rejects++
+		w.Errors++
+		if !holds {
+			// Stale garbage: reject without disturbing the current holder.
+			q.mu.Unlock()
+			expired()
+			return CompleteRejected
+		}
+		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s sent malformed result for %s: %w", workerID, key, err))
+		q.mu.Unlock()
+		expired()
+		st()
+		return CompleteRejected
+	}
+	// The cell is finishing; if another worker currently holds the lease
+	// (ours expired and it was re-issued), release *its* lease accounting
+	// too — its eventual submission will find the cell gone and report as
+	// a duplicate, never reaching this bookkeeping.
+	if c.state == cellLeased && !holds {
+		if hw, ok := q.workers[c.worker]; ok {
+			hw.Leased--
+		}
+	}
+	w.Completed++
+	waiters := q.finishLocked(c, key, data, nil)
+	q.mu.Unlock()
+	expired()
+	// Keep the validated bytes even when every waiter was cancelled (a
+	// cancelled campaign's in-flight cell): the simulation is done; a
+	// future campaign wanting this key should hit the store, not
+	// re-simulate.
+	if q.Store != nil {
+		_ = q.Store.Put(key, data)
+	}
+	waiters()
+	return CompleteAccepted
+}
+
+// Sweep re-queues expired leases immediately (normally this happens lazily
+// on Lease/Complete; the coordinator may also tick it so expiry does not
+// wait for traffic).
+func (q *WorkQueue) Sweep() {
+	q.mu.Lock()
+	expired := q.sweepLocked(q.now())
+	q.mu.Unlock()
+	expired()
+}
+
+// sweepLocked returns expired leased cells to the front of the queue, or
+// fails them when their attempts are exhausted. The returned closure
+// invokes the waiters of failed cells; callers run it after releasing the
+// lock. Only q.leased is scanned — every Lease and Complete sweeps, so the
+// cost must be bounded by in-flight leases, not campaign size.
+func (q *WorkQueue) sweepLocked(now time.Time) func() {
+	var front []string
+	var failed []func()
+	for key, c := range q.leased {
+		if c.state != cellLeased || c.expires.After(now) {
+			continue
+		}
+		if w, ok := q.workers[c.worker]; ok {
+			w.Leased--
+		}
+		if c.attempts >= q.maxAttempts {
+			failed = append(failed, q.finishLocked(c, key, nil, fmt.Errorf("campaign: cell %s (%s) failed after %d lease attempts (last worker %s)", key, c.wire.Label, c.attempts, c.worker)))
+			continue
+		}
+		c.state = cellPending
+		c.worker = ""
+		delete(q.leased, key)
+		q.requeues++
+		front = append(front, key)
+	}
+	if len(front) > 0 {
+		sort.Strings(front) // map order is random; keep requeue order stable
+		q.order = append(front, q.order...)
+	}
+	return func() {
+		for _, fn := range failed {
+			fn()
+		}
+	}
+}
+
+// retryOrFailLocked re-queues a cell after a failed attempt, or finishes it
+// with err once attempts are exhausted. It returns the (possibly no-op)
+// waiter invocation to run outside the lock.
+func (q *WorkQueue) retryOrFailLocked(c *workCell, key string, err error) func() {
+	if c.attempts >= q.maxAttempts {
+		return q.finishLocked(c, key, nil, err)
+	}
+	c.state = cellPending
+	c.worker = ""
+	delete(q.leased, key)
+	q.requeues++
+	q.order = append([]string{key}, q.order...)
+	return func() {}
+}
+
+// finishLocked completes a cell and evicts it (the bytes live in the
+// ResultStore; the queue keeps only a done-key marker for duplicate
+// detection on success, and nothing at all on failure, so a resubmitted
+// campaign retries a failed cell fresh). It returns a closure that invokes
+// the cell's waiters — callers run it after releasing the lock, since
+// waiters call back into stores and progress sinks.
+func (q *WorkQueue) finishLocked(c *workCell, key string, data []byte, err error) func() {
+	c.state = cellDone
+	delete(q.cells, key)
+	delete(q.leased, key)
+	if err == nil {
+		if len(q.doneKeys) >= maxDoneKeys {
+			q.doneKeys = map[string]bool{}
+		}
+		q.doneKeys[key] = true
+	}
+	q.done++
+	ws := make([]func([]byte, error), 0, len(c.waiters))
+	for _, fn := range c.waiters {
+		ws = append(ws, fn)
+	}
+	c.waiters = map[int]func([]byte, error){}
+	return func() {
+		for _, fn := range ws {
+			fn(data, err)
+		}
+	}
+}
+
+func (q *WorkQueue) workerLocked(id string, now time.Time) *WorkerStatus {
+	w, ok := q.workers[id]
+	if !ok {
+		w = &WorkerStatus{ID: id}
+		q.workers[id] = w
+	}
+	w.LastSeen = now
+	return w
+}
+
+// Stats snapshots the queue.
+func (q *WorkQueue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := QueueStats{
+		// cells holds exactly the pending and leased population (done
+		// cells are evicted), so the split needs no scan.
+		Pending:    len(q.cells) - len(q.leased),
+		Leased:     len(q.leased),
+		Done:       q.done,
+		Requeues:   q.requeues,
+		Rejects:    q.rejects,
+		Duplicates: q.duplicates,
+	}
+	ids := make([]string, 0, len(q.workers))
+	for id := range q.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st.Workers = append(st.Workers, *q.workers[id])
+	}
+	return st
+}

@@ -1,0 +1,346 @@
+package campaign
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// wireJobs expands a small spec and wires every job, returning the wire
+// forms plus valid canonical result bytes for the first job (executed
+// once, so tests can submit real results).
+func wireJobs(t *testing.T, n int) []*WireJob {
+	t.Helper()
+	spec := Spec{
+		Benchmarks: []string{"micro"},
+		Schedulers: []string{"default"},
+		Seeds:      []int64{11},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < n {
+		t.Fatalf("spec expands to %d jobs, need %d", len(jobs), n)
+	}
+	wires := make([]*WireJob, n)
+	for i := 0; i < n; i++ {
+		w, err := jobs[i].Wire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = w
+	}
+	return wires
+}
+
+// validResult executes the wire job for real and returns canonical bytes.
+func validResult(t *testing.T, w *WireJob) []byte {
+	t.Helper()
+	j, err := w.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sim.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// fakeClock pins a queue to manual time.
+func fakeClock(q *WorkQueue) *time.Time {
+	now := time.Unix(1_000_000, 0)
+	q.now = func() time.Time { return now }
+	return &now
+}
+
+func TestWireJobRoundTrip(t *testing.T) {
+	w := wireJobs(t, 1)[0]
+	j, err := w.Job()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := j.Key()
+	if !ok || key != w.Key {
+		t.Fatalf("round-tripped key %q (cacheable=%v) != wire key %q", key, ok, w.Key)
+	}
+	// Tampering with any field must be detected by the key check.
+	w2 := *w
+	w2.Seed++
+	if _, err := w2.Job(); err == nil || !strings.Contains(err.Error(), "key mismatch") {
+		t.Fatalf("tampered wire job accepted: %v", err)
+	}
+}
+
+func TestLeaseExpiryReissuesCell(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	w := wireJobs(t, 1)[0]
+
+	var got atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) { got.Add(1) })
+
+	first := q.Lease("w1", 4)
+	if len(first) != 1 || first[0].Key != w.Key {
+		t.Fatalf("lease 1: got %d cells", len(first))
+	}
+	// Within the TTL the cell must NOT be handed out again.
+	if again := q.Lease("w2", 4); len(again) != 0 {
+		t.Fatalf("cell double-leased inside TTL")
+	}
+	// After expiry, the next lease — from any worker — re-issues it.
+	*now = now.Add(2 * time.Minute)
+	second := q.Lease("w2", 4)
+	if len(second) != 1 || second[0].Key != w.Key {
+		t.Fatalf("expired cell not re-issued: got %d cells", len(second))
+	}
+	st := q.Stats()
+	if st.Requeues != 1 || st.Leased != 1 || st.Pending != 0 {
+		t.Fatalf("stats after re-issue: %+v", st)
+	}
+	// The late worker finishing first still completes the cell.
+	data := validResult(t, w)
+	if s := q.Complete("w1", w.Key, data, ""); s != CompleteAccepted {
+		t.Fatalf("late completion: %v", s)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("waiter invoked %d times", got.Load())
+	}
+}
+
+func TestDuplicateResultIsIdempotent(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var calls atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("waiter got error: %v", err)
+		}
+		calls.Add(1)
+	})
+	q.Lease("w1", 1)
+	data := validResult(t, w)
+	if s := q.Complete("w1", w.Key, data, ""); s != CompleteAccepted {
+		t.Fatalf("first submission: %v", s)
+	}
+	if s := q.Complete("w2", w.Key, data, ""); s != CompleteDuplicate {
+		t.Fatalf("second submission: %v (want duplicate)", s)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("waiter invoked %d times, want exactly once", calls.Load())
+	}
+	if st := q.Stats(); st.Duplicates != 1 || st.Done != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMalformedResultRejectedWithoutPoisoning(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var calls atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) {
+		calls.Add(1)
+		if err != nil {
+			t.Errorf("waiter got error: %v", err)
+		}
+		if _, derr := sim.DecodeResult(data); derr != nil {
+			t.Errorf("waiter received undecodable bytes")
+		}
+	})
+	q.Lease("bad-worker", 1)
+	if s := q.Complete("bad-worker", w.Key, []byte("{not json"), ""); s != CompleteRejected {
+		t.Fatalf("malformed submission: %v (want rejected)", s)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("waiter saw a malformed result")
+	}
+	// The cell is back in the queue for another worker.
+	cells := q.Lease("good-worker", 1)
+	if len(cells) != 1 {
+		t.Fatalf("rejected cell not re-queued")
+	}
+	if s := q.Complete("good-worker", w.Key, validResult(t, w), ""); s != CompleteAccepted {
+		t.Fatalf("valid retry: %v", s)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("waiter invoked %d times", calls.Load())
+	}
+	if st := q.Stats(); st.Rejects != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestWorkerErrorRequeuesThenFails(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var lastErr atomic.Value
+	q.Enqueue(w, func(data []byte, err error) {
+		if err != nil {
+			lastErr.Store(err.Error())
+		}
+	})
+	// maxAttempts is 3: three lease+error cycles exhaust the cell.
+	for i := 0; i < 3; i++ {
+		cells := q.Lease("w1", 1)
+		if len(cells) != 1 {
+			t.Fatalf("attempt %d: no cell", i)
+		}
+		q.Complete("w1", w.Key, nil, "simulated crash")
+	}
+	msg, _ := lastErr.Load().(string)
+	if !strings.Contains(msg, "simulated crash") {
+		t.Fatalf("waiter error = %q, want the worker failure surfaced", msg)
+	}
+	if cells := q.Lease("w1", 1); len(cells) != 0 {
+		t.Fatal("failed cell still leasable")
+	}
+}
+
+func TestEnqueueDeduplicatesAndCancelWithdraws(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var a, b atomic.Int32
+	q.Enqueue(w, func([]byte, error) { a.Add(1) })
+	cancelB := q.Enqueue(w, func([]byte, error) { b.Add(1) })
+	if st := q.Stats(); st.Pending != 1 {
+		t.Fatalf("duplicate enqueue created %d pending cells", st.Pending)
+	}
+	if !cancelB() {
+		t.Fatal("cancel of pending waiter reported false")
+	}
+	q.Lease("w1", 1)
+	q.Complete("w1", w.Key, validResult(t, w), "")
+	if a.Load() != 1 || b.Load() != 0 {
+		t.Fatalf("waiters a=%d b=%d, want 1/0", a.Load(), b.Load())
+	}
+	// Done cells are evicted (their bytes live in the result store, which
+	// runners consult first): a later Enqueue of the same key starts a
+	// fresh cell rather than replaying queue state.
+	var c atomic.Int32
+	q.Enqueue(w, func([]byte, error) { c.Add(1) })
+	if c.Load() != 0 {
+		t.Fatal("enqueue after eviction completed synchronously")
+	}
+	if st := q.Stats(); st.Pending != 1 {
+		t.Fatalf("re-enqueued key not pending: %+v", st)
+	}
+	// Cancelling the sole waiter of a pending cell drops the cell.
+	w2 := wireJobs(t, 1)[0]
+	w2b := *w2
+	w2b.Key = strings.Repeat("ab", 32) // distinct synthetic key
+	cancel := q.Enqueue(&w2b, func([]byte, error) { t.Error("withdrawn cell completed") })
+	if !cancel() {
+		t.Fatal("cancel reported false")
+	}
+	for _, cell := range q.Lease("w1", 4) {
+		if cell.Key == w2b.Key {
+			t.Fatal("withdrawn cell still leased")
+		}
+	}
+}
+
+func TestStaleFailureFromExpiredWorkerIgnored(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var calls atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) {
+		calls.Add(1)
+		if err != nil {
+			t.Errorf("waiter got error: %v", err)
+		}
+	})
+	// Worker A leases, its lease expires, worker B picks the cell up.
+	q.Lease("a", 1)
+	*now = now.Add(2 * time.Minute)
+	if cells := q.Lease("b", 1); len(cells) != 1 {
+		t.Fatal("expired cell not re-issued to b")
+	}
+	// A's late failure report (and late garbage) must not disturb B's lease.
+	if st := q.Complete("a", w.Key, nil, "late crash"); st != CompleteUnknown {
+		t.Fatalf("stale error report: %v (want unknown)", st)
+	}
+	if st := q.Complete("a", w.Key, []byte("garbage"), ""); st != CompleteRejected {
+		t.Fatalf("stale garbage: %v", st)
+	}
+	st := q.Stats()
+	if st.Leased != 1 || st.Pending != 0 {
+		t.Fatalf("stale failure disturbed b's lease: %+v", st)
+	}
+	// B's valid result completes the cell exactly once.
+	if s := q.Complete("b", w.Key, validResult(t, w), ""); s != CompleteAccepted {
+		t.Fatalf("b's result: %v", s)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("waiter invoked %d times", calls.Load())
+	}
+}
+
+func TestFailedCellRetriesFreshOnResubmission(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireJobs(t, 1)[0]
+	var firstErr atomic.Value
+	q.Enqueue(w, func(data []byte, err error) {
+		if err != nil {
+			firstErr.Store(err.Error())
+		}
+	})
+	for i := 0; i < 3; i++ { // exhaust maxAttempts
+		q.Lease("w1", 1)
+		q.Complete("w1", w.Key, nil, "crash")
+	}
+	if msg, _ := firstErr.Load().(string); !strings.Contains(msg, "crash") {
+		t.Fatalf("first campaign did not fail: %q", msg)
+	}
+	// A resubmitted campaign is not poisoned by the stale failure: the key
+	// re-enqueues fresh and can now succeed.
+	var ok atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) {
+		if err == nil {
+			ok.Add(1)
+		}
+	})
+	if cells := q.Lease("w2", 1); len(cells) != 1 {
+		t.Fatal("resubmitted cell not leasable")
+	}
+	if s := q.Complete("w2", w.Key, validResult(t, w), ""); s != CompleteAccepted {
+		t.Fatalf("retry after failure: %v", s)
+	}
+	if ok.Load() != 1 {
+		t.Fatal("resubmitted campaign did not succeed")
+	}
+}
+
+func TestCancelledCellResultStillStored(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	store := NewMemStore()
+	q.Store = store
+	w := wireJobs(t, 1)[0]
+	cancel := q.Enqueue(w, func([]byte, error) { t.Error("cancelled waiter invoked") })
+	q.Lease("w1", 1)
+	if !cancel() {
+		t.Fatal("cancel reported false")
+	}
+	// The worker finishes after the campaign was cancelled: the simulation
+	// is already paid for, so the queue banks the bytes for future runs.
+	if s := q.Complete("w1", w.Key, validResult(t, w), ""); s != CompleteAccepted {
+		t.Fatalf("late completion: %v", s)
+	}
+	if _, ok := store.Get(w.Key); !ok {
+		t.Fatal("ownerless result discarded instead of stored")
+	}
+}

@@ -1,0 +1,171 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// RemoteRunner executes job batches by leasing cells to pull-based workers
+// through a WorkQueue, drop-in beside the local Pool: same jobs, same keys,
+// same store discipline, byte-identical outcomes (the remote byte-identity
+// test pins a 60-cell matrix in-process against two workers).
+//
+// Per job, in order:
+//
+//   - cache: the shared store is consulted first, exactly like Pool — a
+//     warm store means nothing is ever enqueued, so a warm re-run through
+//     workers performs zero fresh simulations anywhere.
+//   - wireable jobs are enqueued; the queue deduplicates by key, leases
+//     cells to whichever workers poll, re-issues expired leases, and
+//     validates results before this runner stores them.
+//   - non-wireable jobs (in-process Hybrid policy factories, as the
+//     experiments' fig10 drivers build) run on the Local fallback pool
+//     concurrently with the remote cells.
+//
+// Cancellation withdraws not-yet-completed cells from the queue; a cell a
+// worker already holds finishes harmlessly — its late result is
+// acknowledged and, when the queue's Store is configured (astro-serve and
+// the CLI cluster point it at the shared store), kept for any future
+// campaign wanting the same key.
+type RemoteRunner struct {
+	Queue *WorkQueue
+	Store ResultStore // shared result store, consulted before leasing
+	Local Pool        // fallback for non-wireable jobs (and everything, when Queue is nil)
+}
+
+// Run implements Runner.
+func (r *RemoteRunner) Run(ctx context.Context, jobs []*Job, onProgress func(Progress)) ([]*Outcome, error) {
+	if r.Queue == nil {
+		return r.Local.Run(ctx, jobs, onProgress)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]*Outcome, len(jobs))
+	var (
+		progMu sync.Mutex
+		done   int
+	)
+	reportP := func(p Progress) {
+		progMu.Lock()
+		done++
+		p.Done, p.Total = done, len(jobs)
+		if onProgress != nil {
+			onProgress(p)
+		}
+		progMu.Unlock()
+	}
+	report := func(o *Outcome) {
+		pr := Progress{
+			JobIndex:  o.Job.Index,
+			Label:     o.Job.Label,
+			Worker:    o.Worker,
+			CacheHit:  o.CacheHit,
+			WallS:     o.WallS,
+			SimInstr:  o.SimInstr,
+			SimCycles: o.SimCycles,
+		}
+		if o.Err != nil {
+			pr.Err = o.Err.Error()
+		}
+		reportP(pr)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		cancels   []func() bool
+		remoteIdx []int
+		localJobs []*Job
+		localIdx  []int
+	)
+	for i, j := range jobs {
+		key, cacheable := j.Key()
+		if cacheable && r.Store != nil {
+			if data, ok := r.Store.Get(key); ok {
+				if res, err := sim.DecodeResult(data); err == nil {
+					o := &Outcome{Job: j, Result: res, Bytes: data, CacheHit: true, Worker: -1}
+					o.SimInstr, o.SimCycles = resultWork(res)
+					outs[i] = o
+					report(o)
+					continue
+				}
+				// Corrupt entry: fall through to a fresh (remote) run that
+				// overwrites it.
+			}
+		}
+		wire, err := j.Wire()
+		if err != nil {
+			// Not wireable (hybrid factory, uncacheable): local fallback.
+			localJobs = append(localJobs, j)
+			localIdx = append(localIdx, i)
+			continue
+		}
+		wg.Add(1)
+		start := time.Now()
+		cancel := r.Queue.Enqueue(wire, func(data []byte, qerr error) {
+			defer wg.Done()
+			o := &Outcome{Job: j, Worker: -1}
+			if qerr != nil {
+				o.Err = qerr
+			} else if res, derr := sim.DecodeResult(data); derr != nil {
+				o.Err = derr // cannot pass queue validation; belt and braces
+			} else {
+				o.Result, o.Bytes = res, data
+				o.SimInstr, o.SimCycles = resultWork(res)
+				// Best effort, like Pool's cache fill: a failed Put only
+				// costs future memoization. Skipped when the queue already
+				// banks results into the same store — one fsync per cell,
+				// not two.
+				if r.Store != nil && r.Store != r.Queue.Store {
+					_ = r.Store.Put(wire.Key, data)
+				}
+			}
+			o.WallS = time.Since(start).Seconds()
+			outs[i] = o
+			report(o)
+		})
+		cancels = append(cancels, cancel)
+		remoteIdx = append(remoteIdx, i)
+	}
+
+	// Non-wireable jobs execute locally while workers chew on the leased
+	// cells; their outcomes land at their original indices so job order —
+	// and therefore the result-set fingerprint — is preserved.
+	if len(localJobs) > 0 {
+		localOuts, _ := r.Local.Run(ctx, localJobs, reportP)
+		for k, o := range localOuts {
+			outs[localIdx[k]] = o
+		}
+	}
+
+	waitCh := make(chan struct{})
+	go func() { wg.Wait(); close(waitCh) }()
+	select {
+	case <-waitCh:
+	case <-ctx.Done():
+		// Withdraw every cell whose callback has not fired. cancel()
+		// returning true transfers outcome ownership to us; false means the
+		// callback ran (or is running) and will fill the slot itself.
+		for k, c := range cancels {
+			if c() {
+				i := remoteIdx[k]
+				outs[i] = &Outcome{Job: jobs[i], Err: ctx.Err(), Worker: -1}
+				wg.Done()
+			}
+		}
+		<-waitCh // in-flight callbacks finish; outs is quiescent after this
+	}
+
+	var errs []error
+	for _, o := range outs {
+		if o != nil && o.Err != nil {
+			errs = append(errs, fmt.Errorf("job %d (%s): %w", o.Job.Index, o.Job.Label, o.Err))
+		}
+	}
+	return outs, errors.Join(errs...)
+}

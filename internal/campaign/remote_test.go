@@ -1,0 +1,165 @@
+// Package campaign_test holds the cross-package distributed-execution
+// tests: they generate work with internal/scenario (which itself depends on
+// campaign), so they live in the external test package.
+package campaign_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+	"astro/internal/scenario"
+)
+
+// sixtyCellMatrix is the grid the acceptance criterion names: a generated
+// 60-cell scenario matrix (5 synthesized programs × 3 schedulers × 2
+// configs × 2 seeds on the default platform).
+func sixtyCellMatrix() scenario.Matrix {
+	return scenario.Matrix{
+		Name:         "remote-60",
+		ProgramCount: 5,
+		ProgramSeed:  7,
+		Schedulers:   []string{"default", "gts", "octopus-man"},
+		Configs:      []string{"1L1B", "all-on"},
+		Seeds:        []int64{0, 1},
+	}
+}
+
+// expand compiles the matrix to its job list (single batch).
+func expandMatrix(t *testing.T, m scenario.Matrix) []*campaign.Job {
+	t.Helper()
+	specs, err := m.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*campaign.Job
+	for _, sp := range specs {
+		batch, err := sp.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, batch...)
+	}
+	return jobs
+}
+
+// TestRemoteByteIdentity pins the distributed contract end to end: the same
+// generated 60-cell matrix executed (a) on the in-process pool and (b)
+// through two pull-based workers over real loopback HTTP produces
+// byte-identical fingerprints, and a warm re-run through the workers
+// performs zero fresh simulations anywhere.
+func TestRemoteByteIdentity(t *testing.T) {
+	m := sixtyCellMatrix()
+	if got := m.Cells(); got != 60 {
+		t.Fatalf("matrix expands to %d cells, want 60", got)
+	}
+
+	// Leg A: in-process pool.
+	jobsA := expandMatrix(t, m)
+	if len(jobsA) != 60 {
+		t.Fatalf("expanded to %d jobs, want 60", len(jobsA))
+	}
+	poolStore := campaign.NewMemStore()
+	pool := &campaign.Pool{Workers: 4, Store: poolStore}
+	outsA, err := pool.Run(context.Background(), jobsA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg B: coordinator + two workers over HTTP.
+	remoteStore := campaign.NewMemStore()
+	q := campaign.NewWorkQueue(time.Minute)
+	srv := httptest.NewServer(http.StripPrefix("/work", campaign.WorkHandler(q, remoteStore)))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w := &campaign.Worker{
+			Coordinator: srv.URL + "/work",
+			ID:          []string{"worker-a", "worker-b"}[i],
+			Max:         2,
+			Poll:        5 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+	runner := &campaign.RemoteRunner{Queue: q, Store: remoteStore}
+	jobsB := expandMatrix(t, m)
+	outsB, err := runner.Run(context.Background(), jobsB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa, fb := campaign.Fingerprint(outsA), campaign.Fingerprint(outsB)
+	if fa != fb {
+		t.Fatalf("distributed fingerprint %s != in-process %s", fb, fa)
+	}
+	if hits := campaign.CacheHits(outsB); hits != 0 {
+		t.Fatalf("cold distributed run claims %d cache hits", hits)
+	}
+	// Both workers should have participated (60 cells, 2-cell leases).
+	st := q.Stats()
+	if len(st.Workers) != 2 {
+		t.Fatalf("expected 2 workers in status, got %+v", st.Workers)
+	}
+	total := 0
+	for _, w := range st.Workers {
+		total += w.Completed
+	}
+	if total != 60 || st.Done != 60 {
+		t.Fatalf("workers completed %d cells, queue done %d; want 60/60", total, st.Done)
+	}
+
+	// Warm re-run through the same runner: everything is served from the
+	// shared store — zero fresh simulations, nothing new leased or done.
+	_, _, putsBefore := remoteStore.Stats()
+	outsWarm, err := runner.Run(context.Background(), expandMatrix(t, m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := campaign.CacheHits(outsWarm); hits != 60 {
+		t.Fatalf("warm re-run: %d/60 cache hits", hits)
+	}
+	if fw := campaign.Fingerprint(outsWarm); fw != fa {
+		t.Fatalf("warm fingerprint %s != cold %s", fw, fa)
+	}
+	if _, _, putsAfter := remoteStore.Stats(); putsAfter != putsBefore {
+		t.Fatalf("warm re-run wrote %d fresh results", putsAfter-putsBefore)
+	}
+	if st := q.Stats(); st.Done != 60 {
+		t.Fatalf("warm re-run enqueued fresh cells: queue done %d", st.Done)
+	}
+}
+
+// TestRemoteRunnerCancellation withdraws queued cells when the context
+// dies: no worker is running, so every cell is still pending and the run
+// returns promptly with context errors instead of hanging.
+func TestRemoteRunnerCancellation(t *testing.T) {
+	m := sixtyCellMatrix()
+	jobs := expandMatrix(t, m)
+	q := campaign.NewWorkQueue(time.Minute)
+	runner := &campaign.RemoteRunner{Queue: q, Store: campaign.NewMemStore()}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	outs, err := runner.Run(ctx, jobs, nil)
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not unblock the run")
+	}
+	for i, o := range outs {
+		if o == nil {
+			t.Fatalf("job %d has no outcome after cancellation", i)
+		}
+	}
+	if st := q.Stats(); st.Pending != 0 {
+		t.Fatalf("cancelled run left %d cells pending", st.Pending)
+	}
+}

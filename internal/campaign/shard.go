@@ -1,0 +1,258 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ShardedStore partitions a content-addressed result store into
+// power-of-two shards selected by key prefix: shard(key) = first 8 bits of
+// the (hex) key, masked to the shard count. Every shard is an independent
+// Store with its own lock and its own directory, so N workers (or N
+// coordinator goroutines draining worker results) writing concurrently
+// contend only when their keys land in the same shard — never on one global
+// mutex, and never on one directory's rename traffic.
+//
+// Keys are SHA-256 hex, so the prefix is uniformly distributed and the
+// shards stay balanced without any placement logic.
+//
+// Layout under dir:
+//
+//	INDEX.json            {"version":1,"shards":N} — pins the shard count
+//	shard-00/…/…json      shard 0's Store tree (same layout as Store)
+//	shard-00/keys.idx     append-only key index, one key per line
+//	shard-01/…            …
+//
+// The per-shard keys.idx is appended after every successful disk Put (the
+// value write is fsync+rename crash-safe first; the index line is best
+// effort). It lets a reopened store enumerate what it holds (Keys, Len)
+// without statting hundreds of thousands of files, which is what the
+// coordinator uses to skip leasing cells that any previous run — local or
+// remote — already produced. A missing or truncated index line only costs
+// enumeration: Get still falls through to the disk tier by path, so
+// correctness never depends on the index.
+//
+// The shard count is part of the on-disk layout, so reopening a directory
+// with a different -shards value is an error rather than a silent cache
+// miss on every key.
+type ShardedStore struct {
+	dir    string
+	mask   uint8
+	shards []*shardStore
+}
+
+type shardStore struct {
+	store *Store
+
+	mu      sync.Mutex // guards idxPath appends and known
+	idxPath string
+	known   map[string]bool // keys recorded on disk (loaded from keys.idx)
+}
+
+type shardManifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const shardManifestName = "INDEX.json"
+
+// NewShardedStore opens (or creates) a sharded store under dir with the
+// given shard count (0 = 16; snapped up to a power of two, max 256). An
+// empty dir builds a memory-only sharded store (useful for contention-free
+// concurrent writers without persistence).
+func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if n > 256 {
+		return nil, fmt.Errorf("campaign: sharded store: %d shards exceeds the 256-shard (one key byte) limit", shards)
+	}
+	s := &ShardedStore{dir: dir, mask: uint8(n - 1), shards: make([]*shardStore, n)}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: sharded store: %w", err)
+		}
+		mpath := filepath.Join(dir, shardManifestName)
+		if data, err := os.ReadFile(mpath); err == nil {
+			var m shardManifest
+			if err := json.Unmarshal(data, &m); err != nil {
+				return nil, fmt.Errorf("campaign: sharded store: corrupt %s: %w", shardManifestName, err)
+			}
+			if m.Shards != n {
+				return nil, fmt.Errorf("campaign: sharded store %s was created with %d shards, reopened with %d — shard count is part of the layout", dir, m.Shards, n)
+			}
+		} else {
+			// No manifest: this must be a fresh directory, not a populated
+			// plain-Store tree — opening that sharded would miss every
+			// stored key, silently invalidating the cache.
+			if hasPlainStoreLayout(dir) {
+				return nil, fmt.Errorf("campaign: %s holds a plain (unsharded) store; reopen it without -shards, or point the sharded store at a fresh directory", dir)
+			}
+			// Atomic like every other write in this subsystem: a crash
+			// mid-creation must not leave a torn manifest that bricks the
+			// directory on every later open.
+			data, _ := json.Marshal(shardManifest{Version: 1, Shards: n})
+			if err := writeFileAtomic(mpath, data); err != nil {
+				return nil, fmt.Errorf("campaign: sharded store: %w", err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		sub := ""
+		if dir != "" {
+			sub = filepath.Join(dir, fmt.Sprintf("shard-%02x", i))
+		}
+		st, err := NewStore(sub)
+		if err != nil {
+			return nil, err
+		}
+		sh := &shardStore{store: st, known: map[string]bool{}}
+		if sub != "" {
+			sh.idxPath = filepath.Join(sub, "keys.idx")
+			sh.loadIndex()
+		}
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// hasPlainStoreLayout reports whether dir looks like a populated
+// (unsharded) Store tree: any two-hex-char fan-out subdirectory.
+func hasPlainStoreLayout(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || len(name) != 2 {
+			continue
+		}
+		if _, err := strconv.ParseUint(name, 16, 8); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// loadIndex reads the append-only key index, tolerating a torn final line
+// (a crash mid-append): every complete line is a key; anything else is
+// skipped.
+func (sh *shardStore) loadIndex() {
+	data, err := os.ReadFile(sh.idxPath)
+	if err != nil {
+		return
+	}
+	start := 0
+	for i := 0; i < len(data); i++ {
+		if data[i] == '\n' {
+			if key := string(data[start:i]); len(key) == 64 {
+				sh.known[key] = true
+			}
+			start = i + 1
+		}
+	}
+}
+
+func (s *ShardedStore) shard(key string) *shardStore {
+	if len(key) < 2 {
+		return s.shards[0]
+	}
+	b, err := strconv.ParseUint(key[:2], 16, 8)
+	if err != nil {
+		return s.shards[0]
+	}
+	return s.shards[uint8(b)&s.mask]
+}
+
+// Get returns the stored canonical bytes for key, if present in the shard's
+// memory or disk tier.
+func (s *ShardedStore) Get(key string) ([]byte, bool) {
+	return s.shard(key).store.Get(key)
+}
+
+// Put stores data under key in its shard (crash-safe on disk, see
+// Store.Put) and records the key in the shard's index.
+func (s *ShardedStore) Put(key string, data []byte) error {
+	sh := s.shard(key)
+	if err := sh.store.Put(key, data); err != nil {
+		return err
+	}
+	if sh.idxPath == "" {
+		return nil
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.known[key] {
+		return nil
+	}
+	// Best effort: the value is already durable; a lost index line only
+	// costs enumeration, never a wrong Get.
+	f, err := os.OpenFile(sh.idxPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil
+	}
+	if _, err := f.WriteString(key + "\n"); err == nil {
+		sh.known[key] = true
+	}
+	f.Close()
+	return nil
+}
+
+// Len returns the number of distinct keys the store knows about: resident
+// in memory or recorded in a shard index. (Unlike Store.Len, this survives
+// a restart — the coordinator uses it for warm-start accounting.)
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(s.keysOf(sh))
+	}
+	return n
+}
+
+// Keys returns every known key, sorted (memory ∪ index).
+func (s *ShardedStore) Keys() []string {
+	var keys []string
+	for _, sh := range s.shards {
+		for k := range s.keysOf(sh) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (s *ShardedStore) keysOf(sh *shardStore) map[string]bool {
+	out := map[string]bool{}
+	sh.mu.Lock()
+	for k := range sh.known {
+		out[k] = true
+	}
+	sh.mu.Unlock()
+	sh.store.mu.RLock()
+	for k := range sh.store.mem {
+		out[k] = true
+	}
+	sh.store.mu.RUnlock()
+	return out
+}
+
+// Stats sums the cumulative hit/miss/put counters across shards.
+func (s *ShardedStore) Stats() (hits, misses, puts uint64) {
+	for _, sh := range s.shards {
+		h, m, p := sh.store.Stats()
+		hits += h
+		misses += m
+		puts += p
+	}
+	return hits, misses, puts
+}

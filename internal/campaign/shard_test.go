@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestShardedStoreRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewShardedStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		data, ok := s.Get(testKey(i))
+		if !ok || string(data) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("key %d: got %q ok=%v", i, data, ok)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+
+	// A fresh process over the same directory sees everything: values via
+	// the disk tier, enumeration via the per-shard index files.
+	s2, err := NewShardedStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != n {
+		t.Fatalf("reopened Len = %d, want %d (index files not loaded?)", got, n)
+	}
+	if keys := s2.Keys(); len(keys) != n {
+		t.Fatalf("reopened Keys = %d entries, want %d", len(keys), n)
+	}
+	for i := 0; i < n; i++ {
+		if data, ok := s2.Get(testKey(i)); !ok || string(data) != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("reopened key %d: got %q ok=%v", i, data, ok)
+		}
+	}
+}
+
+func TestShardedStoreRejectsShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewShardedStore(dir, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedStore(dir, 32); err == nil {
+		t.Fatal("reopening with a different shard count succeeded")
+	}
+	// Same count (and the 0 -> default path on a fresh dir) still works.
+	if _, err := NewShardedStore(dir, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedStoreConcurrentWriters(t *testing.T) {
+	s, err := NewShardedStore(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 32
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				k := testKey(w*each + i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Errorf("put: %v", err)
+				}
+				if data, ok := s.Get(k); !ok || string(data) != k {
+					t.Errorf("get-after-put %s failed", k[:8])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != writers*each {
+		t.Fatalf("Len = %d, want %d", s.Len(), writers*each)
+	}
+	if _, _, puts := s.Stats(); puts != writers*each {
+		t.Fatalf("puts = %d, want %d", puts, writers*each)
+	}
+}
+
+func TestShardedStoreMemoryOnly(t *testing.T) {
+	s, err := NewShardedStore("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := s.Get(testKey(1)); !ok || string(data) != "v" {
+		t.Fatal("memory-only sharded store round trip failed")
+	}
+	if s.Len() != 1 || len(s.Keys()) != 1 {
+		t.Fatalf("Len/Keys = %d/%d", s.Len(), len(s.Keys()))
+	}
+}
+
+func TestStoreLayoutsAreMutuallyExclusive(t *testing.T) {
+	// A populated plain store refuses to open sharded...
+	plain := t.TempDir()
+	s, err := NewStore(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewShardedStore(plain, 8); err == nil {
+		t.Fatal("sharded open of a plain store directory succeeded — silent cache invalidation")
+	}
+	// ...and a sharded directory refuses to open plain.
+	sharded := t.TempDir()
+	if _, err := NewShardedStore(sharded, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(sharded); err == nil {
+		t.Fatal("plain open of a sharded store directory succeeded — silent cache invalidation")
+	}
+}

@@ -28,7 +28,9 @@ func NewMemStore() *Store {
 }
 
 // NewStore builds a store backed by dir (created if missing); an empty dir
-// means memory-only.
+// means memory-only. A directory holding a *sharded* layout is refused:
+// opening it flat would miss every stored key, silently invalidating the
+// whole cache — the caller should reopen with NewShardedStore (-shards).
 func NewStore(dir string) (*Store, error) {
 	s := NewMemStore()
 	if dir == "" {
@@ -36,6 +38,9 @@ func NewStore(dir string) (*Store, error) {
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: store dir: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardManifestName)); err == nil {
+		return nil, fmt.Errorf("campaign: %s holds a sharded store (%s present); reopen it with the same -shards value it was created with", dir, shardManifestName)
 	}
 	s.dir = dir
 	return s, nil
@@ -72,13 +77,14 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Put stores canonical result bytes under key in memory and, when
-// configured, on disk. The disk write is crash-safe: the bytes are written
-// to a temporary file which is fsynced *before* the atomic rename, and the
-// containing directory is fsynced after, so a killed or power-cut run can
-// never leave a visible-but-truncated entry. (Rename-without-fsync can be
-// reordered by the filesystem so the name appears before the data blocks;
-// a truncated-but-parseable JSON prefix would then poison warm-cache
-// determinism, which trusts stored bytes as canonical.)
+// configured, on disk. The disk write (writeFileAtomic) is crash-safe: the
+// bytes are written to a temporary file which is fsynced *before* the
+// atomic rename, and the containing directory is fsynced after, so a
+// killed or power-cut run can never leave a visible-but-truncated entry.
+// (Rename-without-fsync can be reordered by the filesystem so the name
+// appears before the data blocks; a truncated-but-parseable JSON prefix
+// would then poison warm-cache determinism, which trusts stored bytes as
+// canonical.)
 func (s *Store) Put(key string, data []byte) error {
 	s.mu.Lock()
 	s.mem[key] = data
@@ -91,29 +97,36 @@ func (s *Store) Put(key string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("campaign: store put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".tmp*")
+	if err := writeFileAtomic(p, data); err != nil {
+		return fmt.Errorf("campaign: store put: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data via temp-file + fsync + rename + directory
+// sync — the one crash-safety discipline shared by result values and the
+// sharded store's manifest.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp*")
 	if err != nil {
-		return fmt.Errorf("campaign: store put: %w", err)
+		return err
 	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: store put: %w", err)
+		return werr
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: store put: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: store put: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("campaign: store put: %w", err)
-	}
-	syncDir(filepath.Dir(p))
+	syncDir(dir)
 	return nil
 }
 

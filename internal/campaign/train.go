@@ -116,7 +116,7 @@ type trainedSnapshot struct {
 // therefore extracted policies and hybrid decisions — are bit-identical to
 // the freshly trained agent's, so warm and cold suite runs produce
 // byte-identical results.
-func TrainCell(store *Store, ts *TrainSpec) (*Trained, error) {
+func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 	if ts.Module == nil {
 		return nil, fmt.Errorf("campaign: train spec %q has no module", ts.Label)
 	}
@@ -193,7 +193,7 @@ func (ts *TrainSpec) platformName() string {
 // sequential (episodes feed the next), but cells share nothing, so the
 // result set is identical for any worker count — the training counterpart
 // of the -j1 ≡ -j8 campaign invariant.
-func TrainCells(store *Store, specs []*TrainSpec, workers int) ([]*Trained, error) {
+func TrainCells(store ResultStore, specs []*TrainSpec, workers int) ([]*Trained, error) {
 	if workers <= 0 {
 		workers = 1
 	}

@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"fmt"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/sim"
+)
+
+// WireJob is a Job in transit between the coordinator and a pull-based
+// worker: fully self-contained (the module travels as its ir.Encode bytes,
+// so the worker needs no workloads registry or compiler) and content-keyed
+// (Key is the coordinator-computed job key; the worker recomputes it from
+// the decoded fields and refuses a mismatch, which turns any serialization
+// drift into a loud protocol error instead of a silently wrong cache
+// entry).
+//
+// Only declarative jobs are wireable: a Job carrying a Hybrid policy
+// factory is arbitrary in-process behaviour and cannot cross the wire —
+// RemoteRunner routes those to its local fallback pool instead. Trained
+// agents travel separately, as rl.Snapshot bytes through the /work/agents
+// exchange, keyed exactly like the trained-agent cache.
+type WireJob struct {
+	Index     int    `json:"index"`
+	Label     string `json:"label"`
+	Benchmark string `json:"benchmark,omitempty"`
+
+	Module   []byte  `json:"module"` // ir.Encode bytes (canonical codec)
+	PlatName string  `json:"platform,omitempty"`
+	OS       string  `json:"os,omitempty"`
+	Actuator string  `json:"actuator,omitempty"`
+	Little   int     `json:"little"` // initial config; 0L0B = all cores on
+	Big      int     `json:"big"`
+	Seed     int64   `json:"seed"`
+	Args     []int64 `json:"args,omitempty"`
+
+	// Opts carries the scalar simulator knobs. The policy fields (OS,
+	// Actuator, Hybrid) are interfaces and must be nil — Job.Execute
+	// enforces policies-by-name, so a wireable job never has them set and
+	// they marshal as null.
+	Opts sim.Options `json:"opts"`
+
+	// Key is the job's content address as computed by the coordinator.
+	Key string `json:"key"`
+}
+
+// Wire serializes the job for remote execution. Jobs with a Hybrid factory
+// or an unfingerprintable option set are not wireable.
+func (j *Job) Wire() (*WireJob, error) {
+	if j.Module == nil {
+		return nil, fmt.Errorf("campaign: job %d (%s) has no module", j.Index, j.Label)
+	}
+	if j.Hybrid != nil {
+		return nil, fmt.Errorf("campaign: job %d (%s) carries an in-process hybrid policy; not wireable", j.Index, j.Label)
+	}
+	if j.Opts.OS != nil || j.Opts.Actuator != nil || j.Opts.Hybrid != nil {
+		return nil, fmt.Errorf("campaign: job %d (%s): set policies by name, not in Opts", j.Index, j.Label)
+	}
+	key, cacheable := j.Key()
+	if !cacheable {
+		return nil, fmt.Errorf("campaign: job %d (%s) is uncacheable; not wireable", j.Index, j.Label)
+	}
+	return &WireJob{
+		Index:     j.Index,
+		Label:     j.Label,
+		Benchmark: j.Benchmark,
+		Module:    ir.Encode(j.Module),
+		PlatName:  j.PlatName,
+		OS:        j.OS,
+		Actuator:  j.Actuator,
+		Little:    j.Config.Little,
+		Big:       j.Config.Big,
+		Seed:      j.Seed,
+		Args:      j.Args,
+		Opts:      j.Opts,
+		Key:       key,
+	}, nil
+}
+
+// Job reconstructs the executable job and verifies its identity: the key
+// recomputed from the decoded fields must equal the coordinator's. A
+// mismatch means the two processes disagree about what the job *is* (codec
+// drift, version skew) and executing it would poison the content-addressed
+// store, so it is an error, not a warning.
+func (wj *WireJob) Job() (*Job, error) {
+	mod, err := ir.Decode(wj.Module)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: wire job %q: module: %w", wj.Label, err)
+	}
+	j := &Job{
+		Index:     wj.Index,
+		Label:     wj.Label,
+		Benchmark: wj.Benchmark,
+		Module:    mod,
+		PlatName:  wj.PlatName,
+		OS:        wj.OS,
+		Actuator:  wj.Actuator,
+		Config:    hw.Config{Little: wj.Little, Big: wj.Big},
+		Seed:      wj.Seed,
+		Args:      wj.Args,
+		Opts:      wj.Opts,
+	}
+	key, ok := j.Key()
+	if !ok {
+		return nil, fmt.Errorf("campaign: wire job %q decodes to an uncacheable job", wj.Label)
+	}
+	if key != wj.Key {
+		return nil, fmt.Errorf("campaign: wire job %q key mismatch: coordinator %s, worker %s (codec drift?)", wj.Label, wj.Key, key)
+	}
+	return j, nil
+}

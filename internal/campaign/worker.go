@@ -1,0 +1,248 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"astro/internal/sim"
+)
+
+// Worker is the pull side of the distributed campaign protocol: it leases
+// content-addressed cells from a coordinator (astro-serve or the CLI's
+// loopback cluster), executes them with the same Job.Execute path the local
+// pool uses, and pushes canonical result bytes back. Workers are stateless
+// — identity is just a label for lease accounting — so killing one loses at
+// most its in-flight cells, which the coordinator re-leases after the TTL.
+//
+// An optional local Store short-circuits execution: a cell whose key the
+// worker has already produced (an earlier run, a shared disk cache) is
+// answered from the store without simulating. Results are validated
+// end-to-end: the worker refuses cells whose recomputed key mismatches the
+// coordinator's (codec drift), and the coordinator refuses results that do
+// not decode (malformed submission) — so neither side can poison the
+// other's content-addressed store.
+type Worker struct {
+	Coordinator string         // coordinator base URL including the /work mount
+	ID          string         // worker identity for lease accounting
+	Max         int            // cells per lease (default 2)
+	Poll        time.Duration  // idle backoff (default 500ms; the coordinator may suggest longer)
+	Client      *http.Client   // nil = http.DefaultClient
+	Store       ResultStore    // optional local result cache
+	OnProgress  func(Progress) // optional per-cell hook (logging)
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) max() int {
+	if w.Max <= 0 {
+		return 2
+	}
+	return w.Max
+}
+
+// Run leases and executes cells until ctx is cancelled (clean shutdown,
+// returns nil). Network errors back off and retry: a worker outliving a
+// coordinator restart re-attaches by itself.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return fmt.Errorf("campaign: worker needs a coordinator URL")
+	}
+	if w.ID == "" {
+		return fmt.Errorf("campaign: worker needs an ID")
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	idle := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		cells, retryAfter, err := w.lease(ctx)
+		if err != nil {
+			// Coordinator unreachable: exponential-ish backoff, capped.
+			idle++
+			if !sleep(ctx, backoff(poll, idle)) {
+				return nil
+			}
+			continue
+		}
+		if len(cells) == 0 {
+			idle++
+			// An explicitly configured Poll wins over the coordinator's
+			// retry hint: loopback clusters set tight polls on purpose so
+			// batch boundaries do not idle for the server's default
+			// half-second. Only unconfigured workers follow the hint.
+			wait := poll
+			if w.Poll <= 0 && retryAfter > wait {
+				wait = retryAfter
+			}
+			if !sleep(ctx, wait) {
+				return nil
+			}
+			continue
+		}
+		idle = 0
+		for _, cell := range cells {
+			if ctx.Err() != nil {
+				return nil
+			}
+			w.execute(ctx, cell)
+		}
+	}
+}
+
+func backoff(base time.Duration, n int) time.Duration {
+	d := base
+	for i := 1; i < n && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, error) {
+	body, _ := json.Marshal(LeaseRequest{WorkerID: w.ID, Max: w.max()})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/lease", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return nil, 0, fmt.Errorf("campaign: lease: coordinator returned %s", resp.Status)
+	}
+	var lr LeaseResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&lr); err != nil {
+		return nil, 0, err
+	}
+	return lr.Cells, time.Duration(lr.RetryAfterMS) * time.Millisecond, nil
+}
+
+// execute runs one cell and submits its result. Failures are reported to
+// the coordinator (so the cell can be re-leased or failed) rather than
+// swallowed.
+func (w *Worker) execute(ctx context.Context, cell *WireJob) {
+	start := time.Now()
+	var (
+		data    []byte
+		execErr error
+		hit     bool
+	)
+	if w.Store != nil {
+		if cached, ok := w.Store.Get(cell.Key); ok {
+			if _, err := sim.DecodeResult(cached); err == nil {
+				data, hit = cached, true
+			}
+		}
+	}
+	if data == nil {
+		j, err := cell.Job()
+		if err != nil {
+			execErr = err
+		} else if res, err := j.Execute(); err != nil {
+			execErr = err
+		} else if data, err = sim.EncodeResult(res); err != nil {
+			execErr = err
+		} else if w.Store != nil {
+			_ = w.Store.Put(cell.Key, data)
+		}
+	}
+
+	sub := ResultSubmission{WorkerID: w.ID, Key: cell.Key, Data: data}
+	if execErr != nil {
+		sub = ResultSubmission{WorkerID: w.ID, Key: cell.Key, Error: execErr.Error()}
+	}
+	status, err := w.submit(ctx, sub)
+	if w.OnProgress != nil {
+		p := Progress{
+			JobIndex: cell.Index,
+			Label:    cell.Label,
+			CacheHit: hit,
+			WallS:    time.Since(start).Seconds(),
+		}
+		switch {
+		case execErr != nil:
+			p.Err = execErr.Error()
+		case err != nil:
+			p.Err = fmt.Sprintf("submit: %v", err)
+		case status == CompleteRejected:
+			p.Err = "result rejected by coordinator"
+		}
+		w.OnProgress(p)
+	}
+}
+
+// submit pushes a result, retrying transient network failures a few times —
+// losing a computed result to one connection reset would waste a whole
+// simulation.
+func (w *Worker) submit(ctx context.Context, sub ResultSubmission) (CompleteStatus, error) {
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {
+			return "", ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/result", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client().Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Only 200 (accepted/duplicate/unknown) and 422 (rejected) carry a
+		// ResultResponse. Anything else is the coordinator refusing the
+		// request wholesale — treating it as success would silently discard
+		// a computed simulation, so it is a retryable error.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("campaign: result submission: coordinator returned %s", resp.Status)
+			continue
+		}
+		var rr ResultResponse
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&rr)
+		resp.Body.Close()
+		if decErr != nil {
+			lastErr = decErr
+			continue
+		}
+		return rr.Status, nil
+	}
+	return "", lastErr
+}

@@ -1,0 +1,276 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"time"
+)
+
+// Worker protocol, coordinator side. WorkHandler serves the four endpoints
+// the pull-based workers speak (astro-serve mounts it under /work/, the
+// CLI's in-process loopback cluster mounts the same handler):
+//
+//	POST /lease         LeaseRequest  -> LeaseResponse (content-addressed cells)
+//	POST /result        ResultSubmission -> ResultResponse (fsync-safe once stored)
+//	GET  /status        QueueStats (pending/leased/done + per-worker counters)
+//	GET  /agents/{key}  trained-agent snapshot bytes from the shared store
+//	PUT  /agents/{key}  publish a trained-agent snapshot (validated JSON)
+//
+// The agents endpoints are the per-worker trained-agent snapshot exchange:
+// snapshots live in the same content-addressed store as simulation results
+// (keyed by TrainSpec.Key), so a fig10-style training cell finished on any
+// machine warms every other machine through the coordinator.
+
+// LeaseRequest asks the coordinator for up to Max cells.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max"`
+}
+
+// LeaseResponse carries the leased cells. An empty Cells slice means no
+// work is available; the worker should poll again after RetryAfterMS.
+type LeaseResponse struct {
+	Cells        []*WireJob `json:"cells"`
+	LeaseTTLMS   int64      `json:"lease_ttl_ms"`
+	RetryAfterMS int64      `json:"retry_after_ms"`
+}
+
+// ResultSubmission pushes one cell's outcome back. Either Data (canonical
+// sim.EncodeResult bytes) or Error (the worker could not execute the cell)
+// is set.
+type ResultSubmission struct {
+	WorkerID string `json:"worker_id"`
+	Key      string `json:"key"`
+	Data     []byte `json:"data,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// ResultResponse is the coordinator's verdict.
+type ResultResponse struct {
+	Status CompleteStatus `json:"status"`
+}
+
+// keyPattern is what a content address looks like: lowercase SHA-256 hex.
+// The agents endpoints reject anything else so a crafted path can never
+// escape the store's key space.
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// maxResultBytes bounds request bodies (results and snapshots). Canonical
+// results are a few KB; DQN snapshots tens of KB. 32 MiB is paranoia, not a
+// target.
+const maxResultBytes = 32 << 20
+
+// WorkHandler builds the coordinator HTTP handler over a queue and the
+// shared store (which backs the agent exchange). Mount it under a prefix
+// with http.StripPrefix.
+func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, format string, args ...any) {
+		writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	}
+
+	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad lease request: %v", err)
+			return
+		}
+		if req.WorkerID == "" {
+			writeErr(w, http.StatusBadRequest, "lease request needs worker_id")
+			return
+		}
+		cells := q.Lease(req.WorkerID, req.Max)
+		writeJSON(w, http.StatusOK, LeaseResponse{
+			Cells:        cells,
+			LeaseTTLMS:   q.ttl.Milliseconds(),
+			RetryAfterMS: 500,
+		})
+	})
+
+	mux.HandleFunc("POST /result", func(w http.ResponseWriter, r *http.Request) {
+		var sub ResultSubmission
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBytes)).Decode(&sub); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad result submission: %v", err)
+			return
+		}
+		if sub.WorkerID == "" || sub.Key == "" {
+			writeErr(w, http.StatusBadRequest, "result submission needs worker_id and key")
+			return
+		}
+		// Same key discipline as the agents endpoints: a content address is
+		// 64 hex chars, and nothing else may reach the store's path logic
+		// (the unknown-key banking path writes Store.Put(key, ...) — an
+		// unvalidated "../../x" key would escape the cache directory).
+		if !keyPattern.MatchString(sub.Key) {
+			writeErr(w, http.StatusBadRequest, "malformed key %q", sub.Key)
+			return
+		}
+		st := q.Complete(sub.WorkerID, sub.Key, sub.Data, sub.Error)
+		code := http.StatusOK
+		if st == CompleteRejected {
+			code = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, code, ResultResponse{Status: st})
+	})
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, q.Stats())
+	})
+
+	mux.HandleFunc("GET /agents/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !keyPattern.MatchString(key) {
+			writeErr(w, http.StatusBadRequest, "malformed key %q", key)
+			return
+		}
+		data, ok := store.Get(key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no snapshot under %s", key)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+
+	mux.HandleFunc("PUT /agents/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !keyPattern.MatchString(key) {
+			writeErr(w, http.StatusBadRequest, "malformed key %q", key)
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBytes))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "read snapshot: %v", err)
+			return
+		}
+		// Snapshots are keyed by training *inputs*, not bytes, so the hash
+		// cannot be verified here. Structural validation is strict instead:
+		// the payload must be a trained-agent snapshot whose agent actually
+		// restores. This keeps a buggy publisher (key/data swapped, result
+		// bytes under an agent key) — or any stray JSON — from overwriting
+		// entries in the shared store through this endpoint; the /result
+		// path stays the only way to write simulation results, and it
+		// validates under a lease.
+		var snap trainedSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil || snap.Agent == nil {
+			writeErr(w, http.StatusUnprocessableEntity, "body under %s is not a trained-agent snapshot", key)
+			return
+		}
+		if _, err := snap.Agent.Restore(); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "snapshot under %s does not restore: %v", key, err)
+			return
+		}
+		if err := store.Put(key, data); err != nil {
+			writeErr(w, http.StatusInternalServerError, "store snapshot: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	return mux
+}
+
+// AgentExchange is the worker-side tier of the trained-agent snapshot
+// exchange: a ResultStore that reads through to the coordinator's store
+// over HTTP and publishes local training results back. Point TrainCell (or
+// TrainCells) at one and a training cell finished on any machine in the
+// fleet is a cache hit on every other — the cross-machine analogue of the
+// in-process trained-agent cache, with the same inference-exact snapshot
+// bytes, so warm and cold machines produce byte-identical results.
+type AgentExchange struct {
+	Coordinator string       // coordinator base URL (the /work mount), e.g. http://host:8080/work
+	Client      *http.Client // nil = http.DefaultClient
+	Local       ResultStore  // local tier; fetched snapshots are cached here
+}
+
+// NewAgentExchange builds an exchange over a local store (nil = fresh
+// in-memory store).
+func NewAgentExchange(coordinator string, local ResultStore) *AgentExchange {
+	if local == nil {
+		local = NewMemStore()
+	}
+	return &AgentExchange{Coordinator: coordinator, Local: local}
+}
+
+// exchangeClient bounds every AgentExchange request: the exchange sits on
+// the cache-miss path of pools and training cells, where an unbounded
+// request against a wedged coordinator would hang the whole run (and the
+// CLI's -timeout context is not threaded through ResultStore.Get).
+var exchangeClient = &http.Client{Timeout: 30 * time.Second}
+
+func (x *AgentExchange) client() *http.Client {
+	if x.Client != nil {
+		return x.Client
+	}
+	return exchangeClient
+}
+
+// Get consults the local tier, then the coordinator; remote hits are cached
+// locally.
+func (x *AgentExchange) Get(key string) ([]byte, bool) {
+	if data, ok := x.Local.Get(key); ok {
+		return data, true
+	}
+	resp, err := x.client().Get(x.Coordinator + "/agents/" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes))
+	if err != nil {
+		return nil, false
+	}
+	_ = x.Local.Put(key, data)
+	return data, true
+}
+
+// Put stores locally and publishes to the coordinator (best effort: a
+// network failure costs fleet-wide memoization, never the local result).
+// Only restorable trained-agent snapshots are published — the exchange
+// doubles as an ordinary ResultStore (simulation results flow through it
+// when it fronts a pool's cache), and the coordinator's endpoint would
+// reject anything else anyway, so non-snapshot payloads skip the network
+// round-trip entirely.
+func (x *AgentExchange) Put(key string, data []byte) error {
+	if err := x.Local.Put(key, data); err != nil {
+		return err
+	}
+	var snap trainedSnapshot
+	if json.Unmarshal(data, &snap) != nil || snap.Agent == nil {
+		return nil
+	}
+	if _, err := snap.Agent.Restore(); err != nil {
+		return nil
+	}
+	req, err := http.NewRequest(http.MethodPut, x.Coordinator+"/agents/"+key, bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := x.client().Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+	}
+	return nil
+}
+
+// Len reports the local tier's population.
+func (x *AgentExchange) Len() int { return x.Local.Len() }
+
+// Stats reports the local tier's counters.
+func (x *AgentExchange) Stats() (hits, misses, puts uint64) { return x.Local.Stats() }
+
+// LeaseTTL exposes the queue's lease duration (for worker status lines).
+func (q *WorkQueue) LeaseTTL() time.Duration { return q.ttl }

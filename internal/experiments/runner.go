@@ -25,9 +25,9 @@ var (
 // ExecConfig reconfigures the shared executor. Zero/nil fields keep the
 // current setting.
 type ExecConfig struct {
-	Workers int             // pool width (astro-experiments -j)
-	Store   *campaign.Store // result cache (e.g. disk-backed for warm re-runs)
-	Ctx     context.Context // deadline/cancellation (astro-experiments -timeout)
+	Workers int                  // pool width (astro-experiments -j)
+	Store   campaign.ResultStore // result cache (e.g. disk-backed for warm re-runs)
+	Ctx     context.Context      // deadline/cancellation (astro-experiments -timeout)
 }
 
 // Configure applies cfg to the executor used by all figure drivers.
@@ -57,7 +57,7 @@ func Workers() int {
 // Store returns the executor's result store. Figure drivers use it to
 // memoize trained agents next to the simulation results they produce, so a
 // disk-backed -cache directory also persists training across runs.
-func Store() *campaign.Store {
+func Store() campaign.ResultStore {
 	execMu.RLock()
 	defer execMu.RUnlock()
 	return execPool.Store

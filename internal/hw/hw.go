@@ -6,6 +6,23 @@
 // Absolute constants are calibrated to published Cortex-A15/Cortex-A7
 // characteristics (Exynos 5422 in the Odroid XU4); the reproduction targets
 // behavioural shape, not board-exact joules (see DESIGN.md).
+//
+// # Canonical platform names
+//
+// ByName resolves both the built-in boards ("odroid-xu4", "jetson-tk1")
+// and generated zoo machines. A zoo name is canonical and self-describing:
+//
+//	zoo:<L>L<B>B:l<littleMHz>@<littleBlend>:b<bigMHz>@<bigBlend>
+//
+// encodes every PlatformParams field, and ByName rebuilds the identical
+// machine from the name alone (blends are quantized to 0.01 so
+// print/parse round-trips exactly; interpolated L2 capacities snap to
+// powers of two for the set-associative cache model). This contract is
+// load-bearing for every cache layer above: campaign job keys and
+// trained-agent keys hash the platform *name*, so two processes — or two
+// machines in a distributed fleet — that agree on a name agree on the
+// simulated hardware, and the content-addressed stores stay sound across
+// them. TestPlatformParamsRoundTrip and the hw parse tests pin it.
 package hw
 
 import "fmt"

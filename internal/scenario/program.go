@@ -10,7 +10,16 @@
 // the same campaign job keys — so scenario sweeps hit the content-addressed
 // result store exactly like hand-written benchmarks do. The only source of
 // variety is the explicit Seed, threaded through a private math/rand stream
-// (never the global one, never time or map order).
+// (never the global one, never time or map order). Generated names encode
+// their parameters (programs: "scn-<seed>-c2-i1-..."; platforms: the
+// canonical "zoo:..." names of internal/hw), so name identity is object
+// identity across processes and machines.
+//
+// Matrix compiles the generated axes into campaign.Spec batches. Batching
+// (Batch, AutoBatch) only regroups jobs — job keys are independent of
+// batch size, worker count and execution backend, so a matrix swept
+// in-process, through -workers loopback clusters, or across a distributed
+// fleet produces byte-identical result sets against the same store.
 package scenario
 
 import (
