@@ -9,12 +9,29 @@
 // Usage:
 //
 //	astro-experiments [-scale small|paper] [-fig 1|3|4|6|9|10|11|table1|headline|all]
-//	                  [-j N] [-cache dir] [-coordinator URL] [-timeout d]
+//	                  [-j N] [-cache dir] [-coordinator URL]
+//	                  [-remote addr] [-lease-ttl d] [-timeout d]
 //
 // -coordinator fronts the store with a trained-agent snapshot exchange
 // against a running astro-serve: fig10-style training cells finished on
 // any machine pointing at the same coordinator are cache hits here, with
 // inference-exact snapshots (results stay byte-identical).
+//
+// -remote turns this process into the coordinator of a worker fleet: it
+// serves the /work lease endpoints on addr and every campaign cell —
+// simulation jobs, hybrid-by-agent-key jobs, and fig10's training cells —
+// leases out to `astro worker` processes instead of simulating in-process
+// (the -j pool remains only as the fallback for non-wireable jobs). Point
+// any number of workers at it:
+//
+//	astro-experiments -fig 10 -remote :8090 -cache /tmp/coord &
+//	astro worker -coordinator http://localhost:8090 -id w1 &
+//	astro worker -coordinator http://localhost:8090 -id w2
+//
+// Results are byte-identical to in-process execution, and a warm -cache
+// re-run leases nothing at all. -lease-ttl sizes the worker leases; it may
+// be shorter than the slowest cell, because workers renew their leases
+// in-protocol while executing.
 //
 // Every requested figure runs even if an earlier one fails; the exit
 // status is non-zero when any of them failed.
@@ -24,6 +41,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
@@ -39,6 +58,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers for simulation sweeps")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
 	coordinator := flag.String("coordinator", "", "astro-serve URL: exchange trained-agent snapshots with its store, so fig10-style training done on any machine warms this one (and vice versa)")
+	remoteAddr := flag.String("remote", "", "listen address: become the coordinator of an `astro worker` fleet and lease every cell (simulations and training) to it")
+	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "with -remote: how long a worker holds a cell between renewals")
 	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
 	flag.Parse()
 
@@ -65,12 +86,45 @@ func main() {
 	if *coordinator != "" {
 		exec = campaign.NewAgentExchange(strings.TrimRight(*coordinator, "/")+"/work", store)
 	}
-	experiments.Configure(experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx})
+	cfg := experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx}
+	if *remoteAddr != "" {
+		runner, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astro-experiments:", err)
+			os.Exit(1)
+		}
+		cfg.Runner = runner
+	}
+	experiments.Configure(cfg)
 
 	if n := run(sc, *fig); n > 0 {
 		fmt.Fprintf(os.Stderr, "astro-experiments: %d artifact(s) failed\n", n)
 		os.Exit(1)
 	}
+}
+
+// startCoordinator mounts the worker protocol on addr and returns the
+// RemoteRunner that leases this process's cells to the fleet. The local
+// pool stays as the fallback for non-wireable jobs; with the whole paper
+// suite declarative it sits idle, so a cold fig10 performs zero
+// coordinator-local simulations or trainings.
+func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore) (*campaign.RemoteRunner, error) {
+	q := campaign.NewWorkQueue(ttl)
+	q.Store = store // bank late results of timed-out figures
+	mux := http.NewServeMux()
+	mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(q, store)))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-remote %s: %w", addr, err)
+	}
+	go http.Serve(ln, mux)
+	fmt.Fprintf(os.Stderr, "astro-experiments: coordinating workers on %s (lease TTL %v); point `astro worker -coordinator http://<host>%s` here\n",
+		ln.Addr(), ttl, addr)
+	return &campaign.RemoteRunner{
+		Queue: q,
+		Store: store,
+		Local: campaign.Pool{Workers: poolWorkers, Store: store},
+	}, nil
 }
 
 // run executes the requested artifacts, continuing past failures, and

@@ -94,16 +94,26 @@ func (ss *scenarioStore) list() []*scenarioRun {
 // the scenario has finished cleanly. pending counts batches still running;
 // failed counts batches that were cancelled, failed, or vanished — a
 // report over a partial contest would rank schedulers authoritatively on
-// incomplete data, so it is withheld instead.
-func (ss *scenarioStore) report(eng *campaign.Engine, r *scenarioRun) (rep *scenario.Report, pending, failed int) {
+// incomplete data, so it is withheld. The returned batch statuses travel
+// with either verdict, so a partial fleet shows *where* it is (done/total
+// cells per batch, cache hits, errors) instead of an opaque 202/409.
+func (ss *scenarioStore) report(eng *campaign.Engine, r *scenarioRun) (rep *scenario.Report, pending, failed int, batches []campaign.Status) {
 	var sets []*campaign.ResultSet
 	for _, id := range r.Campaigns {
 		c, ok := eng.Get(id)
 		if !ok {
 			failed++
+			// A placeholder keeps the batches list aligned with the failed
+			// count, so the client can see *which* batch sank the report
+			// even when the engine no longer knows the campaign.
+			batches = append(batches, campaign.Status{
+				ID: id, State: campaign.StateFailed, Error: "campaign no longer known to the engine",
+			})
 			continue
 		}
-		switch c.Status().State {
+		st := c.Status()
+		batches = append(batches, st)
+		switch st.State {
 		case campaign.StateRunning:
 			pending++
 		case campaign.StateDone:
@@ -113,7 +123,7 @@ func (ss *scenarioStore) report(eng *campaign.Engine, r *scenarioRun) (rep *scen
 		}
 	}
 	if pending > 0 || failed > 0 {
-		return nil, pending, failed
+		return nil, pending, failed, batches
 	}
-	return scenario.BuildReport(r.Name, sets...), 0, 0
+	return scenario.BuildReport(r.Name, sets...), 0, 0, batches
 }

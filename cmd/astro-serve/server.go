@@ -172,16 +172,25 @@ func newServer(eng *campaign.Engine, queue *campaign.WorkQueue) http.Handler {
 		if !ok {
 			return
 		}
-		rep, pending, failed := scenarios.report(eng, run)
+		rep, pending, failed, batches := scenarios.report(eng, run)
 		if failed > 0 {
-			writeErr(w, http.StatusConflict,
-				"%d of %d batches failed or were cancelled; report unavailable",
-				failed, len(run.Campaigns))
+			// Per-batch statuses ride along so the client sees which
+			// batches sank the report, and how far the others got.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error": fmt.Sprintf("%d of %d batches failed or were cancelled; report unavailable",
+					failed, len(run.Campaigns)),
+				"failed_batches":  failed,
+				"pending_batches": pending,
+				"batches":         batches,
+			})
 			return
 		}
 		if pending > 0 {
+			// Partial-fleet progress: done/total cells, cache hits and
+			// errors per batch, not just a count of unfinished batches.
 			writeJSON(w, http.StatusAccepted, map[string]any{
-				"pending_batches": pending, "batches": len(run.Campaigns),
+				"pending_batches": pending,
+				"batches":         batches,
 			})
 			return
 		}

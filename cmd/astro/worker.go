@@ -14,15 +14,22 @@ import (
 
 // cmdWorker runs one pull-based campaign worker against a coordinator
 // (astro-serve with its /work endpoints). The worker leases
-// content-addressed cells, simulates them and pushes canonical results
-// back; killing it at any point is safe — its in-flight cells re-lease
-// after the coordinator's TTL.
+// content-addressed cells — simulation jobs and training cells alike —
+// executes them and pushes canonical results back; killing it at any
+// point is safe, because its in-flight cells re-lease after the
+// coordinator's TTL. While it executes, a heartbeat renews the leases it
+// holds (POST /work/renew), so cells longer than the TTL — training
+// especially — survive a short -lease-ttl on the coordinator; -renew
+// overrides the heartbeat interval (default: a third of the TTL the
+// coordinator advertises) and -renew -1ns disables it for protocol
+// testing.
 func cmdWorker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	coordinator := fs.String("coordinator", "http://localhost:8080", "coordinator base URL (astro-serve)")
 	id := fs.String("id", defaultWorkerID(), "worker identity for lease accounting")
 	maxCells := fs.Int("max", 2, "cells per lease")
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval")
+	renew := fs.Duration("renew", 0, "lease renewal heartbeat interval (0 = a third of the coordinator's TTL; negative disables renewal)")
 	cacheDir := fs.String("cache", "", "local result cache directory (answers re-leased cells without resimulating)")
 	shards := fs.Int("shards", 0, "shard the local cache (0 = single directory)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress on stderr")
@@ -49,6 +56,7 @@ func cmdWorker(args []string) error {
 		ID:          *id,
 		Max:         *maxCells,
 		Poll:        *poll,
+		Renew:       *renew,
 		Store:       store,
 	}
 	if !*quiet {

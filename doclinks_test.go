@@ -7,17 +7,55 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+	"unicode"
 )
 
 // mdLink matches inline markdown links and images: [text](target).
 var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
 
+// mdHeading matches ATX headings, whose GitHub-style anchors the fragment
+// check below validates against.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}[ \t]+(.+?)[ \t]*$`)
+
+// anchorSlug reduces a heading to its GitHub-style anchor: lowercase,
+// punctuation dropped, spaces to hyphens. (Duplicate-heading "-1"
+// suffixes are not modelled; the repo's docs keep headings unique.)
+func anchorSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf collects the anchor set of one markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(data), -1) {
+		anchors[anchorSlug(m[1])] = true
+	}
+	return anchors
+}
+
 // TestDocLinks is the docs gate run by CI's docs job (and by every
 // `go test ./...`): every relative link in every tracked markdown file
-// must point at a path that exists in the repository. External links
-// (http, https, mailto) and pure anchors are skipped — the check is for
-// the cross-references (DESIGN.md ↔ EXPERIMENTS.md ↔ README.md ↔ source
-// files) that silently rot as the tree is refactored.
+// must point at a path that exists in the repository, and every fragment
+// on a markdown target (`DESIGN.md#distributed-campaigns-…`, or a pure
+// `#anchor` within the same file) must resolve to a real heading's
+// GitHub-style anchor there. External links (http, https, mailto) are
+// skipped — the check is for the cross-references (DESIGN.md ↔
+// EXPERIMENTS.md ↔ README.md ↔ source files) that silently rot as the
+// tree is refactored and as sections are renamed.
 func TestDocLinks(t *testing.T) {
 	var mds []string
 	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
@@ -42,6 +80,20 @@ func TestDocLinks(t *testing.T) {
 	if len(mds) == 0 {
 		t.Fatal("no markdown files found — walking from the wrong directory?")
 	}
+	anchorCache := map[string]map[string]bool{}
+	checkAnchor := func(md, link, target, fragment string) {
+		if fragment == "" {
+			return
+		}
+		anchors, ok := anchorCache[target]
+		if !ok {
+			anchors = anchorsOf(t, target)
+			anchorCache[target] = anchors
+		}
+		if !anchors[fragment] {
+			t.Errorf("%s: link %q names anchor #%s, which matches no heading in %s", md, link, fragment, target)
+		}
+	}
 	for _, md := range mds {
 		data, err := os.ReadFile(md)
 		if err != nil {
@@ -52,19 +104,25 @@ func TestDocLinks(t *testing.T) {
 			switch {
 			case strings.HasPrefix(target, "http://"),
 				strings.HasPrefix(target, "https://"),
-				strings.HasPrefix(target, "mailto:"),
-				strings.HasPrefix(target, "#"):
+				strings.HasPrefix(target, "mailto:"):
 				continue
 			}
+			fragment := ""
 			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
+				target, fragment = target[:i], target[i+1:]
 			}
 			if target == "" {
+				// Pure in-file anchor.
+				checkAnchor(md, m[0], md, fragment)
 				continue
 			}
 			resolved := filepath.Join(filepath.Dir(md), target)
 			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s: broken link %q (resolved %s)", md, m[0], resolved)
+				continue
+			}
+			if strings.HasSuffix(resolved, ".md") {
+				checkAnchor(md, m[0], resolved, fragment)
 			}
 		}
 	}

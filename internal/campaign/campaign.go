@@ -82,6 +82,24 @@ type Job struct {
 	Hybrid    func() sim.HybridPolicy
 	HybridKey string
 
+	// AgentKey is the declarative alternative to Hybrid: the content
+	// address (TrainSpec.Key) of a trained-agent snapshot in the result
+	// store. Execute rebuilds the hybrid policy from the snapshot alone —
+	// restore the agent, extract the visited-state static policy, wrap both
+	// in a HybridRuntime — so the job's behaviour is a pure function of the
+	// key. Snapshots are inference-exact and carry their visited states,
+	// which makes the rebuilt policy bit-identical on every machine: unlike
+	// factory-built Hybrid jobs, agent-keyed jobs are cacheable AND
+	// wireable, and need no Exclusive tag (each execution restores a
+	// private agent). Mutually exclusive with Hybrid/HybridKey.
+	AgentKey string
+
+	// Agents supplies the snapshot store Execute resolves AgentKey
+	// against (a local Store, or a worker's AgentExchange). It is runtime
+	// wiring, not identity — never hashed. Pool fills it from its own
+	// store when the job leaves it nil.
+	Agents ResultStore
+
 	// Exclusive serializes jobs sharing the same non-empty tag: jobs whose
 	// policies share mutable state (a DQN's inference scratch buffers, say)
 	// must not run concurrently with each other.
@@ -116,11 +134,31 @@ func (j *Job) platformName() string {
 	return j.PlatName
 }
 
+// hybridIdentity names the job's hybrid behaviour for the content hash:
+// the caller-supplied HybridKey for factory-built policies, or a derived
+// "agent:<key>" token for agent-keyed jobs (the snapshot fully determines
+// the rebuilt policy, so its content address is the policy's identity).
+// The second return is false when the hybrid behaviour cannot be named —
+// a factory without a HybridKey, or conflicting declarations.
+func (j *Job) hybridIdentity() (string, bool) {
+	if j.AgentKey != "" {
+		if j.Hybrid != nil || j.HybridKey != "" {
+			return "", false // two hybrid identities would shadow each other
+		}
+		return "agent:" + j.AgentKey, true
+	}
+	if j.Hybrid != nil && j.HybridKey == "" {
+		return "", false
+	}
+	return j.HybridKey, true
+}
+
 // Key returns the job's content address and whether the job is cacheable.
 // Uncacheable jobs (custom hybrid policy without a HybridKey) always
 // simulate fresh.
 func (j *Job) Key() (string, bool) {
-	if j.Hybrid != nil && j.HybridKey == "" {
+	hybrid, ok := j.hybridIdentity()
+	if !ok {
 		return "", false
 	}
 	// Seed, Args and InitialConfig live on the Job itself; clear them in the
@@ -153,7 +191,7 @@ func (j *Job) Key() (string, bool) {
 	sb.WriteByte('\n')
 	sb.WriteString(fp)
 	sb.WriteByte('\n')
-	sb.WriteString(j.HybridKey)
+	sb.WriteString(hybrid)
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:]), true
 }
@@ -253,12 +291,47 @@ func (j *Job) Execute() (*sim.Result, error) {
 	if opts.Actuator, err = buildActuator(j.Actuator, plat); err != nil {
 		return nil, err
 	}
+	if j.AgentKey != "" && (j.Hybrid != nil || j.HybridKey != "") {
+		// The same conflict hybridIdentity reports as uncacheable — but a
+		// conflicted job must fail loudly here, not quietly lose caching
+		// and wireability (its one observable symptom would be silent
+		// re-simulation on every run).
+		return nil, fmt.Errorf("campaign: job %d (%s): AgentKey conflicts with Hybrid/HybridKey", j.Index, j.Label)
+	}
 	if j.Hybrid != nil {
 		opts.Hybrid = j.Hybrid()
+	} else if j.AgentKey != "" {
+		if opts.Hybrid, err = j.hybridFromAgent(plat); err != nil {
+			return nil, err
+		}
 	}
 	m, err := sim.New(j.Module, plat, opts)
 	if err != nil {
 		return nil, err
 	}
 	return m.Run()
+}
+
+// hybridFromAgent rebuilds the hybrid policy named by AgentKey: fetch the
+// trained-agent snapshot from the Agents store, restore the agent, extract
+// the visited-state static policy, and wrap both in a HybridRuntime —
+// exactly the construction the fig10 driver performs in-process. Every
+// input is inside the snapshot (inference-exact parameters plus the
+// visited states), so the policy this returns is bit-identical wherever it
+// is rebuilt; that is what lets agent-keyed jobs cross the wire.
+func (j *Job) hybridFromAgent(plat *hw.Platform) (sim.HybridPolicy, error) {
+	if j.Agents == nil {
+		return nil, fmt.Errorf("campaign: job %d (%s): agent-keyed hybrid needs an Agents store", j.Index, j.Label)
+	}
+	data, ok := j.Agents.Get(j.AgentKey)
+	if !ok {
+		return nil, fmt.Errorf("campaign: job %d (%s): no trained-agent snapshot under %s", j.Index, j.Label, j.AgentKey)
+	}
+	tr, err := restoreTrained(data)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: job %d (%s): snapshot %s: %w", j.Index, j.Label, j.AgentKey, err)
+	}
+	hr := sched.NewHybridRuntime(tr.Agent, plat)
+	hr.Policy = sched.ExtractPolicyVisited(tr.Agent, plat, tr.Visits)
+	return hr, nil
 }

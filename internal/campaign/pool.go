@@ -159,6 +159,11 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 		}
 	}
 
+	if j.AgentKey != "" && j.Agents == nil {
+		// Agent-keyed hybrid jobs resolve their snapshot at execution time;
+		// default to the pool's own store (where TrainCell banked it).
+		j.Agents = p.Store
+	}
 	if j.Exclusive != "" {
 		muAny, _ := excl.LoadOrStore(j.Exclusive, &sync.Mutex{})
 		mu := muAny.(*sync.Mutex)
@@ -196,6 +201,16 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 	}
 	o.WallS = time.Since(start).Seconds()
 	return o
+}
+
+// Train implements Trainer on the in-process pool: independent training
+// cells shard across the pool's width with the same deterministic
+// partition as Run, memoizing snapshots into the pool's store. The context
+// is accepted for symmetry with RemoteRunner.Train; a training cell is
+// internally sequential (episodes feed the next) and finishes once
+// started.
+func (p *Pool) Train(ctx context.Context, specs []*TrainSpec) ([]*Trained, error) {
+	return TrainCells(p.Store, specs, p.Workers)
 }
 
 // Results unwraps outcomes into results in job order; it fails on the first

@@ -10,19 +10,23 @@ import (
 )
 
 // WorkQueue is the coordinator side of the pull-based worker protocol: a
-// deduplicated queue of campaign cells keyed by job content address, with
-// per-cell leases that expire and re-issue when a worker dies mid-cell.
+// deduplicated queue of campaign cells — simulation and training leases
+// alike — keyed by content address, with per-cell leases that expire and
+// re-issue when a worker dies mid-cell and renew in-protocol while the
+// holder keeps heartbeating.
 //
 // Cell lifecycle (the worker-protocol state machine, also documented in
 // DESIGN.md):
 //
 //	          Enqueue                Lease                Complete(ok)
 //	(absent) ────────▶ pending ──────────────▶ leased ────────────────▶ done
-//	                      ▲                      │
-//	                      │   lease expired, or  │
-//	                      │   worker error, or   │ attempts > MaxAttempts
-//	                      │   malformed result   ▼
-//	                      └──────────────────  done(err)
+//	                      ▲                   ▲      │
+//	                      │      Renew (held, │      │
+//	                      │      unexpired) ──┘      │
+//	                      │   lease expired, or      │
+//	                      │   worker error, or       │ attempts > MaxAttempts
+//	                      │   malformed result       ▼
+//	                      └───────────────────────  done(err)
 //
 // Invariants the failure-path tests pin:
 //
@@ -30,6 +34,9 @@ import (
 //     Enqueues of a pending/leased key attach additional waiters.
 //   - A lease that expires re-queues the cell at the front (the retried
 //     cell goes out before fresh work) and counts an attempt.
+//   - Renewal extends exactly the named leases, only while the submitter
+//     still holds them unexpired; a renew-after-expiry is rejected and the
+//     expired cell is already waiting at the queue front.
 //   - The first valid result wins; duplicate submissions — the expired
 //     worker finishing late — are acknowledged as duplicates and change
 //     nothing.
@@ -75,6 +82,16 @@ type WorkQueue struct {
 	requeues   uint64
 	rejects    uint64
 	duplicates uint64
+	renewals   uint64
+
+	// Cells the RemoteRunner routed to the coordinator's local fallback
+	// pool (non-wireable jobs). They never enter the lease machinery, but
+	// /work/status must still count them or a partial-fleet operator reads
+	// "nothing pending, nothing leased" while the coordinator is quietly
+	// simulating.
+	localPending int
+	localDone    uint64
+	localErrors  uint64
 }
 
 // maxDoneKeys bounds the duplicate-detection set. Past the cap it resets:
@@ -120,25 +137,31 @@ type WorkerStatus struct {
 	Errors    int       `json:"errors"`
 }
 
-// QueueStats is the aggregate queue snapshot.
+// QueueStats is the aggregate queue snapshot. The Local* counters cover
+// cells the RemoteRunner executed on the coordinator's fallback pool
+// (non-wireable jobs), so partial-fleet progress adds up:
+// Done + LocalDone is every finished cell, leased or not.
 type QueueStats struct {
-	Pending    int            `json:"pending"`
-	Leased     int            `json:"leased"`
-	Done       int            `json:"done"`
-	Requeues   uint64         `json:"requeues"`
-	Rejects    uint64         `json:"rejects"`
-	Duplicates uint64         `json:"duplicates"`
-	Workers    []WorkerStatus `json:"workers"`
+	Pending      int            `json:"pending"`
+	Leased       int            `json:"leased"`
+	Done         int            `json:"done"`
+	Requeues     uint64         `json:"requeues"`
+	Rejects      uint64         `json:"rejects"`
+	Duplicates   uint64         `json:"duplicates"`
+	Renewals     uint64         `json:"renewals"`
+	LocalPending int            `json:"local_pending"`
+	LocalDone    uint64         `json:"local_done"`
+	LocalErrors  uint64         `json:"local_errors"`
+	Workers      []WorkerStatus `json:"workers"`
 }
 
 // DefaultLeaseTTL is how long a worker holds a cell before the coordinator
 // re-issues it. It bounds the latency cost of a killed worker: its cells
-// re-enter the queue one TTL later. There is no in-protocol lease renewal
-// yet, so the TTL must comfortably exceed the slowest single cell —
-// otherwise healthy long-running cells are re-issued (and, past
-// maxAttempts, failed) while workers are still computing them. Size
-// -lease-ttl to the workload; late valid results are still banked into the
-// queue's Store either way.
+// re-enter the queue one TTL later. Healthy workers renew their leases
+// in-protocol (POST /work/renew, sent by the worker's heartbeat at a
+// third of the TTL), so the TTL no longer needs to exceed the slowest
+// cell — a short TTL coexists with long-running training cells, and only
+// a worker that stops heartbeating loses its leases.
 const DefaultLeaseTTL = 2 * time.Minute
 
 // NewWorkQueue builds a queue with the given lease TTL (0 =
@@ -268,13 +291,14 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 		expired()
 		// A valid result for a key the queue no longer tracks — the cell
 		// was withdrawn, or failed after its leases expired while this
-		// worker was still computing — is still a finished simulation.
-		// Bank the bytes so the next campaign wanting this key is warm.
+		// worker was still computing — is still finished work. Bank the
+		// bytes so the next campaign wanting this key is warm. The cell's
+		// kind is gone with the cell, so accept either canonical form.
 		// Only well-formed content addresses may reach the store's path
 		// logic (the HTTP handler rejects others; this guards direct
 		// callers too).
 		if st == CompleteUnknown && workerErr == "" && q.Store != nil && keyPattern.MatchString(key) {
-			if _, err := sim.DecodeResult(data); err == nil {
+			if validateWireResult(KindSim, data) == nil || validateWireResult(KindTrain, data) == nil {
 				_ = q.Store.Put(key, data)
 			}
 		}
@@ -301,7 +325,10 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 	// Validate before any waiter (and any store behind it) can see the
 	// bytes: a malformed result must not poison the content-addressed
 	// store, whose entries are trusted as canonical on every warm run.
-	if _, err := sim.DecodeResult(data); err != nil {
+	// Validation is per-kind — a training cell's bytes must be a
+	// trained-agent snapshot whose agent restores, not merely JSON that
+	// sim.DecodeResult tolerates.
+	if err := validateWireResult(c.wire.Kind, data); err != nil {
 		q.rejects++
 		w.Errors++
 		if !holds {
@@ -338,6 +365,75 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 	}
 	waiters()
 	return CompleteAccepted
+}
+
+// validateWireResult checks a submission's bytes against a cell kind's
+// canonical form: simulation cells must decode as sim results, training
+// cells must be trained-agent snapshots whose agent restores.
+func validateWireResult(kind string, data []byte) error {
+	if kind == KindTrain {
+		_, err := restoreTrained(data)
+		return err
+	}
+	_, err := sim.DecodeResult(data)
+	return err
+}
+
+// Renew extends the leases workerID currently holds on keys to now+TTL and
+// returns the keys actually renewed, in request order. A key renews only
+// while its cell is still leased to this worker and unexpired: renewal
+// after expiry is rejected — the sweep (run first, like every queue entry
+// point) has already re-queued the cell at the queue front for the next
+// healthy worker — and renewal never touches cells beyond those named, so
+// one heartbeat cannot keep a whole worker's forgotten leases alive.
+func (q *WorkQueue) Renew(workerID string, keys []string) []string {
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+	// A renewal can only follow a lease, so it refreshes liveness for
+	// known workers but never registers one: a stray or spoofed worker_id
+	// must not mint permanent zero-count rows in /work/status.
+	if w, ok := q.workers[workerID]; ok {
+		w.LastSeen = now
+	}
+	var renewed []string
+	for _, key := range keys {
+		c, ok := q.cells[key]
+		if !ok || c.state != cellLeased || c.worker != workerID || !c.expires.After(now) {
+			continue
+		}
+		c.expires = now.Add(q.ttl)
+		renewed = append(renewed, key)
+	}
+	q.renewals += uint64(len(renewed))
+	q.mu.Unlock()
+	expired()
+	return renewed
+}
+
+// noteLocalStart / noteLocalDone / noteLocalAbandoned account for cells the
+// RemoteRunner routes to the coordinator's fallback pool. Abandoned cells
+// are those a cancelled run never finished reporting.
+func (q *WorkQueue) noteLocalStart(n int) {
+	q.mu.Lock()
+	q.localPending += n
+	q.mu.Unlock()
+}
+
+func (q *WorkQueue) noteLocalDone(errored bool) {
+	q.mu.Lock()
+	q.localPending--
+	q.localDone++
+	if errored {
+		q.localErrors++
+	}
+	q.mu.Unlock()
+}
+
+func (q *WorkQueue) noteLocalAbandoned(n int) {
+	q.mu.Lock()
+	q.localPending -= n
+	q.mu.Unlock()
 }
 
 // Sweep re-queues expired leases immediately (normally this happens lazily
@@ -447,12 +543,16 @@ func (q *WorkQueue) Stats() QueueStats {
 	st := QueueStats{
 		// cells holds exactly the pending and leased population (done
 		// cells are evicted), so the split needs no scan.
-		Pending:    len(q.cells) - len(q.leased),
-		Leased:     len(q.leased),
-		Done:       q.done,
-		Requeues:   q.requeues,
-		Rejects:    q.rejects,
-		Duplicates: q.duplicates,
+		Pending:      len(q.cells) - len(q.leased),
+		Leased:       len(q.leased),
+		Done:         q.done,
+		Requeues:     q.requeues,
+		Rejects:      q.rejects,
+		Duplicates:   q.duplicates,
+		Renewals:     q.renewals,
+		LocalPending: q.localPending,
+		LocalDone:    q.localDone,
+		LocalErrors:  q.localErrors,
 	}
 	ids := make([]string, 0, len(q.workers))
 	for id := range q.workers {

@@ -80,6 +80,159 @@ func TestWireJobRoundTrip(t *testing.T) {
 	}
 }
 
+// wireTrainCell builds a training lease for the queue tests.
+func wireTrainCell(t *testing.T, seed int64) *WireJob {
+	t.Helper()
+	w, err := trainSpecFor(t, "spin", seed).Wire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWireTrainRoundTrip(t *testing.T) {
+	w := wireTrainCell(t, 31)
+	ts, err := w.TrainSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ts.Key()
+	if err != nil || key != w.Key {
+		t.Fatalf("round-tripped key %q (err %v) != wire key %q", key, err, w.Key)
+	}
+	// Tampering with the recipe must be detected by the key check.
+	w2 := *w
+	train := *w2.Train
+	train.Episodes++
+	w2.Train = &train
+	if _, err := w2.TrainSpec(); err == nil || !strings.Contains(err.Error(), "key mismatch") {
+		t.Fatalf("tampered wire train cell accepted: %v", err)
+	}
+	// A training cell is not a simulation job and vice versa.
+	if _, err := w.Job(); err == nil {
+		t.Fatal("train cell decoded as a simulation job")
+	}
+	if _, err := wireJobs(t, 1)[0].TrainSpec(); err == nil {
+		t.Fatal("simulation cell decoded as a train spec")
+	}
+}
+
+// TestTrainResultValidatedAsSnapshot pins the per-kind validation: bytes
+// that merely decode as a (zero) sim result must not complete a training
+// cell — only a restorable trained-agent snapshot may.
+func TestTrainResultValidatedAsSnapshot(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	w := wireTrainCell(t, 33)
+	var calls atomic.Int32
+	q.Enqueue(w, func(data []byte, err error) {
+		calls.Add(1)
+		if err != nil {
+			t.Errorf("waiter got error: %v", err)
+		}
+	})
+	q.Lease("w1", 1)
+	// "{}" passes sim.DecodeResult but is not a snapshot.
+	if st := q.Complete("w1", w.Key, []byte("{}"), ""); st != CompleteRejected {
+		t.Fatalf("non-snapshot bytes: %v (want rejected)", st)
+	}
+	if calls.Load() != 0 {
+		t.Fatal("waiter saw non-snapshot bytes")
+	}
+	// The cell re-queued; a real snapshot completes it.
+	if cells := q.Lease("w2", 1); len(cells) != 1 {
+		t.Fatal("rejected train cell not re-queued")
+	}
+	ts, err := w.TrainSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	if _, err := TrainCell(store, ts); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := store.Get(w.Key)
+	if !ok {
+		t.Fatal("training did not bank a snapshot")
+	}
+	if st := q.Complete("w2", w.Key, snap, ""); st != CompleteAccepted {
+		t.Fatalf("valid snapshot: %v", st)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("waiter invoked %d times", calls.Load())
+	}
+}
+
+// TestRenewExtendsExactlyOneLease pins the renewal races: renewal extends
+// only the named lease — the worker's other cell expires on schedule — and
+// a renewal from a worker that does not hold the lease changes nothing.
+func TestRenewExtendsExactlyOneLease(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	ws := wireJobs(t, 2)
+	q.Enqueue(ws[0], func([]byte, error) {})
+	q.Enqueue(ws[1], func([]byte, error) {})
+	if cells := q.Lease("w1", 2); len(cells) != 2 {
+		t.Fatalf("leased %d cells, want 2", len(cells))
+	}
+	// A stranger's renewal is rejected outright — and does not register the
+	// stranger as a worker in /work/status.
+	if renewed := q.Renew("impostor", []string{ws[0].Key}); len(renewed) != 0 {
+		t.Fatalf("impostor renewed %v", renewed)
+	}
+	for _, w := range q.Stats().Workers {
+		if w.ID == "impostor" {
+			t.Fatal("impostor renewal minted a worker-status row")
+		}
+	}
+	// Half a TTL in, w1 renews only its first cell.
+	*now = now.Add(30 * time.Second)
+	if renewed := q.Renew("w1", []string{ws[0].Key}); len(renewed) != 1 || renewed[0] != ws[0].Key {
+		t.Fatalf("renewed %v, want exactly %s", renewed, ws[0].Key)
+	}
+	// Past the original expiry: the renewed cell is still held, the
+	// unrenewed one has been re-issued.
+	*now = now.Add(45 * time.Second)
+	reissued := q.Lease("w2", 2)
+	if len(reissued) != 1 || reissued[0].Key != ws[1].Key {
+		t.Fatalf("re-issue after partial renewal: got %d cells", len(reissued))
+	}
+	st := q.Stats()
+	if st.Leased != 2 || st.Requeues != 1 || st.Renewals != 1 {
+		t.Fatalf("stats after partial renewal: %+v", st)
+	}
+}
+
+// TestRenewAfterExpiryRejected pins the other race: once a training
+// cell's lease expires, its renewal is refused and the cell is already
+// waiting at the *front* of the queue, ahead of older pending work.
+func TestRenewAfterExpiryRejected(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	train := wireTrainCell(t, 35)
+	q.Enqueue(train, func([]byte, error) {})
+	if cells := q.Lease("w1", 1); len(cells) != 1 {
+		t.Fatal("train cell not leased")
+	}
+	// Fresh work arrives behind the in-flight training cell.
+	sim := wireJobs(t, 1)[0]
+	q.Enqueue(sim, func([]byte, error) {})
+	// The lease expires before the next heartbeat lands.
+	*now = now.Add(2 * time.Minute)
+	if renewed := q.Renew("w1", []string{train.Key}); len(renewed) != 0 {
+		t.Fatalf("renew-after-expiry extended %v", renewed)
+	}
+	if st := q.Stats(); st.Renewals != 0 || st.Requeues != 1 {
+		t.Fatalf("stats after stale renewal: %+v", st)
+	}
+	// The expired training cell re-issues at the queue front, before the
+	// fresh simulation cell.
+	next := q.Lease("w2", 1)
+	if len(next) != 1 || next[0].Key != train.Key || next[0].Kind != KindTrain {
+		t.Fatalf("queue front after expiry: %+v", next)
+	}
+}
+
 func TestLeaseExpiryReissuesCell(t *testing.T) {
 	q := NewWorkQueue(time.Minute)
 	now := fakeClock(q)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"astro/internal/sim"
@@ -20,12 +21,21 @@ import (
 //   - cache: the shared store is consulted first, exactly like Pool — a
 //     warm store means nothing is ever enqueued, so a warm re-run through
 //     workers performs zero fresh simulations anywhere.
-//   - wireable jobs are enqueued; the queue deduplicates by key, leases
-//     cells to whichever workers poll, re-issues expired leases, and
-//     validates results before this runner stores them.
-//   - non-wireable jobs (in-process Hybrid policy factories, as the
-//     experiments' fig10 drivers build) run on the Local fallback pool
-//     concurrently with the remote cells.
+//   - wireable jobs — including hybrid-by-agent-key jobs, whose trained
+//     agent travels by content key through the agent exchange — are
+//     enqueued; the queue deduplicates by key, leases cells to whichever
+//     workers poll, re-issues expired leases, and validates results before
+//     this runner stores them.
+//   - non-wireable jobs (in-process Hybrid policy factories) run on the
+//     Local fallback pool concurrently with the remote cells, and are
+//     counted into the queue's Local* status counters so /work/status
+//     reflects the whole campaign, not just the leased part.
+//
+// Train is the training counterpart: training cells lease out exactly like
+// simulation cells (WireJob kind "train"), workers push the finished
+// snapshots back, and the restored agents are inference-exact — so a
+// fig10-style suite distributes its training and its hybrid sampling with
+// zero coordinator-local work.
 //
 // Cancellation withdraws not-yet-completed cells from the queue; a cell a
 // worker already holds finishes harmlessly — its late result is
@@ -135,9 +145,18 @@ func (r *RemoteRunner) Run(ctx context.Context, jobs []*Job, onProgress func(Pro
 
 	// Non-wireable jobs execute locally while workers chew on the leased
 	// cells; their outcomes land at their original indices so job order —
-	// and therefore the result-set fingerprint — is preserved.
+	// and therefore the result-set fingerprint — is preserved. The queue's
+	// Local* counters track them so fleet status adds up (a cancelled run
+	// settles the cells its pool never reported).
 	if len(localJobs) > 0 {
-		localOuts, _ := r.Local.Run(ctx, localJobs, reportP)
+		r.Queue.noteLocalStart(len(localJobs))
+		var reported atomic.Int64
+		localOuts, _ := r.Local.Run(ctx, localJobs, func(p Progress) {
+			reported.Add(1)
+			r.Queue.noteLocalDone(p.Err != "")
+			reportP(p)
+		})
+		r.Queue.noteLocalAbandoned(len(localJobs) - int(reported.Load()))
 		for k, o := range localOuts {
 			outs[localIdx[k]] = o
 		}
@@ -168,4 +187,95 @@ func (r *RemoteRunner) Run(ctx context.Context, jobs []*Job, onProgress func(Pro
 		}
 	}
 	return outs, errors.Join(errs...)
+}
+
+// Train implements Trainer by leasing training cells to the worker fleet.
+// Per spec, in order: the shared store is consulted first (a warm store
+// trains nothing anywhere, same as TrainCell), then the cell is enqueued
+// as a WireJob of kind "train" and some worker trains it and pushes the
+// snapshot back. The returned agents are restored from snapshot bytes and
+// therefore inference-exact — byte-identical downstream results to
+// training in-process, which the distributed fig10 identity test pins.
+//
+// Cancellation withdraws cells no worker has picked up; a training cell a
+// worker already holds finishes and its snapshot is banked into the
+// queue's store for the next campaign.
+func (r *RemoteRunner) Train(ctx context.Context, specs []*TrainSpec) ([]*Trained, error) {
+	if r.Queue == nil {
+		return r.Local.Train(ctx, specs)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]*Trained, len(specs))
+	errs := make([]error, len(specs))
+	var (
+		wg        sync.WaitGroup
+		cancels   []func() bool
+		cancelIdx []int
+	)
+	for i, ts := range specs {
+		key, err := ts.Key()
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if r.Store != nil {
+			if data, ok := r.Store.Get(key); ok {
+				if tr, rerr := restoreTrained(data); rerr == nil {
+					tr.CacheHit = true
+					outs[i] = tr
+					continue
+				}
+				// Corrupt snapshot: fall through to a fresh remote training
+				// that overwrites it.
+			}
+		}
+		wire, err := ts.Wire()
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		wg.Add(1)
+		cancel := r.Queue.Enqueue(wire, func(data []byte, qerr error) {
+			defer wg.Done()
+			if qerr != nil {
+				errs[i] = qerr
+				return
+			}
+			tr, rerr := restoreTrained(data)
+			if rerr != nil {
+				errs[i] = rerr // cannot pass queue validation; belt and braces
+				return
+			}
+			outs[i] = tr
+			if r.Store != nil && r.Store != r.Queue.Store {
+				_ = r.Store.Put(key, data)
+			}
+		})
+		cancels = append(cancels, cancel)
+		cancelIdx = append(cancelIdx, i)
+	}
+
+	waitCh := make(chan struct{})
+	go func() { wg.Wait(); close(waitCh) }()
+	select {
+	case <-waitCh:
+	case <-ctx.Done():
+		for k, c := range cancels {
+			if c() {
+				errs[cancelIdx[k]] = ctx.Err()
+				wg.Done()
+			}
+		}
+		<-waitCh
+	}
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("cell %d (%s): %w", i, specs[i].Label, err))
+		}
+	}
+	return outs, errors.Join(joined...)
 }

@@ -25,3 +25,14 @@ type ResultStore interface {
 type Runner interface {
 	Run(ctx context.Context, jobs []*Job, onProgress func(Progress)) ([]*Outcome, error)
 }
+
+// Trainer is the training counterpart of Runner: execute a batch of
+// training cells and return one Trained per spec, in spec order,
+// consulting (and filling) the trained-agent cache. *Pool trains
+// in-process via TrainCells; *RemoteRunner leases training cells to
+// pull-based workers, so fig10-style suites distribute their training the
+// same way they distribute simulations. Both restore inference-exact
+// agents, so which Trainer ran a cell never changes downstream bytes.
+type Trainer interface {
+	Train(ctx context.Context, specs []*TrainSpec) ([]*Trained, error)
+}

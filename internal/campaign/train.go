@@ -111,6 +111,25 @@ type trainedSnapshot struct {
 	Stats  []sched.EpisodeStat `json:"stats"`
 }
 
+// restoreTrained decodes stored training-cell bytes and restores the
+// agent. It is the single gate between snapshot bytes and a usable
+// Trained — the warm-cache path, the queue's train-result validation, the
+// agent exchange and agent-keyed jobs all trust exactly this check.
+func restoreTrained(data []byte) (*Trained, error) {
+	var snap trainedSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("campaign: not a trained-agent snapshot: %w", err)
+	}
+	if snap.Agent == nil {
+		return nil, fmt.Errorf("campaign: trained-agent snapshot has no agent")
+	}
+	agent, err := snap.Agent.Restore()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: trained-agent snapshot does not restore: %w", err)
+	}
+	return &Trained{Agent: agent, Visits: snap.Visits, Stats: snap.Stats}, nil
+}
+
 // TrainCell trains one cell, consulting store first (nil store trains
 // fresh). A cache hit restores an inference-exact agent: Best/Q — and
 // therefore extracted policies and hybrid decisions — are bit-identical to
@@ -126,16 +145,9 @@ func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 	}
 	if store != nil {
 		if data, ok := store.Get(key); ok {
-			var snap trainedSnapshot
-			if err := json.Unmarshal(data, &snap); err == nil && snap.Agent != nil {
-				if agent, err := snap.Agent.Restore(); err == nil {
-					return &Trained{
-						Agent:    agent,
-						Visits:   snap.Visits,
-						Stats:    snap.Stats,
-						CacheHit: true,
-					}, nil
-				}
+			if tr, err := restoreTrained(data); err == nil {
+				tr.CacheHit = true
+				return tr, nil
 			}
 			// A corrupt snapshot falls through to fresh training, which
 			// overwrites it.
@@ -161,24 +173,31 @@ func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 	}
 	out := &Trained{Agent: tr.Agent, Visits: tr.Visits, Stats: tr.Stats}
 	if store != nil {
-		var snap trainedSnapshot
-		switch a := tr.Agent.(type) {
-		case *rl.DQN:
-			snap.Agent = a.Snapshot()
-		case *rl.Tabular:
-			snap.Agent = a.Snapshot()
-		default:
-			return out, nil // unknown agent kind: usable, just not cacheable
-		}
-		snap.Visits = tr.Visits
-		snap.Stats = tr.Stats
-		if data, err := json.Marshal(&snap); err == nil {
+		if data, err := snapshotBytes(out); err == nil && data != nil {
 			// Best effort, like Pool's cache fill: a failed Put only costs
 			// future memoization.
 			_ = store.Put(key, data)
 		}
 	}
 	return out, nil
+}
+
+// snapshotBytes serializes a finished training cell into its canonical
+// stored byte form. A nil, nil return means the agent kind cannot be
+// snapshotted (usable in-process, just not cacheable or wireable).
+func snapshotBytes(tr *Trained) ([]byte, error) {
+	var snap trainedSnapshot
+	switch a := tr.Agent.(type) {
+	case *rl.DQN:
+		snap.Agent = a.Snapshot()
+	case *rl.Tabular:
+		snap.Agent = a.Snapshot()
+	default:
+		return nil, nil
+	}
+	snap.Visits = tr.Visits
+	snap.Stats = tr.Stats
+	return json.Marshal(&snap)
 }
 
 func (ts *TrainSpec) platformName() string {

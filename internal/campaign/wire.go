@@ -5,23 +5,42 @@ import (
 
 	"astro/internal/hw"
 	"astro/internal/ir"
+	"astro/internal/rl"
 	"astro/internal/sim"
 )
 
-// WireJob is a Job in transit between the coordinator and a pull-based
+// Wire-cell kinds. A WireJob is either a simulation cell (the zero value,
+// for compatibility with pre-train-lease coordinators) or a training cell.
+const (
+	KindSim   = ""      // simulate a Job; result bytes are sim.EncodeResult
+	KindTrain = "train" // train a TrainSpec; result bytes are a trained-agent snapshot
+)
+
+// WireJob is a cell in transit between the coordinator and a pull-based
 // worker: fully self-contained (the module travels as its ir.Encode bytes,
 // so the worker needs no workloads registry or compiler) and content-keyed
-// (Key is the coordinator-computed job key; the worker recomputes it from
-// the decoded fields and refuses a mismatch, which turns any serialization
-// drift into a loud protocol error instead of a silently wrong cache
-// entry).
+// (Key is the coordinator-computed content address; the worker recomputes
+// it from the decoded fields and refuses a mismatch, which turns any
+// serialization drift into a loud protocol error instead of a silently
+// wrong cache entry).
 //
-// Only declarative jobs are wireable: a Job carrying a Hybrid policy
-// factory is arbitrary in-process behaviour and cannot cross the wire —
-// RemoteRunner routes those to its local fallback pool instead. Trained
-// agents travel separately, as rl.Snapshot bytes through the /work/agents
-// exchange, keyed exactly like the trained-agent cache.
+// Two kinds of cell cross the wire. Simulation cells (Kind == KindSim)
+// decode back into a Job via (*WireJob).Job; their policies travel by
+// name, and a trained-agent hybrid travels as its snapshot's content key
+// (AgentKey) — the worker fetches the snapshot through the /work/agents
+// exchange and rebuilds the policy from it. Training cells
+// (Kind == KindTrain) decode into a TrainSpec via (*WireJob).TrainSpec
+// and reuse the shared fields (module, platform, OS, seed, args, opts)
+// plus the Train block for the agent recipe; their result bytes are the
+// trained-agent snapshot itself, keyed exactly like the in-process
+// trained-agent cache.
+//
+// The only jobs that cannot cross the wire are those carrying an
+// in-process Hybrid policy factory — arbitrary behaviour with no
+// declarative identity — which RemoteRunner routes to its local fallback
+// pool instead.
 type WireJob struct {
+	Kind      string `json:"kind,omitempty"` // KindSim or KindTrain
 	Index     int    `json:"index"`
 	Label     string `json:"label"`
 	Benchmark string `json:"benchmark,omitempty"`
@@ -35,18 +54,41 @@ type WireJob struct {
 	Seed     int64   `json:"seed"`
 	Args     []int64 `json:"args,omitempty"`
 
+	// AgentKey carries a simulation cell's hybrid-by-agent-key policy: the
+	// content address of the trained-agent snapshot the worker rebuilds
+	// the hybrid runtime from (fetched via GET /work/agents/{key}).
+	AgentKey string `json:"agent_key,omitempty"`
+
 	// Opts carries the scalar simulator knobs. The policy fields (OS,
 	// Actuator, Hybrid) are interfaces and must be nil — Job.Execute
 	// enforces policies-by-name, so a wireable job never has them set and
 	// they marshal as null.
 	Opts sim.Options `json:"opts"`
 
-	// Key is the job's content address as computed by the coordinator.
+	// Train carries the training recipe when Kind == KindTrain.
+	Train *WireTrain `json:"train,omitempty"`
+
+	// Key is the cell's content address as computed by the coordinator:
+	// Job.Key for simulation cells, TrainSpec.Key for training cells.
 	Key string `json:"key"`
 }
 
+// WireTrain is the training-cell half of a WireJob: the agent recipe that,
+// together with the shared module/platform/OS/seed/args/opts fields,
+// reconstructs a TrainSpec. Every field participates in TrainSpec.Key, so
+// the worker-side key verification covers all of them.
+type WireTrain struct {
+	Agent    string       `json:"agent,omitempty"` // "dqn" (default) or "tabular"
+	DQN      rl.DQNConfig `json:"dqn"`
+	Gamma    float64      `json:"gamma,omitempty"`
+	Hipster  bool         `json:"hipster,omitempty"`
+	Episodes int          `json:"episodes,omitempty"`
+}
+
 // Wire serializes the job for remote execution. Jobs with a Hybrid factory
-// or an unfingerprintable option set are not wireable.
+// or an unfingerprintable option set are not wireable; agent-keyed hybrid
+// jobs are (the snapshot travels separately, by content key, through the
+// agent exchange).
 func (j *Job) Wire() (*WireJob, error) {
 	if j.Module == nil {
 		return nil, fmt.Errorf("campaign: job %d (%s) has no module", j.Index, j.Label)
@@ -73,6 +115,7 @@ func (j *Job) Wire() (*WireJob, error) {
 		Big:       j.Config.Big,
 		Seed:      j.Seed,
 		Args:      j.Args,
+		AgentKey:  j.AgentKey,
 		Opts:      j.Opts,
 		Key:       key,
 	}, nil
@@ -84,6 +127,9 @@ func (j *Job) Wire() (*WireJob, error) {
 // drift, version skew) and executing it would poison the content-addressed
 // store, so it is an error, not a warning.
 func (wj *WireJob) Job() (*Job, error) {
+	if wj.Kind != KindSim {
+		return nil, fmt.Errorf("campaign: wire cell %q has kind %q, not a simulation job", wj.Label, wj.Kind)
+	}
 	mod, err := ir.Decode(wj.Module)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: wire job %q: module: %w", wj.Label, err)
@@ -99,6 +145,7 @@ func (wj *WireJob) Job() (*Job, error) {
 		Config:    hw.Config{Little: wj.Little, Big: wj.Big},
 		Seed:      wj.Seed,
 		Args:      wj.Args,
+		AgentKey:  wj.AgentKey,
 		Opts:      wj.Opts,
 	}
 	key, ok := j.Key()
@@ -109,4 +156,73 @@ func (wj *WireJob) Job() (*Job, error) {
 		return nil, fmt.Errorf("campaign: wire job %q key mismatch: coordinator %s, worker %s (codec drift?)", wj.Label, wj.Key, key)
 	}
 	return j, nil
+}
+
+// Wire serializes the training cell for remote execution. Its Key is the
+// spec's trained-agent cache key, so a training lease finished anywhere in
+// the fleet lands in the store under exactly the address TrainCell — on
+// any machine — consults.
+func (ts *TrainSpec) Wire() (*WireJob, error) {
+	if ts.Module == nil {
+		return nil, fmt.Errorf("campaign: train spec %q has no module", ts.Label)
+	}
+	key, err := ts.Key() // also rejects policy interfaces left in Opts
+	if err != nil {
+		return nil, err
+	}
+	return &WireJob{
+		Kind:     KindTrain,
+		Label:    ts.Label,
+		Module:   ir.Encode(ts.Module),
+		PlatName: ts.PlatName,
+		OS:       ts.OS,
+		Seed:     ts.Seed,
+		Args:     ts.Args,
+		Opts:     ts.Opts,
+		Train: &WireTrain{
+			Agent:    ts.Agent,
+			DQN:      ts.DQN,
+			Gamma:    ts.Gamma,
+			Hipster:  ts.Hipster,
+			Episodes: ts.Episodes,
+		},
+		Key: key,
+	}, nil
+}
+
+// TrainSpec reconstructs the training cell and verifies its identity
+// against the coordinator's key, exactly like (*WireJob).Job does for
+// simulation cells: the recomputed trained-agent cache key must match, or
+// the worker would train the wrong recipe and store it under the
+// coordinator's address.
+func (wj *WireJob) TrainSpec() (*TrainSpec, error) {
+	if wj.Kind != KindTrain || wj.Train == nil {
+		return nil, fmt.Errorf("campaign: wire cell %q has kind %q, not a training cell", wj.Label, wj.Kind)
+	}
+	mod, err := ir.Decode(wj.Module)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: wire train cell %q: module: %w", wj.Label, err)
+	}
+	ts := &TrainSpec{
+		Label:    wj.Label,
+		Module:   mod,
+		PlatName: wj.PlatName,
+		OS:       wj.OS,
+		Agent:    wj.Train.Agent,
+		DQN:      wj.Train.DQN,
+		Gamma:    wj.Train.Gamma,
+		Hipster:  wj.Train.Hipster,
+		Episodes: wj.Train.Episodes,
+		Seed:     wj.Seed,
+		Args:     wj.Args,
+		Opts:     wj.Opts,
+	}
+	key, err := ts.Key()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: wire train cell %q: %w", wj.Label, err)
+	}
+	if key != wj.Key {
+		return nil, fmt.Errorf("campaign: wire train cell %q key mismatch: coordinator %s, worker %s (codec drift?)", wj.Label, wj.Key, key)
+	}
+	return ts, nil
 }

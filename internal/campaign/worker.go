@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"astro/internal/sim"
@@ -14,10 +15,24 @@ import (
 
 // Worker is the pull side of the distributed campaign protocol: it leases
 // content-addressed cells from a coordinator (astro-serve or the CLI's
-// loopback cluster), executes them with the same Job.Execute path the local
-// pool uses, and pushes canonical result bytes back. Workers are stateless
-// — identity is just a label for lease accounting — so killing one loses at
-// most its in-flight cells, which the coordinator re-leases after the TTL.
+// loopback cluster), executes them, and pushes canonical result bytes
+// back. Simulation cells run through the same Job.Execute path the local
+// pool uses; training cells (WireJob kind "train") run through TrainCell
+// against the worker's agent exchange, so the finished snapshot is
+// published to the coordinator for every other machine. Workers are
+// stateless — identity is just a label for lease accounting — so killing
+// one loses at most its in-flight cells, which the coordinator re-leases
+// after the TTL.
+//
+// While a worker executes a cell, a heartbeat goroutine renews that
+// cell's lease (POST /renew) at a third of the coordinator's TTL, so
+// cells that outrun the TTL — long training cells under a short
+// -lease-ttl — stay leased as long as the worker stays alive and working
+// on them. Cells leased but not yet started are not renewed: they expire
+// on schedule and re-issue to idle workers rather than queueing for hours
+// behind a long cell. Only a worker that dies (or loses the network)
+// stops heartbeating its current cell, which is exactly when re-issuing
+// it is the right call.
 //
 // An optional local Store short-circuits execution: a cell whose key the
 // worker has already produced (an earlier run, a shared disk cache) is
@@ -31,9 +46,14 @@ type Worker struct {
 	ID          string         // worker identity for lease accounting
 	Max         int            // cells per lease (default 2)
 	Poll        time.Duration  // idle backoff (default 500ms; the coordinator may suggest longer)
+	Renew       time.Duration  // heartbeat interval; 0 = a third of the lease TTL, negative = disabled
 	Client      *http.Client   // nil = http.DefaultClient
 	Store       ResultStore    // optional local result cache
+	Agents      ResultStore    // trained-agent tier; nil = an AgentExchange against the coordinator over Store
 	OnProgress  func(Progress) // optional per-cell hook (logging)
+
+	agentsOnce sync.Once
+	agents     ResultStore
 }
 
 func (w *Worker) client() *http.Client {
@@ -48,6 +68,22 @@ func (w *Worker) max() int {
 		return 2
 	}
 	return w.Max
+}
+
+// agentStore lazily builds the worker's trained-agent tier: the configured
+// Agents store, or an AgentExchange that caches coordinator snapshots in
+// the worker's local store (falling back to a fresh in-memory tier). One
+// exchange serves the whole worker lifetime, so an agent fetched for one
+// hybrid cell answers every later cell keyed to the same snapshot.
+func (w *Worker) agentStore() ResultStore {
+	w.agentsOnce.Do(func() {
+		if w.Agents != nil {
+			w.agents = w.Agents
+			return
+		}
+		w.agents = NewAgentExchange(w.Coordinator, w.Store)
+	})
+	return w.agents
 }
 
 // Run leases and executes cells until ctx is cancelled (clean shutdown,
@@ -69,7 +105,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
-		cells, retryAfter, err := w.lease(ctx)
+		cells, retryAfter, ttl, err := w.lease(ctx)
 		if err != nil {
 			// Coordinator unreachable: exponential-ish backoff, capped.
 			idle++
@@ -94,11 +130,92 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		idle = 0
-		for _, cell := range cells {
-			if ctx.Err() != nil {
+		w.executeBatch(ctx, cells, ttl)
+	}
+}
+
+// executeBatch runs one lease's cells under a heartbeat that renews only
+// the cell currently *executing*, so a cell that outruns the TTL is not
+// re-issued out from under a live worker. Cells queued behind it in the
+// same batch are deliberately left to expire: an idle worker elsewhere in
+// the fleet picks them up after one TTL instead of waiting hours behind
+// this worker's long cell, and if this worker reaches one anyway its late
+// result is acknowledged as a duplicate. (This is the client half of the
+// queue's renewal invariant: one heartbeat must not keep a whole worker's
+// untouched leases alive.) The heartbeat stops with the batch.
+func (w *Worker) executeBatch(ctx context.Context, cells []*WireJob, ttl time.Duration) {
+	var (
+		mu      sync.Mutex
+		current string
+	)
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	if interval := w.renewInterval(ttl); interval > 0 {
+		go w.renewLoop(hbCtx, interval, func() []string {
+			mu.Lock()
+			defer mu.Unlock()
+			if current == "" {
 				return nil
 			}
-			w.execute(ctx, cell)
+			return []string{current}
+		})
+	}
+	for _, cell := range cells {
+		if ctx.Err() != nil {
+			return
+		}
+		mu.Lock()
+		current = cell.Key
+		mu.Unlock()
+		w.execute(ctx, cell)
+		mu.Lock()
+		current = ""
+		mu.Unlock()
+	}
+}
+
+// renewInterval picks the heartbeat period: the configured Renew, or a
+// third of the coordinator's TTL — early enough that one dropped heartbeat
+// does not cost the lease. Non-positive TTLs (older coordinators that do
+// not advertise one) disable the heartbeat rather than spin.
+func (w *Worker) renewInterval(ttl time.Duration) time.Duration {
+	if w.Renew < 0 {
+		return 0
+	}
+	if w.Renew > 0 {
+		return w.Renew
+	}
+	if ttl <= 0 {
+		return 0
+	}
+	interval := ttl / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return interval
+}
+
+// renewLoop posts heartbeats for the still-held keys until cancelled.
+// Failures are ignored: a missed renewal either recovers on the next tick
+// or the lease expires and the protocol's re-issue path takes over.
+func (w *Worker) renewLoop(ctx context.Context, interval time.Duration, heldKeys func() []string) {
+	for {
+		if !sleep(ctx, interval) {
+			return
+		}
+		keys := heldKeys()
+		if len(keys) == 0 {
+			continue
+		}
+		body, _ := json.Marshal(RenewRequest{WorkerID: w.ID, Keys: keys})
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/renew", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := w.client().Do(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
 		}
 	}
 }
@@ -125,32 +242,32 @@ func sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, error) {
+func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, time.Duration, error) {
 	body, _ := json.Marshal(LeaseRequest{WorkerID: w.ID, Max: w.max()})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/lease", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client().Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
-		return nil, 0, fmt.Errorf("campaign: lease: coordinator returned %s", resp.Status)
+		return nil, 0, 0, fmt.Errorf("campaign: lease: coordinator returned %s", resp.Status)
 	}
 	var lr LeaseResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&lr); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return lr.Cells, time.Duration(lr.RetryAfterMS) * time.Millisecond, nil
+	return lr.Cells, time.Duration(lr.RetryAfterMS) * time.Millisecond, time.Duration(lr.LeaseTTLMS) * time.Millisecond, nil
 }
 
-// execute runs one cell and submits its result. Failures are reported to
-// the coordinator (so the cell can be re-leased or failed) rather than
-// swallowed.
+// execute runs one cell — simulation or training — and submits its result.
+// Failures are reported to the coordinator (so the cell can be re-leased
+// or failed) rather than swallowed.
 func (w *Worker) execute(ctx context.Context, cell *WireJob) {
 	start := time.Now()
 	var (
@@ -160,20 +277,19 @@ func (w *Worker) execute(ctx context.Context, cell *WireJob) {
 	)
 	if w.Store != nil {
 		if cached, ok := w.Store.Get(cell.Key); ok {
-			if _, err := sim.DecodeResult(cached); err == nil {
+			if validateWireResult(cell.Kind, cached) == nil {
 				data, hit = cached, true
 			}
 		}
 	}
 	if data == nil {
-		j, err := cell.Job()
-		if err != nil {
-			execErr = err
-		} else if res, err := j.Execute(); err != nil {
-			execErr = err
-		} else if data, err = sim.EncodeResult(res); err != nil {
-			execErr = err
-		} else if w.Store != nil {
+		switch cell.Kind {
+		case KindTrain:
+			data, hit, execErr = w.executeTrain(cell)
+		default:
+			data, execErr = w.executeSim(cell)
+		}
+		if execErr == nil && w.Store != nil && !hit {
 			_ = w.Store.Put(cell.Key, data)
 		}
 	}
@@ -200,6 +316,51 @@ func (w *Worker) execute(ctx context.Context, cell *WireJob) {
 		}
 		w.OnProgress(p)
 	}
+}
+
+// executeSim runs one simulation cell to canonical result bytes.
+// Agent-keyed hybrid cells resolve their snapshot through the worker's
+// agent exchange — local tier first, coordinator on miss.
+func (w *Worker) executeSim(cell *WireJob) ([]byte, error) {
+	j, err := cell.Job()
+	if err != nil {
+		return nil, err
+	}
+	if j.AgentKey != "" {
+		j.Agents = w.agentStore()
+	}
+	res, err := j.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return sim.EncodeResult(res)
+}
+
+// executeTrain runs one training cell through TrainCell against the agent
+// exchange: a snapshot another machine already produced is a cache hit
+// fetched from the coordinator, and a freshly trained one is published
+// back through the exchange as a side effect — the /result submission then
+// carries the same canonical snapshot bytes to complete the lease.
+func (w *Worker) executeTrain(cell *WireJob) (data []byte, hit bool, err error) {
+	ts, err := cell.TrainSpec()
+	if err != nil {
+		return nil, false, err
+	}
+	agents := w.agentStore()
+	tr, err := TrainCell(agents, ts)
+	if err != nil {
+		return nil, false, err
+	}
+	// Prefer the exchange's stored bytes (they are the canonical form
+	// TrainCell banked); re-snapshot only if the Put was lost.
+	if stored, ok := agents.Get(cell.Key); ok {
+		return stored, tr.CacheHit, nil
+	}
+	data, err = snapshotBytes(tr)
+	if err != nil || data == nil {
+		return nil, false, fmt.Errorf("campaign: train cell %q produced an unsnapshotable agent", cell.Label)
+	}
+	return data, tr.CacheHit, nil
 }
 
 // submit pushes a result, retrying transient network failures a few times —

@@ -10,20 +10,25 @@ import (
 	"time"
 )
 
-// Worker protocol, coordinator side. WorkHandler serves the four endpoints
-// the pull-based workers speak (astro-serve mounts it under /work/, the
-// CLI's in-process loopback cluster mounts the same handler):
+// Worker protocol, coordinator side. WorkHandler serves the endpoints the
+// pull-based workers speak (astro-serve mounts it under /work/, the CLI's
+// in-process loopback cluster mounts the same handler):
 //
 //	POST /lease         LeaseRequest  -> LeaseResponse (content-addressed cells)
+//	POST /renew         RenewRequest  -> RenewResponse (heartbeat: extend held leases)
 //	POST /result        ResultSubmission -> ResultResponse (fsync-safe once stored)
 //	GET  /status        QueueStats (pending/leased/done + per-worker counters)
 //	GET  /agents/{key}  trained-agent snapshot bytes from the shared store
 //	PUT  /agents/{key}  publish a trained-agent snapshot (validated JSON)
 //
-// The agents endpoints are the per-worker trained-agent snapshot exchange:
-// snapshots live in the same content-addressed store as simulation results
-// (keyed by TrainSpec.Key), so a fig10-style training cell finished on any
-// machine warms every other machine through the coordinator.
+// Leased cells are simulation jobs (WireJob kind "") or training cells
+// (kind "train"); a training cell's result bytes are the trained-agent
+// snapshot, validated to restore before any store sees it. The agents
+// endpoints are the per-worker trained-agent snapshot exchange: snapshots
+// live in the same content-addressed store as simulation results (keyed by
+// TrainSpec.Key), so a fig10-style training cell finished on any machine
+// warms every other machine through the coordinator — and workers leasing
+// hybrid-by-agent-key simulation cells fetch the snapshot here too.
 
 // LeaseRequest asks the coordinator for up to Max cells.
 type LeaseRequest struct {
@@ -52,6 +57,24 @@ type ResultSubmission struct {
 // ResultResponse is the coordinator's verdict.
 type ResultResponse struct {
 	Status CompleteStatus `json:"status"`
+}
+
+// RenewRequest is the worker heartbeat: extend the leases it still holds
+// on Keys. Workers send it at a third of the lease TTL while executing,
+// which is what lets a short -lease-ttl coexist with cells (training
+// especially) that run longer than the TTL.
+type RenewRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Keys     []string `json:"keys"`
+}
+
+// RenewResponse lists the keys actually renewed (request order). A key the
+// worker sent that is absent here was not renewable — its lease expired or
+// moved on — and the worker should expect its eventual result to be
+// acknowledged as a duplicate.
+type RenewResponse struct {
+	Renewed    []string `json:"renewed"`
+	LeaseTTLMS int64    `json:"lease_ttl_ms"`
 }
 
 // keyPattern is what a content address looks like: lowercase SHA-256 hex.
@@ -93,6 +116,23 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 			Cells:        cells,
 			LeaseTTLMS:   q.ttl.Milliseconds(),
 			RetryAfterMS: 500,
+		})
+	})
+
+	mux.HandleFunc("POST /renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad renew request: %v", err)
+			return
+		}
+		if req.WorkerID == "" {
+			writeErr(w, http.StatusBadRequest, "renew request needs worker_id")
+			return
+		}
+		renewed := q.Renew(req.WorkerID, req.Keys)
+		writeJSON(w, http.StatusOK, RenewResponse{
+			Renewed:    renewed,
+			LeaseTTLMS: q.ttl.Milliseconds(),
 		})
 	})
 
@@ -160,13 +200,8 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 		// entries in the shared store through this endpoint; the /result
 		// path stays the only way to write simulation results, and it
 		// validates under a lease.
-		var snap trainedSnapshot
-		if err := json.Unmarshal(data, &snap); err != nil || snap.Agent == nil {
-			writeErr(w, http.StatusUnprocessableEntity, "body under %s is not a trained-agent snapshot", key)
-			return
-		}
-		if _, err := snap.Agent.Restore(); err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, "snapshot under %s does not restore: %v", key, err)
+		if _, err := restoreTrained(data); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "body under %s: %v", key, err)
 			return
 		}
 		if err := store.Put(key, data); err != nil {
@@ -247,11 +282,7 @@ func (x *AgentExchange) Put(key string, data []byte) error {
 	if err := x.Local.Put(key, data); err != nil {
 		return err
 	}
-	var snap trainedSnapshot
-	if json.Unmarshal(data, &snap) != nil || snap.Agent == nil {
-		return nil
-	}
-	if _, err := snap.Agent.Restore(); err != nil {
+	if _, err := restoreTrained(data); err != nil {
 		return nil
 	}
 	req, err := http.NewRequest(http.MethodPut, x.Coordinator+"/agents/"+key, bytes.NewReader(data))

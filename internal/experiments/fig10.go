@@ -63,13 +63,16 @@ const (
 // both scaled by the configured pool width:
 //
 //  1. Training: every (benchmark, hyper-parameter) cell is independent, so
-//     the cells train concurrently via campaign.TrainCells, and each
-//     trained agent is content-addressed in the shared store — a warm-cache
-//     re-run restores the agents instead of re-training (the former ~30s
-//     residual of a warm paper suite).
+//     the cells train concurrently through the configured Trainer — the
+//     in-process pool, or training leases to a worker fleet under a remote
+//     runner — and each trained agent is content-addressed in the shared
+//     store: a warm-cache re-run restores the agents instead of
+//     re-training (the former ~30s residual of a warm paper suite).
 //  2. Sampling: the 7 benchmarks x 3 treatments x n samples form one
-//     campaign batch on the shared pool (hybrid jobs serialize per
-//     benchmark via their Exclusive tag).
+//     campaign batch on the shared runner. Hybrid jobs are declarative —
+//     they name their trained agent by snapshot content key (AgentKey), so
+//     they are cacheable, wireable to remote workers, and free of the
+//     Exclusive serialization the old in-process factory form needed.
 func Fig10(sc Scale) (*Fig10Result, error) {
 	n := samplesFor(sc)
 	plat := hw.OdroidXU4()
@@ -99,7 +102,7 @@ func Fig10(sc Scale) (*Fig10Result, error) {
 			Opts:     base,
 		}
 	}
-	trained, err := campaign.TrainCells(Store(), specs, Workers())
+	trained, err := trainBatch(specs)
 	if err != nil {
 		return nil, fmt.Errorf("fig10: %w", err)
 	}
@@ -118,12 +121,22 @@ func Fig10(sc Scale) (*Fig10Result, error) {
 		// GTS and static runs are plain cacheable jobs (the static policy is
 		// imprinted in the module, so the module hash carries it). Hybrid
 		// runs consult the trained agent at runtime: the agent lives outside
-		// the module, so its identity is spelled out in HybridKey (a pure
-		// function of the training inputs listed there), and the jobs share
-		// an Exclusive tag because DQN inference reuses scratch buffers that
-		// must not be raced.
-		hybridKey := fmt.Sprintf("fig10-hybrid:%s:%s:ep%d:dqn%d:lr%g:train%d:pol=%v",
-			name, sc, episodesFor(sc), fig10DQNSeed, fig10LR, fig10TrainSeed, pol.PerPhase)
+		// the module, so the job names it declaratively by its snapshot
+		// content key — the executing process (this one, or a remote worker
+		// that leased the cell) restores the snapshot and rebuilds the
+		// hybrid runtime from it, bit-identically.
+		agentKey, err := specs[i].Key()
+		if err != nil {
+			return nil, fmt.Errorf("fig10: %s: %w", name, err)
+		}
+		// The declarative form needs the snapshot in the store. TrainCell's
+		// cache fill is best-effort (a full disk must not fail training), so
+		// if the bytes are missing, fall back to the in-process factory
+		// around the live agent — under the *same* content key ("agent:" +
+		// snapshot key is exactly what an agent-keyed job hashes), so the
+		// degraded run stays cacheable and byte-identical, it merely cannot
+		// lease its hybrid cells out.
+		_, haveSnapshot := Store().Get(agentKey)
 		starts[i] = len(jobs)
 		addJobs := func(kind string, mod *ir.Module, hybrid bool) {
 			for s := 0; s < n; s++ {
@@ -138,13 +151,21 @@ func Fig10(sc Scale) (*Fig10Result, error) {
 					Opts:      simOpts(sc, 0),
 				}
 				if hybrid {
-					j.Hybrid = func() sim.HybridPolicy {
-						hr := sched.NewHybridRuntime(agent, plat)
-						hr.Policy = pol
-						return hr
+					if haveSnapshot {
+						j.AgentKey = agentKey
+						j.Agents = Store()
+					} else {
+						j.Hybrid = func() sim.HybridPolicy {
+							hr := sched.NewHybridRuntime(agent, plat)
+							hr.Policy = pol
+							return hr
+						}
+						j.HybridKey = "agent:" + agentKey
+						// The shared live agent reuses inference scratch;
+						// serialize its samples (restored snapshots need no
+						// such tag — each execution gets a private agent).
+						j.Exclusive = "fig10-hybrid/" + name
 					}
-					j.HybridKey = hybridKey
-					j.Exclusive = "fig10-hybrid/" + name
 				}
 				jobs = append(jobs, j)
 			}

@@ -9,17 +9,26 @@ import (
 )
 
 // The figure drivers execute their simulation sweeps through a shared
-// campaign pool instead of inline loops: sweeps become job batches that run
-// on -j workers with content-addressed caching, so astro-experiments -j 8
-// parallelizes every cross-product and a re-run against a warm cache skips
-// the simulations entirely. The default executor is serial with an
-// in-process cache, which keeps `go test` behaviour identical to the old
-// inline loops (the simulator is deterministic, so worker count never
-// changes results — internal/campaign's determinism tests hold the proof).
+// campaign runner instead of inline loops: sweeps become job batches that
+// run on -j workers with content-addressed caching, so astro-experiments
+// -j 8 parallelizes every cross-product and a re-run against a warm cache
+// skips the simulations entirely. The runner is pluggable: the default is
+// an in-process pool (which keeps `go test` behaviour identical to the old
+// inline loops), and cmd/astro-experiments swaps in a
+// campaign.RemoteRunner when it coordinates a worker fleet — the simulator
+// is deterministic, so the backend never changes results, only where the
+// cycles burn (internal/campaign's determinism and remote byte-identity
+// tests hold the proof). Training batches route through the same seam:
+// when the runner also implements campaign.Trainer (both Pool and
+// RemoteRunner do), fig10-style training cells follow the runner — leased
+// to the fleet under a remote runner, sharded in-process otherwise.
 var (
-	execMu   sync.RWMutex
-	execPool = &campaign.Pool{Workers: 1, Store: campaign.NewMemStore()}
-	execCtx  = context.Background()
+	execMu      sync.RWMutex
+	execWorkers                      = 1
+	execStore   campaign.ResultStore = campaign.NewMemStore()
+	execRunner  campaign.Runner      = &campaign.Pool{Workers: 1, Store: execStore}
+	execCtx                          = context.Background()
+	execCustom  bool                 // a caller-supplied Runner is installed; don't rebuild the pool over it
 )
 
 // ExecConfig reconfigures the shared executor. Zero/nil fields keep the
@@ -28,6 +37,10 @@ type ExecConfig struct {
 	Workers int                  // pool width (astro-experiments -j)
 	Store   campaign.ResultStore // result cache (e.g. disk-backed for warm re-runs)
 	Ctx     context.Context      // deadline/cancellation (astro-experiments -timeout)
+	// Runner overrides the execution backend entirely (astro-experiments
+	// -remote builds a campaign.RemoteRunner). When nil, the executor is an
+	// in-process pool over Workers and Store.
+	Runner campaign.Runner
 }
 
 // Configure applies cfg to the executor used by all figure drivers.
@@ -35,14 +48,26 @@ func Configure(cfg ExecConfig) {
 	execMu.Lock()
 	defer execMu.Unlock()
 	if cfg.Workers > 0 {
-		execPool = &campaign.Pool{Workers: cfg.Workers, Store: execPool.Store, Retries: execPool.Retries}
+		execWorkers = cfg.Workers
 	}
 	if cfg.Store != nil {
-		execPool = &campaign.Pool{Workers: execPool.Workers, Store: cfg.Store, Retries: execPool.Retries}
+		execStore = cfg.Store
 	}
 	if cfg.Ctx != nil {
 		execCtx = cfg.Ctx
 	}
+	if cfg.Runner != nil {
+		execRunner, execCustom = cfg.Runner, true
+		return
+	}
+	if execCustom {
+		// "Zero/nil fields keep the current setting": a later Configure
+		// that only tweaks Workers/Store/Ctx must not silently demote an
+		// installed RemoteRunner back to an in-process pool. To revert,
+		// pass the pool explicitly.
+		return
+	}
+	execRunner = &campaign.Pool{Workers: execWorkers, Store: execStore}
 }
 
 // Workers reports the configured pool width; drivers with serial
@@ -51,7 +76,7 @@ func Configure(cfg ExecConfig) {
 func Workers() int {
 	execMu.RLock()
 	defer execMu.RUnlock()
-	return execPool.Workers
+	return execWorkers
 }
 
 // Store returns the executor's result store. Figure drivers use it to
@@ -60,18 +85,32 @@ func Workers() int {
 func Store() campaign.ResultStore {
 	execMu.RLock()
 	defer execMu.RUnlock()
-	return execPool.Store
+	return execStore
 }
 
-// runBatch executes jobs on the shared pool and returns their results in
+// runBatch executes jobs on the shared runner and returns their results in
 // job order, failing on the first job error.
 func runBatch(jobs []*campaign.Job) ([]*sim.Result, error) {
 	execMu.RLock()
-	pool, ctx := execPool, execCtx
+	runner, ctx := execRunner, execCtx
 	execMu.RUnlock()
-	outs, err := pool.Run(ctx, jobs, nil)
+	outs, err := runner.Run(ctx, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
 	return campaign.Results(outs)
+}
+
+// trainBatch executes training cells on the shared runner's Trainer (both
+// backends implement it; TrainCells is the safety net for a custom runner
+// that does not), so fig10's per-benchmark training distributes exactly
+// like its sampling.
+func trainBatch(specs []*campaign.TrainSpec) ([]*campaign.Trained, error) {
+	execMu.RLock()
+	runner, ctx, store, workers := execRunner, execCtx, execStore, execWorkers
+	execMu.RUnlock()
+	if tr, ok := runner.(campaign.Trainer); ok {
+		return tr.Train(ctx, specs)
+	}
+	return campaign.TrainCells(store, specs, workers)
 }
