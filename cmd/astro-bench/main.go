@@ -9,6 +9,13 @@
 // Multiple -count runs of the same benchmark are aggregated by minimum
 // ns/op (the least-noise estimate on a shared machine); custom metrics keep
 // the value from the fastest run.
+//
+// With -prev, the fresh run is additionally compared against a prior
+// BENCH_<n>.json and the exit status turns non-zero when any pinned
+// sim-throughput metric (Minstr/s) regresses by more than -max-regress
+// percent. Only the throughput metrics gate — ns/op moves with benchtime
+// and machine load, while instructions-per-second is the quantity the
+// fast-path work actually promises.
 package main
 
 import (
@@ -94,8 +101,46 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 	return out, sc.Err()
 }
 
+// throughputMetric is the gated custom metric: simulated instructions per
+// second, reported by the pinned sim fast-path benchmarks.
+const throughputMetric = "Minstr/s"
+
+// Compare diffs the fresh entries against a prior baseline and returns one
+// violation line per benchmark whose throughput metric dropped by more than
+// maxRegressPct percent. Benchmarks missing from either side, or without
+// the throughput metric, are skipped — the gate covers the pinned
+// sim-throughput set, not every micro-benchmark.
+func Compare(prev, cur map[string]Entry, maxRegressPct float64) []string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		p, ok := prev[name]
+		if !ok {
+			continue
+		}
+		was, okP := p.Metrics[throughputMetric]
+		now, okC := cur[name].Metrics[throughputMetric]
+		if !okP || !okC || was <= 0 {
+			continue
+		}
+		drop := (was - now) / was * 100
+		if drop > maxRegressPct {
+			violations = append(violations,
+				fmt.Sprintf("%s: %s %.1f -> %.1f (-%.1f%%, limit %.0f%%)",
+					name, throughputMetric, was, now, drop, maxRegressPct))
+		}
+	}
+	return violations
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
+	prevPath := flag.String("prev", "", "prior BENCH_<n>.json to gate against (exit 1 on throughput regression)")
+	maxRegress := flag.Float64("max-regress", 15, "with -prev: max tolerated Minstr/s drop, percent")
 	flag.Parse()
 
 	entries, err := Parse(os.Stdin)
@@ -116,16 +161,37 @@ func main() {
 	data = append(data, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
+			os.Exit(1)
+		}
+		names := make([]string, 0, len(entries))
+		for n := range entries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("astro-bench: wrote %d benchmarks to %s (%s)\n", len(names), *outPath, strings.Join(names, ", "))
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
-		os.Exit(1)
+
+	if *prevPath != "" {
+		prevData, err := os.ReadFile(*prevPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "astro-bench: -prev: %v\n", err)
+			os.Exit(1)
+		}
+		var prev File
+		if err := json.Unmarshal(prevData, &prev); err != nil {
+			fmt.Fprintf(os.Stderr, "astro-bench: -prev %s: %v\n", *prevPath, err)
+			os.Exit(1)
+		}
+		violations := Compare(prev.Benchmarks, entries, *maxRegress)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "astro-bench: regression vs %s: %s\n", *prevPath, v)
+		}
+		if len(violations) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "astro-bench: no >%.0f%% %s regressions vs %s\n", *maxRegress, throughputMetric, *prevPath)
 	}
-	names := make([]string, 0, len(entries))
-	for n := range entries {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	fmt.Printf("astro-bench: wrote %d benchmarks to %s (%s)\n", len(names), *outPath, strings.Join(names, ", "))
 }

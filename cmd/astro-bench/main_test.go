@@ -34,3 +34,34 @@ PASS
 		t.Fatalf("plain entry wrong: %+v", obs)
 	}
 }
+
+func TestCompareGatesThroughput(t *testing.T) {
+	entry := func(minstr float64) Entry {
+		if minstr <= 0 {
+			return Entry{NsPerOp: 100}
+		}
+		return Entry{NsPerOp: 100, Metrics: map[string]float64{"Minstr/s": minstr}}
+	}
+	prev := map[string]Entry{
+		"BenchmarkBurstFast": entry(200),
+		"BenchmarkBurstSlow": entry(100),
+		"BenchmarkObserve":   entry(0), // no throughput metric: never gated
+		"BenchmarkRemoved":   entry(300),
+	}
+	cur := map[string]Entry{
+		"BenchmarkBurstFast": entry(160), // -20%: violation
+		"BenchmarkBurstSlow": entry(90),  // -10%: within the limit
+		"BenchmarkObserve":   entry(0),
+		"BenchmarkAdded":     entry(50), // no baseline: skipped
+	}
+	violations := Compare(prev, cur, 15)
+	if len(violations) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(violations), violations)
+	}
+	if !strings.Contains(violations[0], "BenchmarkBurstFast") || !strings.Contains(violations[0], "-20.0%") {
+		t.Fatalf("violation line = %q", violations[0])
+	}
+	if v := Compare(prev, cur, 25); len(v) != 0 {
+		t.Fatalf("25%% limit should pass, got %v", v)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -50,6 +51,7 @@ import (
 
 	"astro/internal/campaign"
 	"astro/internal/experiments"
+	"astro/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +63,7 @@ func main() {
 	remoteAddr := flag.String("remote", "", "listen address: become the coordinator of an `astro worker` fleet and lease every cell (simulations and training) to it")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "with -remote: how long a worker holds a cell between renewals")
 	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
+	pprofOn := flag.Bool("pprof", false, "with -remote: mount net/http/pprof endpoints under /debug/pprof/ on the coordinator")
 	flag.Parse()
 
 	sc := experiments.Small
@@ -88,7 +91,7 @@ func main() {
 	}
 	cfg := experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx}
 	if *remoteAddr != "" {
-		runner, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec)
+		runner, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec, *pprofOn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astro-experiments:", err)
 			os.Exit(1)
@@ -108,11 +111,25 @@ func main() {
 // pool stays as the fallback for non-wireable jobs; with the whole paper
 // suite declarative it sits idle, so a cold fig10 performs zero
 // coordinator-local simulations or trainings.
-func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore) (*campaign.RemoteRunner, error) {
+//
+// Beside the /work endpoints the coordinator serves GET /metrics
+// (Prometheus text over the process-wide telemetry registry) so a long
+// paper run is observable: curl /work/fleet for per-worker rates and
+// in-flight cells, /metrics for queue depth, lease-wait and execute
+// latency histograms. pprofOn additionally mounts /debug/pprof/.
+func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore, pprofOn bool) (*campaign.RemoteRunner, error) {
 	q := campaign.NewWorkQueue(ttl)
 	q.Store = store // bank late results of timed-out figures
 	mux := http.NewServeMux()
 	mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(q, store)))
+	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("-remote %s: %w", addr, err)

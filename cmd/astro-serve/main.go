@@ -44,6 +44,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard the result store by key prefix (0 = single directory; use with concurrent workers)")
 	remote := flag.Bool("remote", false, "execute campaigns on pull-based workers (`astro worker`) instead of in-process")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "how long a worker holds a cell before it re-leases")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
 	var store campaign.ResultStore
@@ -74,7 +75,7 @@ func main() {
 	eng := campaign.NewEngineWith(runner, store)
 	fmt.Fprintf(os.Stderr, "astro-serve: listening on %s (%s, %d pool workers, cache %s)\n",
 		*addr, mode, *jobs, cacheOrMem(*cacheDir))
-	if err := http.ListenAndServe(*addr, newServer(eng, queue)); err != nil {
+	if err := http.ListenAndServe(*addr, newServer(eng, queue, *pprofOn)); err != nil {
 		fmt.Fprintln(os.Stderr, "astro-serve:", err)
 		os.Exit(1)
 	}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"sync"
 
 	"astro/internal/campaign"
 	"astro/internal/hw"
 	"astro/internal/scenario"
+	"astro/internal/telemetry"
 	"astro/internal/workloads"
 )
 
@@ -27,9 +30,13 @@ import (
 //	GET    /scenarios                every scenario, newest first
 //	GET    /scenarios/{id}           one scenario's grouping + batch statuses
 //	GET    /scenarios/{id}/report    scheduler report (202 while batches run)
+//	GET    /scenarios/{id}/events    merged SSE stream across all batches
+//	GET    /metrics                  Prometheus text exposition (process-wide)
 //	POST   /work/lease               worker protocol: lease campaign cells
 //	POST   /work/result              worker protocol: push a cell result
 //	GET    /work/status              queue + per-worker fleet status
+//	GET    /work/fleet               derived per-worker fleet view (rates, in-flight)
+//	GET    /work/traces              coordinator-assembled per-cell traces
 //	GET    /work/agents/{key}        trained-agent snapshot exchange (fetch)
 //	PUT    /work/agents/{key}        trained-agent snapshot exchange (publish)
 //
@@ -38,11 +45,22 @@ import (
 // and status are live either way. Campaign SSE progress streams cover
 // remote cells too — a leased cell's completion flows through the engine's
 // progress path exactly like a locally simulated one.
-func newServer(eng *campaign.Engine, queue *campaign.WorkQueue) http.Handler {
+//
+// When pprofOn is true the net/http/pprof profiling endpoints are mounted
+// under /debug/pprof/ (opt-in: profiles expose internals and cost CPU).
+func newServer(eng *campaign.Engine, queue *campaign.WorkQueue, pprofOn bool) http.Handler {
 	mux := http.NewServeMux()
 	scenarios := newScenarioStore()
 	if queue != nil {
 		mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(queue, eng.Store())))
+	}
+	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
@@ -220,6 +238,77 @@ func newServer(eng *campaign.Engine, queue *campaign.WorkQueue) http.Handler {
 			case <-r.Context().Done():
 				return
 			case ev, ok := <-events:
+				if !ok {
+					return
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+				flusher.Flush()
+			}
+		}
+	})
+
+	mux.HandleFunc("GET /scenarios/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		run, ok := getScenario(w, r)
+		if !ok {
+			return
+		}
+		flusher, canFlush := w.(http.Flusher)
+		if !canFlush {
+			writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+
+		// Fan the per-batch campaign streams into one channel. Each batch
+		// event is wrapped with its campaign ID so a dashboard can lay out
+		// batches side by side; the merged stream ends when every batch has
+		// published its terminal state event (all source channels closed).
+		type batchEvent struct {
+			Batch string `json:"batch"`
+			campaign.Event
+		}
+		merged := make(chan batchEvent, 64)
+		var wg sync.WaitGroup
+		var unsubs []func()
+		for _, id := range run.Campaigns {
+			c, ok := eng.Get(id)
+			if !ok {
+				continue
+			}
+			events, unsub := c.Subscribe()
+			unsubs = append(unsubs, unsub)
+			wg.Add(1)
+			go func(id string, events <-chan campaign.Event) {
+				defer wg.Done()
+				for ev := range events {
+					select {
+					case merged <- batchEvent{Batch: id, Event: ev}:
+					case <-r.Context().Done():
+						return
+					}
+				}
+			}(id, events)
+		}
+		go func() { wg.Wait(); close(merged) }()
+		defer func() {
+			for _, unsub := range unsubs {
+				unsub()
+			}
+		}()
+
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case ev, ok := <-merged:
 				if !ok {
 					return
 				}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+)
+
+// TestServeMetricsEndpoint pins the /metrics surface: Prometheus text
+// content type and the registry's sim counters present once a campaign has
+// simulated something (the registry is process-wide, so the counters only
+// ever grow — the assertion is presence, not value).
+func TestServeMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+
+	body := `{"benchmarks":["spin"],"seeds":[3]}`
+	resp, err := http.Post(srv.URL+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st campaign.Status
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	waitDone(t, srv.URL, &st)
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %s", mresp.Status)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE astro_sim_runs_total counter",
+		"astro_sim_instructions_total",
+		"astro_pool_cells_total{result=\"executed\"}",
+		"# TYPE astro_store_get_seconds histogram",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q; got:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeScenarioEvents pins the merged scenario SSE stream: the per-batch
+// campaign streams fan into one connection, every event is tagged with its
+// batch campaign ID, and the stream ends after every batch has published its
+// terminal state event.
+func TestServeScenarioEvents(t *testing.T) {
+	srv := newTestServer(t)
+
+	body := `{
+		"name": "sse-scn",
+		"program_count": 2,
+		"program_seed": 901,
+		"schedulers": ["default"],
+		"seeds": [1, 2],
+		"batch": 1
+	}`
+	resp, err := http.Post(srv.URL+"/scenarios", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run scenarioRun
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || len(run.Campaigns) != 2 {
+		t.Fatalf("POST /scenarios: code %d, %+v", resp.StatusCode, run)
+	}
+
+	// Subscribing replays each batch's full event log, so the stream is
+	// complete even when the tiny batches finish before the GET lands.
+	sse, err := http.Get(srv.URL + "/scenarios/" + run.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	if ct := sse.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	type batchEvent struct {
+		Batch string `json:"batch"`
+		campaign.Event
+	}
+	progressByBatch := map[string]int{}
+	terminalByBatch := map[string]int{}
+	scanner := bufio.NewScanner(sse.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev batchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Batch == "" {
+			t.Fatalf("event missing batch tag: %q", line)
+		}
+		switch ev.Type {
+		case "progress":
+			progressByBatch[ev.Batch]++
+		case "state":
+			terminalByBatch[ev.Batch]++
+			if ev.State != campaign.StateDone {
+				t.Fatalf("batch %s ended %s (%s)", ev.Batch, ev.State, ev.Error)
+			}
+		}
+	}
+	// 2 batches x (1 program x 1 platform x 1 scheduler x 2 seeds) cells.
+	for _, id := range run.Campaigns {
+		if progressByBatch[id] != 2 || terminalByBatch[id] != 1 {
+			t.Fatalf("batch %s: %d progress / %d state events (all: %v / %v)",
+				id, progressByBatch[id], terminalByBatch[id], progressByBatch, terminalByBatch)
+		}
+	}
+}
+
+// waitDone polls a campaign's status until it leaves StateRunning.
+func waitDone(t *testing.T, base string, st *campaign.Status) {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		if getJSON(t, base+"/campaigns/"+st.ID, st); st.State != campaign.StateRunning {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never finished: %+v", st.ID, st)
+}

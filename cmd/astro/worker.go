@@ -60,6 +60,12 @@ func cmdWorker(args []string) error {
 		Store:       store,
 	}
 	if !*quiet {
+		// Lease troubles (coordinator unreachable, 5xx) are surfaced with
+		// the attempt count and backoff so an operator can tell a dead
+		// coordinator from an idle queue; -q silences them like progress.
+		w.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 		w.OnProgress = func(p campaign.Progress) {
 			mark := " "
 			if p.CacheHit {

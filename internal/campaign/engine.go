@@ -136,8 +136,32 @@ func (e *Engine) Submit(spec Spec) (*Campaign, error) {
 	e.campaigns[c.ID] = c
 	e.mu.Unlock()
 
+	// Telemetry annotation only: runners that wire cells out stamp the
+	// campaign ID on the envelope so the coordinator's traces group by
+	// campaign. Inert by construction — nothing execution- or key-related
+	// reads it back.
+	ctx = WithCampaignID(ctx, c.ID)
+
 	go e.run(ctx, c, jobs)
 	return c, nil
+}
+
+// campaignIDKey carries the submitting campaign's ID through a runner
+// context; see WithCampaignID.
+type campaignIDKey struct{}
+
+// WithCampaignID annotates ctx with the campaign ID that owns the work.
+func WithCampaignID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, campaignIDKey{}, id)
+}
+
+// CampaignIDFromContext returns the campaign ID annotation, if any.
+func CampaignIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(campaignIDKey{}).(string)
+	return id
 }
 
 func (e *Engine) run(ctx context.Context, c *Campaign, jobs []*Job) {

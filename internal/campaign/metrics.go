@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"fmt"
+
+	"astro/internal/telemetry"
+)
+
+// Telemetry instruments for the campaign layer, registered on the shared
+// Default registry. Everything here is observational: no instrument is
+// ever read back by campaign logic, and none of these values can reach
+// cache keys, result bytes, or fingerprints (DESIGN.md invariant 8).
+var (
+	// Result store tiers.
+	cStoreHits   = telemetry.Default.Counter("astro_store_hits_total", "Result-store lookups served from memory or disk.")
+	cStoreMisses = telemetry.Default.Counter("astro_store_misses_total", "Result-store lookups that found nothing.")
+	cStorePuts   = telemetry.Default.Counter("astro_store_puts_total", "Results written to the store.")
+	hStoreGet    = telemetry.Default.Histogram("astro_store_get_seconds", "Store.Get latency (both tiers).", nil)
+	hStorePut    = telemetry.Default.Histogram("astro_store_put_seconds", "Store.Put latency (memory + crash-safe disk write).", nil)
+
+	// In-process pool economics.
+	cPoolHit  = telemetry.Default.Counter(`astro_pool_cells_total{result="hit"}`, "Pool cells by outcome.")
+	cPoolExec = telemetry.Default.Counter(`astro_pool_cells_total{result="executed"}`, "Pool cells by outcome.")
+	cPoolErr  = telemetry.Default.Counter(`astro_pool_cells_total{result="error"}`, "Pool cells by outcome.")
+	hPoolExec = telemetry.Default.Histogram("astro_pool_execute_seconds", "Fresh simulation latency in Pool.runOne (cache misses only).", nil)
+
+	// Trained-agent cache.
+	cTrainHit   = telemetry.Default.Counter(`astro_train_cells_total{result="hit"}`, "Training cells by outcome.")
+	cTrainFresh = telemetry.Default.Counter(`astro_train_cells_total{result="trained"}`, "Training cells by outcome.")
+	cTrainErr   = telemetry.Default.Counter(`astro_train_cells_total{result="error"}`, "Training cells by outcome.")
+	hTrain      = telemetry.Default.Histogram("astro_train_seconds", "Fresh training-cell latency (cache misses only).", nil)
+
+	// Work queue (coordinator side).
+	cQEnqueued   = telemetry.Default.Counter("astro_queue_enqueued_total", "Cells accepted by WorkQueue.Enqueue.")
+	cQLeased     = telemetry.Default.Counter("astro_queue_leases_total", "Cell leases granted (including re-issues).")
+	cQDoneSim    = telemetry.Default.Counter(`astro_queue_completed_total{kind="sim"}`, "Cells completed by kind.")
+	cQDoneTrain  = telemetry.Default.Counter(`astro_queue_completed_total{kind="train"}`, "Cells completed by kind.")
+	cQRequeues   = telemetry.Default.Counter("astro_queue_requeues_total", "Lease expiries that re-issued a cell.")
+	cQRenewals   = telemetry.Default.Counter("astro_queue_renewals_total", "Lease renewals granted.")
+	cQRejects    = telemetry.Default.Counter("astro_queue_rejects_total", "Submitted results rejected by validation.")
+	cQDuplicates = telemetry.Default.Counter("astro_queue_duplicates_total", "Duplicate submissions for already-done cells.")
+	hQLeaseWait  = telemetry.Default.Histogram("astro_queue_lease_wait_seconds", "Enqueue-to-first-lease wait per cell.", nil)
+	hQExecSim    = telemetry.Default.Histogram(`astro_queue_execute_seconds{kind="sim"}`, "Worker-reported execute span per completed cell, by kind.", nil)
+	hQExecTrain  = telemetry.Default.Histogram(`astro_queue_execute_seconds{kind="train"}`, "Worker-reported execute span per completed cell, by kind.", nil)
+	gQPending    = telemetry.Default.Gauge("astro_queue_pending", "Cells currently waiting for a lease.")
+	gQLeased     = telemetry.Default.Gauge("astro_queue_leased", "Cells currently leased out.")
+	gQWorkers    = telemetry.Default.Gauge("astro_queue_workers", "Workers that have ever contacted this queue.")
+
+	// Worker side (meaningful in `astro worker` processes; also registered
+	// on coordinators so the exposition schema is stable everywhere).
+	cWLeaseErrs = telemetry.Default.Counter("astro_worker_lease_errors_total", "Coordinator-unreachable or HTTP-error lease attempts on this worker.")
+	cWCells     = telemetry.Default.Counter("astro_worker_cells_total", "Cells executed by this worker process.")
+)
+
+// shardGauge returns the occupancy gauge for shard i of a sharded store.
+// One labeled gauge per shard index; stores sharing a shard count share
+// gauges, which is fine — occupancy is a live reading, not an accumulator.
+func shardGauge(i int) *telemetry.Gauge {
+	return telemetry.Default.Gauge(
+		fmt.Sprintf(`astro_store_shard_keys{shard="%02x"}`, i),
+		"Distinct keys resident per shard (memory + disk index).")
+}

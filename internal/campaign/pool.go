@@ -152,6 +152,7 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 				o.Result, o.Bytes, o.CacheHit = res, data, true
 				o.SimInstr, o.SimCycles = resultWork(res)
 				o.WallS = time.Since(start).Seconds()
+				cPoolHit.Inc()
 				return o
 			}
 			// A corrupt entry falls through to a fresh simulation that will
@@ -170,6 +171,7 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 		mu.Lock()
 		defer mu.Unlock()
 	}
+	execStart := time.Now()
 	for attempt := 0; ; attempt++ {
 		o.Attempts = attempt + 1
 		res, err := j.Execute()
@@ -180,10 +182,13 @@ func (p *Pool) runOne(j *Job, worker int, excl *sync.Map) *Outcome {
 		o.Err = err
 		if attempt >= p.Retries {
 			o.WallS = time.Since(start).Seconds()
+			cPoolErr.Inc()
 			return o
 		}
 	}
 	o.Err = nil
+	cPoolExec.Inc()
+	hPoolExec.Observe(time.Since(execStart).Seconds())
 	o.SimInstr, o.SimCycles = resultWork(o.Result)
 
 	data, err := sim.EncodeResult(o.Result)

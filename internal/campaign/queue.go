@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"astro/internal/sim"
+	"astro/internal/telemetry"
 )
 
 // WorkQueue is the coordinator side of the pull-based worker protocol: a
@@ -65,6 +66,12 @@ type WorkQueue struct {
 	// serving; it must be the same store the runners consult.
 	Store ResultStore
 
+	// Traces, when non-nil, receives one assembled per-cell trace on every
+	// accepted completion: the worker's spans from the result envelope plus
+	// the coordinator's own lease_wait span. NewWorkQueue installs a
+	// bounded default store; GET /work/traces serves it.
+	Traces *telemetry.TraceStore
+
 	mu sync.Mutex
 
 	ttl         time.Duration
@@ -114,6 +121,12 @@ type workCell struct {
 	expires  time.Time
 	attempts int
 	waiters  map[int]func(data []byte, err error)
+
+	// Telemetry timestamps (never consulted by the lease machinery):
+	// enqueuedAt→first lease is the lease_wait span; leasedAt anchors the
+	// in-flight elapsed column of /work/fleet.
+	enqueuedAt time.Time
+	leasedAt   time.Time
 }
 
 // CompleteStatus is the coordinator's verdict on a result submission.
@@ -131,10 +144,16 @@ const (
 // sweep.
 type WorkerStatus struct {
 	ID        string    `json:"id"`
+	FirstSeen time.Time `json:"first_seen"`
 	LastSeen  time.Time `json:"last_seen"`
 	Leased    int       `json:"leased"` // cells currently leased to this worker
 	Completed int       `json:"completed"`
 	Errors    int       `json:"errors"`
+	// LeaseErrors is the worker's own cumulative count of failed lease
+	// attempts (coordinator unreachable, HTTP 5xx), self-reported in each
+	// lease request — the coordinator cannot observe connections that never
+	// reached it.
+	LeaseErrors uint64 `json:"lease_errors,omitempty"`
 }
 
 // QueueStats is the aggregate queue snapshot. The Local* counters cover
@@ -178,6 +197,7 @@ func NewWorkQueue(ttl time.Duration) *WorkQueue {
 		leased:      map[string]*workCell{},
 		doneKeys:    map[string]bool{},
 		workers:     map[string]*WorkerStatus{},
+		Traces:      telemetry.NewTraceStore(0),
 	}
 }
 
@@ -196,13 +216,15 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 	q.mu.Lock()
 	c, ok := q.cells[wire.Key]
 	if !ok {
-		c = &workCell{wire: wire, waiters: map[int]func([]byte, error){}}
+		c = &workCell{wire: wire, waiters: map[int]func([]byte, error){}, enqueuedAt: q.now()}
 		q.cells[wire.Key] = c
 		q.order = append(q.order, wire.Key)
+		cQEnqueued.Inc()
 	}
 	id := q.nextWaiter
 	q.nextWaiter++
 	c.waiters[id] = done
+	q.noteGaugesLocked()
 	q.mu.Unlock()
 
 	key := wire.Key
@@ -250,14 +272,20 @@ func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
 			c.worker = workerID
 			c.expires = now.Add(q.ttl)
 			c.attempts++
+			c.leasedAt = now
 			q.leased[key] = c
 			w.Leased++
 			out = append(out, c.wire)
+			cQLeased.Inc()
+			if c.attempts == 1 {
+				hQLeaseWait.Observe(now.Sub(c.enqueuedAt).Seconds())
+			}
 			continue
 		}
 		keep = append(keep, key)
 	}
 	q.order = keep
+	q.noteGaugesLocked()
 	q.mu.Unlock()
 	expired()
 	return out
@@ -275,6 +303,15 @@ func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
 // the lease: a stale error from an expired worker must not re-queue or
 // fail a cell that a healthy worker is currently executing.
 func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string) CompleteStatus {
+	return q.CompleteSpans(workerID, key, data, workerErr, nil)
+}
+
+// CompleteSpans is Complete with the worker's per-cell spans from the
+// result envelope. On an accepted success the coordinator assembles the
+// cross-machine trace: the worker's spans plus its own lease_wait span
+// (enqueue → first lease), keyed by cell content key and annotated with
+// the campaign that enqueued it.
+func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr string, spans []telemetry.Span) CompleteStatus {
 	q.mu.Lock()
 	now := q.now()
 	expired := q.sweepLocked(now)
@@ -285,6 +322,7 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 		var st CompleteStatus = CompleteUnknown
 		if q.doneKeys[key] {
 			q.duplicates++
+			cQDuplicates.Inc()
 			st = CompleteDuplicate
 		}
 		q.mu.Unlock()
@@ -317,6 +355,7 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 			return CompleteUnknown
 		}
 		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s: %s", workerID, workerErr))
+		q.noteGaugesLocked()
 		q.mu.Unlock()
 		expired()
 		st()
@@ -330,6 +369,7 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 	// sim.DecodeResult tolerates.
 	if err := validateWireResult(c.wire.Kind, data); err != nil {
 		q.rejects++
+		cQRejects.Inc()
 		w.Errors++
 		if !holds {
 			// Stale garbage: reject without disturbing the current holder.
@@ -338,6 +378,7 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 			return CompleteRejected
 		}
 		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s sent malformed result for %s: %w", workerID, key, err))
+		q.noteGaugesLocked()
 		q.mu.Unlock()
 		expired()
 		st()
@@ -353,9 +394,19 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 		}
 	}
 	w.Completed++
+	if c.wire.Kind == KindTrain {
+		cQDoneTrain.Inc()
+	} else {
+		cQDoneSim.Inc()
+	}
+	trace := q.assembleTraceLocked(c, key, workerID, now, spans)
 	waiters := q.finishLocked(c, key, data, nil)
+	q.noteGaugesLocked()
 	q.mu.Unlock()
 	expired()
+	if q.Traces != nil {
+		q.Traces.Add(trace)
+	}
 	// Keep the validated bytes even when every waiter was cancelled (a
 	// cancelled campaign's in-flight cell): the simulation is done; a
 	// future campaign wanting this key should hit the store, not
@@ -406,9 +457,140 @@ func (q *WorkQueue) Renew(workerID string, keys []string) []string {
 		renewed = append(renewed, key)
 	}
 	q.renewals += uint64(len(renewed))
+	cQRenewals.Add(uint64(len(renewed)))
+	q.noteGaugesLocked()
 	q.mu.Unlock()
 	expired()
 	return renewed
+}
+
+// assembleTraceLocked builds the completed cell's cross-machine trace.
+func (q *WorkQueue) assembleTraceLocked(c *workCell, key, workerID string, now time.Time, spans []telemetry.Span) telemetry.Trace {
+	all := make([]telemetry.Span, 0, len(spans)+1)
+	if !c.enqueuedAt.IsZero() && !c.leasedAt.IsZero() {
+		all = append(all, telemetry.Span{
+			Name:  "lease_wait",
+			Host:  "coordinator",
+			Start: c.enqueuedAt,
+			DurS:  c.leasedAt.Sub(c.enqueuedAt).Seconds(),
+		})
+	}
+	all = append(all, spans...)
+	for _, s := range spans {
+		if s.Name == "execute" {
+			if c.wire.Kind == KindTrain {
+				hQExecTrain.Observe(s.DurS)
+			} else {
+				hQExecSim.Observe(s.DurS)
+			}
+		}
+	}
+	kind := c.wire.Kind
+	if kind == "" {
+		kind = "sim"
+	}
+	return telemetry.Trace{
+		Key:      key,
+		Campaign: c.wire.Campaign,
+		Kind:     kind,
+		Worker:   workerID,
+		Done:     now,
+		Spans:    all,
+	}
+}
+
+// noteGaugesLocked publishes the queue's live population gauges.
+func (q *WorkQueue) noteGaugesLocked() {
+	gQPending.Set(float64(len(q.cells) - len(q.leased)))
+	gQLeased.Set(float64(len(q.leased)))
+	gQWorkers.Set(float64(len(q.workers)))
+}
+
+// NoteWorkerLeaseErrors records a worker's self-reported cumulative count
+// of failed lease attempts (sent in each lease request). It never
+// registers a new worker: a report can only accompany a lease, which
+// registers first.
+func (q *WorkQueue) NoteWorkerLeaseErrors(workerID string, n uint64) {
+	if n == 0 {
+		return
+	}
+	q.mu.Lock()
+	if w, ok := q.workers[workerID]; ok && n > w.LeaseErrors {
+		w.LeaseErrors = n
+	}
+	q.mu.Unlock()
+}
+
+// FleetWorker is one row of /work/fleet: WorkerStatus plus derived
+// liveness and throughput columns, and the worker's oldest in-flight
+// cell with its elapsed lease time.
+type FleetWorker struct {
+	WorkerStatus
+	AgeS          float64 `json:"age_s"`               // since first contact
+	IdleS         float64 `json:"idle_s"`              // since last contact
+	CellsPerSec   float64 `json:"cells_per_sec"`       // completed / age
+	InFlight      string  `json:"in_flight,omitempty"` // oldest leased cell key
+	InFlightKind  string  `json:"in_flight_kind,omitempty"`
+	InFlightLabel string  `json:"in_flight_label,omitempty"`
+	InFlightS     float64 `json:"in_flight_s,omitempty"` // elapsed on that cell
+}
+
+// FleetStatus is the /work/fleet payload.
+type FleetStatus struct {
+	Now     time.Time     `json:"now"`
+	Workers []FleetWorker `json:"workers"`
+}
+
+// Fleet snapshots the per-worker registry with derived columns. Expired
+// leases are swept first so the in-flight columns never show a lease the
+// next request would revoke.
+func (q *WorkQueue) Fleet() FleetStatus {
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+
+	// Oldest in-flight cell per worker.
+	type inflight struct {
+		key, kind, label string
+		since            time.Time
+	}
+	byWorker := map[string]inflight{}
+	for key, c := range q.leased {
+		cur, ok := byWorker[c.worker]
+		if !ok || c.leasedAt.Before(cur.since) {
+			kind := c.wire.Kind
+			if kind == "" {
+				kind = "sim"
+			}
+			byWorker[c.worker] = inflight{key: key, kind: kind, label: c.wire.Label, since: c.leasedAt}
+		}
+	}
+
+	out := FleetStatus{Now: now}
+	ids := make([]string, 0, len(q.workers))
+	for id := range q.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		w := q.workers[id]
+		fw := FleetWorker{WorkerStatus: *w}
+		fw.AgeS = now.Sub(w.FirstSeen).Seconds()
+		fw.IdleS = now.Sub(w.LastSeen).Seconds()
+		if fw.AgeS > 0 {
+			fw.CellsPerSec = float64(w.Completed) / fw.AgeS
+		}
+		if inf, ok := byWorker[id]; ok {
+			fw.InFlight = inf.key
+			fw.InFlightKind = inf.kind
+			fw.InFlightLabel = inf.label
+			fw.InFlightS = now.Sub(inf.since).Seconds()
+		}
+		out.Workers = append(out.Workers, fw)
+	}
+	q.mu.Unlock()
+	expired()
+	return out
 }
 
 // noteLocalStart / noteLocalDone / noteLocalAbandoned account for cells the
@@ -469,6 +651,7 @@ func (q *WorkQueue) sweepLocked(now time.Time) func() {
 		c.worker = ""
 		delete(q.leased, key)
 		q.requeues++
+		cQRequeues.Inc()
 		front = append(front, key)
 	}
 	if len(front) > 0 {
@@ -493,6 +676,7 @@ func (q *WorkQueue) retryOrFailLocked(c *workCell, key string, err error) func()
 	c.worker = ""
 	delete(q.leased, key)
 	q.requeues++
+	cQRequeues.Inc()
 	q.order = append([]string{key}, q.order...)
 	return func() {}
 }
@@ -529,7 +713,7 @@ func (q *WorkQueue) finishLocked(c *workCell, key string, data []byte, err error
 func (q *WorkQueue) workerLocked(id string, now time.Time) *WorkerStatus {
 	w, ok := q.workers[id]
 	if !ok {
-		w = &WorkerStatus{ID: id}
+		w = &WorkerStatus{ID: id, FirstSeen: now}
 		q.workers[id] = w
 	}
 	w.LastSeen = now

@@ -115,6 +115,7 @@ func (r *RemoteRunner) Run(ctx context.Context, jobs []*Job, onProgress func(Pro
 			localIdx = append(localIdx, i)
 			continue
 		}
+		wire.Campaign = CampaignIDFromContext(ctx) // trace annotation; inert
 		wg.Add(1)
 		start := time.Now()
 		cancel := r.Queue.Enqueue(wire, func(data []byte, qerr error) {
@@ -236,6 +237,7 @@ func (r *RemoteRunner) Train(ctx context.Context, specs []*TrainSpec) ([]*Traine
 			errs[i] = err
 			continue
 		}
+		wire.Campaign = CampaignIDFromContext(ctx) // trace annotation; inert
 		wg.Add(1)
 		cancel := r.Queue.Enqueue(wire, func(data []byte, qerr error) {
 			defer wg.Done()

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+
+	"astro/internal/telemetry"
 )
 
 // ShardedStore partitions a content-addressed result store into
@@ -52,6 +54,14 @@ type shardStore struct {
 	mu      sync.Mutex // guards idxPath appends and known
 	idxPath string
 	known   map[string]bool // keys recorded on disk (loaded from keys.idx)
+
+	occupancy *telemetry.Gauge // distinct keys in this shard (telemetry only)
+}
+
+// noteOccupancy publishes the shard's current distinct-key count. Callers
+// must not hold sh.mu or the shard's store lock (keysOf takes both).
+func (s *ShardedStore) noteOccupancy(sh *shardStore) {
+	sh.occupancy.Set(float64(len(s.keysOf(sh))))
 }
 
 type shardManifest struct {
@@ -115,12 +125,13 @@ func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
 		if err != nil {
 			return nil, err
 		}
-		sh := &shardStore{store: st, known: map[string]bool{}}
+		sh := &shardStore{store: st, known: map[string]bool{}, occupancy: shardGauge(i)}
 		if sub != "" {
 			sh.idxPath = filepath.Join(sub, "keys.idx")
 			sh.loadIndex()
 		}
 		s.shards[i] = sh
+		s.noteOccupancy(sh)
 	}
 	return s, nil
 }
@@ -187,6 +198,7 @@ func (s *ShardedStore) Put(key string, data []byte) error {
 	if err := sh.store.Put(key, data); err != nil {
 		return err
 	}
+	defer s.noteOccupancy(sh)
 	if sh.idxPath == "" {
 		return nil
 	}

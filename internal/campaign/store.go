@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // Store is the content-addressed result store: canonical result bytes keyed
@@ -52,6 +53,8 @@ func (s *Store) path(key string) string {
 
 // Get returns the stored canonical result bytes for key, if present.
 func (s *Store) Get(key string) ([]byte, bool) {
+	start := time.Now()
+	defer func() { hStoreGet.Observe(time.Since(start).Seconds()) }()
 	s.mu.RLock()
 	data, ok := s.mem[key]
 	s.mu.RUnlock()
@@ -59,6 +62,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.mu.Lock()
 		s.hits++
 		s.mu.Unlock()
+		cStoreHits.Inc()
 		return data, true
 	}
 	if s.dir != "" && len(key) > 2 {
@@ -67,12 +71,14 @@ func (s *Store) Get(key string) ([]byte, bool) {
 			s.mem[key] = data
 			s.hits++
 			s.mu.Unlock()
+			cStoreHits.Inc()
 			return data, true
 		}
 	}
 	s.mu.Lock()
 	s.misses++
 	s.mu.Unlock()
+	cStoreMisses.Inc()
 	return nil, false
 }
 
@@ -86,6 +92,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // would then poison warm-cache determinism, which trusts stored bytes as
 // canonical.)
 func (s *Store) Put(key string, data []byte) error {
+	start := time.Now()
+	defer func() { hStorePut.Observe(time.Since(start).Seconds()) }()
+	cStorePuts.Inc()
 	s.mu.Lock()
 	s.mem[key] = data
 	s.puts++

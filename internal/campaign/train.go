@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"astro/internal/hw"
 	"astro/internal/ir"
@@ -147,6 +148,7 @@ func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 		if data, ok := store.Get(key); ok {
 			if tr, err := restoreTrained(data); err == nil {
 				tr.CacheHit = true
+				cTrainHit.Inc()
 				return tr, nil
 			}
 			// A corrupt snapshot falls through to fresh training, which
@@ -162,6 +164,7 @@ func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 	if opts.OS, err = buildOS(ts.OS); err != nil {
 		return nil, err
 	}
+	trainStart := time.Now()
 	tr, err := sched.TrainAstro(ts.Module, plat, ts.Agent, ts.DQN, ts.Hipster, ts.Gamma, sched.TrainOptions{
 		Episodes: ts.Episodes,
 		Seed:     ts.Seed,
@@ -169,8 +172,11 @@ func TrainCell(store ResultStore, ts *TrainSpec) (*Trained, error) {
 		SimOpts:  opts,
 	})
 	if err != nil {
+		cTrainErr.Inc()
 		return nil, fmt.Errorf("campaign: train %q: %w", ts.Label, err)
 	}
+	cTrainFresh.Inc()
+	hTrain.Observe(time.Since(trainStart).Seconds())
 	out := &Trained{Agent: tr.Agent, Visits: tr.Visits, Stats: tr.Stats}
 	if store != nil {
 		if data, err := snapshotBytes(out); err == nil && data != nil {

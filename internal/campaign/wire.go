@@ -71,6 +71,12 @@ type WireJob struct {
 	// Key is the cell's content address as computed by the coordinator:
 	// Job.Key for simulation cells, TrainSpec.Key for training cells.
 	Key string `json:"key"`
+
+	// Campaign is the engine campaign that enqueued this cell — telemetry
+	// annotation only. It is provably inert: Job()/TrainSpec() never read
+	// it, so it cannot reach the recomputed key, the execution, or the
+	// result bytes (TestWireCampaignFieldInert pins this).
+	Campaign string `json:"campaign,omitempty"`
 }
 
 // WireTrain is the training-cell half of a WireJob: the agent recipe that,

@@ -8,9 +8,11 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"astro/internal/sim"
+	"astro/internal/telemetry"
 )
 
 // Worker is the pull side of the distributed campaign protocol: it leases
@@ -52,8 +54,25 @@ type Worker struct {
 	Agents      ResultStore    // trained-agent tier; nil = an AgentExchange against the coordinator over Store
 	OnProgress  func(Progress) // optional per-cell hook (logging)
 
+	// Logf, when non-nil, receives operational log lines — lease failures
+	// with their retry counts and backoff, most importantly, so an
+	// unreachable coordinator is visible instead of a silent spin.
+	Logf func(format string, args ...any)
+
 	agentsOnce sync.Once
 	agents     ResultStore
+
+	leaseErrs atomic.Uint64 // cumulative failed lease attempts (also self-reported to the coordinator)
+}
+
+// LeaseErrors returns the worker's cumulative count of failed lease
+// attempts (coordinator unreachable or non-200 responses).
+func (w *Worker) LeaseErrors() uint64 { return w.leaseErrs.Load() }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
 }
 
 func (w *Worker) client() *http.Client {
@@ -107,9 +126,14 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		cells, retryAfter, ttl, err := w.lease(ctx)
 		if err != nil {
-			// Coordinator unreachable: exponential-ish backoff, capped.
+			// Coordinator unreachable or erroring: count it, say so, and
+			// retry with capped exponential backoff.
+			n := w.leaseErrs.Add(1)
+			cWLeaseErrs.Inc()
 			idle++
-			if !sleep(ctx, backoff(poll, idle)) {
+			wait := backoff(poll, idle)
+			w.logf("worker %s: lease failed (attempt %d, total errors %d, retrying in %s): %v", w.ID, idle, n, wait, err)
+			if !sleep(ctx, wait) {
 				return nil
 			}
 			continue
@@ -160,6 +184,7 @@ func (w *Worker) executeBatch(ctx context.Context, cells []*WireJob, ttl time.Du
 			return []string{current}
 		})
 	}
+	received := time.Now()
 	for _, cell := range cells {
 		if ctx.Err() != nil {
 			return
@@ -167,7 +192,7 @@ func (w *Worker) executeBatch(ctx context.Context, cells []*WireJob, ttl time.Du
 		mu.Lock()
 		current = cell.Key
 		mu.Unlock()
-		w.execute(ctx, cell)
+		w.execute(ctx, cell, received)
 		mu.Lock()
 		current = ""
 		mu.Unlock()
@@ -243,7 +268,7 @@ func sleep(ctx context.Context, d time.Duration) bool {
 }
 
 func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, time.Duration, error) {
-	body, _ := json.Marshal(LeaseRequest{WorkerID: w.ID, Max: w.max()})
+	body, _ := json.Marshal(LeaseRequest{WorkerID: w.ID, Max: w.max(), LeaseErrors: w.leaseErrs.Load()})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/lease", bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, 0, err
@@ -265,10 +290,13 @@ func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, time.Dur
 	return lr.Cells, time.Duration(lr.RetryAfterMS) * time.Millisecond, time.Duration(lr.LeaseTTLMS) * time.Millisecond, nil
 }
 
-// execute runs one cell — simulation or training — and submits its result.
+// execute runs one cell — simulation or training — and submits its result
+// together with the cell's worker-side spans ("queued": lease receipt to
+// execution start; "execute": the execution itself), which the
+// coordinator merges with its own lease_wait span into the cell's trace.
 // Failures are reported to the coordinator (so the cell can be re-leased
 // or failed) rather than swallowed.
-func (w *Worker) execute(ctx context.Context, cell *WireJob) {
+func (w *Worker) execute(ctx context.Context, cell *WireJob, received time.Time) {
 	start := time.Now()
 	var (
 		data    []byte
@@ -294,9 +322,14 @@ func (w *Worker) execute(ctx context.Context, cell *WireJob) {
 		}
 	}
 
-	sub := ResultSubmission{WorkerID: w.ID, Key: cell.Key, Data: data}
+	cWCells.Inc()
+	spans := []telemetry.Span{
+		{Name: "queued", Host: w.ID, Start: received, DurS: start.Sub(received).Seconds()},
+		{Name: "execute", Host: w.ID, Start: start, DurS: time.Since(start).Seconds()},
+	}
+	sub := ResultSubmission{WorkerID: w.ID, Key: cell.Key, Data: data, Spans: spans}
 	if execErr != nil {
-		sub = ResultSubmission{WorkerID: w.ID, Key: cell.Key, Error: execErr.Error()}
+		sub = ResultSubmission{WorkerID: w.ID, Key: cell.Key, Error: execErr.Error(), Spans: spans}
 	}
 	status, err := w.submit(ctx, sub)
 	if w.OnProgress != nil {

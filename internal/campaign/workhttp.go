@@ -7,7 +7,10 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"strconv"
 	"time"
+
+	"astro/internal/telemetry"
 )
 
 // Worker protocol, coordinator side. WorkHandler serves the endpoints the
@@ -18,6 +21,9 @@ import (
 //	POST /renew         RenewRequest  -> RenewResponse (heartbeat: extend held leases)
 //	POST /result        ResultSubmission -> ResultResponse (fsync-safe once stored)
 //	GET  /status        QueueStats (pending/leased/done + per-worker counters)
+//	GET  /fleet         FleetStatus (per-worker registry: liveness, throughput, in-flight cell)
+//	GET  /traces        assembled per-cell traces, newest first (?campaign=, ?n=)
+//	GET  /traces/{key}  one cell's trace
 //	GET  /agents/{key}  trained-agent snapshot bytes from the shared store
 //	PUT  /agents/{key}  publish a trained-agent snapshot (validated JSON)
 //
@@ -30,10 +36,14 @@ import (
 // warms every other machine through the coordinator — and workers leasing
 // hybrid-by-agent-key simulation cells fetch the snapshot here too.
 
-// LeaseRequest asks the coordinator for up to Max cells.
+// LeaseRequest asks the coordinator for up to Max cells. LeaseErrors is
+// the worker's cumulative count of failed lease attempts, self-reported
+// so /work/fleet can show connectivity trouble the coordinator never
+// observed directly (the failed connections never reached it).
 type LeaseRequest struct {
-	WorkerID string `json:"worker_id"`
-	Max      int    `json:"max"`
+	WorkerID    string `json:"worker_id"`
+	Max         int    `json:"max"`
+	LeaseErrors uint64 `json:"lease_errors,omitempty"`
 }
 
 // LeaseResponse carries the leased cells. An empty Cells slice means no
@@ -46,12 +56,15 @@ type LeaseResponse struct {
 
 // ResultSubmission pushes one cell's outcome back. Either Data (canonical
 // sim.EncodeResult bytes) or Error (the worker could not execute the cell)
-// is set.
+// is set. Spans carries the worker-side timing of the cell ("queued",
+// "execute") for coordinator-side trace assembly; it is telemetry only
+// and never touches validation, the store, or the result bytes.
 type ResultSubmission struct {
-	WorkerID string `json:"worker_id"`
-	Key      string `json:"key"`
-	Data     []byte `json:"data,omitempty"`
-	Error    string `json:"error,omitempty"`
+	WorkerID string           `json:"worker_id"`
+	Key      string           `json:"key"`
+	Data     []byte           `json:"data,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	Spans    []telemetry.Span `json:"spans,omitempty"`
 }
 
 // ResultResponse is the coordinator's verdict.
@@ -112,6 +125,7 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 			return
 		}
 		cells := q.Lease(req.WorkerID, req.Max)
+		q.NoteWorkerLeaseErrors(req.WorkerID, req.LeaseErrors)
 		writeJSON(w, http.StatusOK, LeaseResponse{
 			Cells:        cells,
 			LeaseTTLMS:   q.ttl.Milliseconds(),
@@ -154,7 +168,7 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 			writeErr(w, http.StatusBadRequest, "malformed key %q", sub.Key)
 			return
 		}
-		st := q.Complete(sub.WorkerID, sub.Key, sub.Data, sub.Error)
+		st := q.CompleteSpans(sub.WorkerID, sub.Key, sub.Data, sub.Error, sub.Spans)
 		code := http.StatusOK
 		if st == CompleteRejected {
 			code = http.StatusUnprocessableEntity
@@ -164,6 +178,46 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, q.Stats())
+	})
+
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, q.Fleet())
+	})
+
+	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {
+		if q.Traces == nil {
+			writeJSON(w, http.StatusOK, []telemetry.Trace{})
+			return
+		}
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		ts := q.Traces.List(r.URL.Query().Get("campaign"), n)
+		if ts == nil {
+			ts = []telemetry.Trace{}
+		}
+		writeJSON(w, http.StatusOK, ts)
+	})
+
+	mux.HandleFunc("GET /traces/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !keyPattern.MatchString(key) {
+			writeErr(w, http.StatusBadRequest, "malformed key %q", key)
+			return
+		}
+		if q.Traces == nil {
+			writeErr(w, http.StatusNotFound, "trace retention disabled")
+			return
+		}
+		t, ok := q.Traces.Get(key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no trace for %s", key)
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
 	})
 
 	mux.HandleFunc("GET /agents/{key}", func(w http.ResponseWriter, r *http.Request) {

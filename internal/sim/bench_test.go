@@ -6,11 +6,12 @@ package sim
 // so they measure the burst path without event-loop or setup noise, and the
 // steady-state loop is asserted allocation-free with testing.AllocsPerRun.
 //
-// Regenerate the committed BENCH_*.json baseline with:
+// Regenerate the committed BENCH_*.json baseline (and gate the pinned
+// Minstr/s throughput metrics against the prior one) with:
 //
 //	(go test -run '^$' -bench 'BenchmarkBurst|BenchmarkCoreStepCalls|BenchmarkFig1Workload' -benchmem -benchtime 0.5s -count 3 ./internal/sim/
 //	 go test -run '^$' -bench 'BenchmarkObserve' -benchmem -benchtime 0.5s -count 3 ./internal/rl/) \
-//	  | go run ./cmd/astro-bench -o BENCH_2.json
+//	  | go run ./cmd/astro-bench -o BENCH_5.json -prev BENCH_4.json -max-regress 15
 
 import (
 	"testing"

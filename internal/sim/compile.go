@@ -414,6 +414,7 @@ func compiledProgram(mod *ir.Module) *program {
 	progCache.mu.Lock()
 	if p, ok := progCache.m[mod]; ok {
 		progCache.mu.Unlock()
+		mCompileHit.Inc()
 		return p
 	}
 	progCache.mu.Unlock()
@@ -435,5 +436,7 @@ func compiledProgram(mod *ir.Module) *program {
 	}
 	progCache.m[mod] = p
 	progCache.order = append(progCache.order, p.mod)
+	mCompiles.Inc()
+	mSuperops.Add(countSuperops(p))
 	return p
 }

@@ -182,6 +182,10 @@ func (m *Machine) finish() *Result {
 	for _, c := range m.cores {
 		instr += c.tInstr
 	}
+	mRuns.Inc()
+	mQuanta.Add(m.quanta)
+	mInstr.Add(instr)
+	mCycles.Add(m.tCycles)
 	return &Result{
 		TimeS:        end,
 		EnergyJ:      m.meter.TotalJ(),

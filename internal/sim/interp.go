@@ -45,6 +45,7 @@ func (m *Machine) coreStep(c *core) {
 		c.runq = c.runq[:len(c.runq)-1]
 		c.cur.state = tsRunning
 	}
+	m.quanta++ // telemetry accumulator only; flushed once at run end
 	t := c.cur
 	start := maxf(m.now, c.availAt)
 	if c.active && start > c.idleFrom {
@@ -131,6 +132,7 @@ func (m *Machine) finishBurst(c *core, t *Thread, start float64, bc *burstCtx) f
 	c.wBusy += dur
 	c.wInstr += bc.instr
 	c.wCycles += uint64(bc.cycles)
+	m.tCycles += uint64(bc.cycles)
 	c.wAcc += bc.acc
 	c.wMiss += bc.miss
 	c.tInstr += bc.instr

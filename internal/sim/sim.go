@@ -170,6 +170,12 @@ type Machine struct {
 	switches   int
 	migrations int
 
+	// Telemetry accumulators: plain (non-atomic) per-run totals, flushed
+	// to the shared registry with one atomic add each in finish(). They
+	// are never read by the simulation itself.
+	quanta  uint64
+	tCycles uint64
+
 	ckIndex     int
 	checkpoints []Checkpoint
 	lastHW      perfmon.HWPhase

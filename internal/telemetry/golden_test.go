@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden exposition file")
+
+// TestPrometheusExpositionGolden pins the exact text exposition of a
+// synthetic registry. Any change to metric rendering — ordering, float
+// formatting, label handling, bucket emission — shows up as a golden
+// diff, so format changes and metric renames are deliberate (CI runs
+// this; regenerate with `go test ./internal/telemetry -run Golden -update`).
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	sim := r.Counter(`astro_test_cells_total{kind="sim"}`, "Cells executed by kind.")
+	train := r.Counter(`astro_test_cells_total{kind="train"}`, "Cells executed by kind.")
+	sim.Add(3)
+	train.Add(1)
+
+	occ := r.Gauge("astro_test_occupancy", "Shard occupancy fraction.")
+	occ.Set(0.25)
+
+	h := r.Histogram("astro_test_latency_seconds", "Stage latency.", []float64{0.5, 1, 2})
+	// Values exactly representable in binary so the sum renders stably.
+	for _, v := range []float64{0.25, 1, 4} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden.\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "other help"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("g", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1, 2})
+	for _, v := range []float64{0.25, 0.5, 1.5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 102.25 {
+		t.Fatalf("sum = %g, want 102.25", h.Sum())
+	}
+	snap := r.Snapshot()["h_seconds"]
+	want := map[string]uint64{"0.5": 2, "1": 2, "2": 3, "+Inf": 4}
+	for b, n := range want {
+		if snap.Buckets[b] != n {
+			t.Errorf("bucket %s = %d, want %d", b, snap.Buckets[b], n)
+		}
+	}
+	if again := r.Histogram("h_seconds", "", nil); again != h {
+		t.Fatalf("re-registration returned a different histogram")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering counter name as gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %g, want 8000", g.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("astro_x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "astro_x_total 1\n") {
+		t.Fatalf("body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+func TestTraceStoreBounded(t *testing.T) {
+	s := NewTraceStore(2)
+	now := time.Unix(0, 0)
+	s.Add(Trace{Key: "a", Campaign: "c1", Done: now})
+	s.Add(Trace{Key: "b", Campaign: "c1", Done: now})
+	s.Add(Trace{Key: "c", Campaign: "c2", Done: now})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatalf("oldest trace not evicted")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatalf("newest trace missing")
+	}
+	// Duplicate completion keeps the first trace.
+	s.Add(Trace{Key: "c", Campaign: "other"})
+	if tr, _ := s.Get("c"); tr.Campaign != "c2" {
+		t.Fatalf("duplicate Add replaced trace: %+v", tr)
+	}
+	if got := s.List("c2", 0); len(got) != 1 || got[0].Key != "c" {
+		t.Fatalf("List(c2) = %+v", got)
+	}
+	if got := s.List("", 1); len(got) != 1 {
+		t.Fatalf("List max=1 returned %d", len(got))
+	}
+}
+
+func TestSortSpans(t *testing.T) {
+	base := time.Unix(100, 0)
+	spans := []Span{
+		{Name: "execute", Start: base.Add(time.Second)},
+		{Name: "queued", Start: base},
+		{Name: "lease_wait", Start: base},
+	}
+	SortSpans(spans)
+	got := []string{spans[0].Name, spans[1].Name, spans[2].Name}
+	want := []string{"lease_wait", "queued", "execute"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}

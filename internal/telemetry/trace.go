@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one named interval in a cell's life, measured on whichever
+// machine owned that stage. Host distinguishes coordinator-side spans
+// ("coordinator") from worker-side ones (the worker ID); wall-clock
+// Start is informational only — cross-machine ordering uses span names,
+// not clocks.
+type Span struct {
+	Name  string    `json:"name"`            // "lease_wait", "queued", "execute", ...
+	Host  string    `json:"host,omitempty"`  // worker ID or "coordinator"
+	Start time.Time `json:"start,omitempty"` // local wall clock of the owning host
+	DurS  float64   `json:"dur_s"`           // measured duration, seconds
+}
+
+// Trace is the assembled per-cell record: every span reported for one
+// content key, annotated with the campaign that scheduled it. Spans from
+// the worker arrive inside the result envelope; the coordinator appends
+// its own queue-side spans on completion.
+type Trace struct {
+	Key      string    `json:"key"`                // cell content key (sha256 hex)
+	Campaign string    `json:"campaign,omitempty"` // engine campaign ID, if any
+	Kind     string    `json:"kind,omitempty"`     // "sim" or "train"
+	Worker   string    `json:"worker,omitempty"`   // worker that completed the cell
+	Done     time.Time `json:"done"`               // coordinator-side completion time
+	Spans    []Span    `json:"spans"`
+}
+
+// TraceStore keeps the most recent traces, bounded FIFO by insertion.
+// One trace per cell key; re-completing a key (duplicate submission)
+// keeps the first trace — the later result was discarded as a duplicate
+// anyway.
+type TraceStore struct {
+	mu     sync.Mutex
+	limit  int
+	order  []string
+	traces map[string]*Trace
+}
+
+// NewTraceStore builds a store retaining at most limit traces
+// (limit <= 0 selects the default of 4096).
+func NewTraceStore(limit int) *TraceStore {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &TraceStore{limit: limit, traces: map[string]*Trace{}}
+}
+
+// Add records a completed cell's trace, evicting the oldest when full.
+func (s *TraceStore) Add(t Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.traces[t.Key]; ok {
+		return
+	}
+	for len(s.order) >= s.limit {
+		old := s.order[0]
+		s.order = s.order[1:]
+		delete(s.traces, old)
+	}
+	cp := t
+	cp.Spans = append([]Span(nil), t.Spans...)
+	s.traces[t.Key] = &cp
+	s.order = append(s.order, t.Key)
+}
+
+// Get returns the trace for a cell key, if retained.
+func (s *TraceStore) Get(key string) (Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.traces[key]
+	if !ok {
+		return Trace{}, false
+	}
+	return *t, true
+}
+
+// List returns retained traces, optionally filtered by campaign,
+// newest-first, at most max (<=0 = all).
+func (s *TraceStore) List(campaign string, max int) []Trace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Trace, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		t := s.traces[s.order[i]]
+		if campaign != "" && t.Campaign != campaign {
+			continue
+		}
+		out = append(out, *t)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// SortSpans orders spans by start time then name, for stable display of
+// an assembled trace.
+func SortSpans(spans []Span) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Name < spans[j].Name
+	})
+}
