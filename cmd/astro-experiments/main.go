@@ -62,6 +62,7 @@ func main() {
 	coordinator := flag.String("coordinator", "", "astro-serve URL: exchange trained-agent snapshots with its store, so fig10-style training done on any machine warms this one (and vice versa)")
 	remoteAddr := flag.String("remote", "", "listen address: become the coordinator of an `astro worker` fleet and lease every cell (simulations and training) to it")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "with -remote: how long a worker holds a cell between renewals")
+	token := flag.String("token", "", "with -remote: bearer token required on the /work endpoints (empty = open)")
 	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
 	pprofOn := flag.Bool("pprof", false, "with -remote: mount net/http/pprof endpoints under /debug/pprof/ on the coordinator")
 	flag.Parse()
@@ -91,11 +92,12 @@ func main() {
 	}
 	cfg := experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx}
 	if *remoteAddr != "" {
-		runner, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec, *pprofOn)
+		runner, stop, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec, *pprofOn, *token)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astro-experiments:", err)
 			os.Exit(1)
 		}
+		defer stop()
 		cfg.Runner = runner
 	}
 	experiments.Configure(cfg)
@@ -116,12 +118,15 @@ func main() {
 // (Prometheus text over the process-wide telemetry registry) so a long
 // paper run is observable: curl /work/fleet for per-worker rates and
 // in-flight cells, /metrics for queue depth, lease-wait and execute
-// latency histograms. pprofOn additionally mounts /debug/pprof/.
-func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore, pprofOn bool) (*campaign.RemoteRunner, error) {
+// latency histograms. pprofOn additionally mounts /debug/pprof/; token,
+// when non-empty, guards every /work endpoint behind bearer auth (point
+// workers here with `astro worker -token`). The returned stop halts the
+// queue's background lease sweeper.
+func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore, pprofOn bool, token string) (*campaign.RemoteRunner, func(), error) {
 	q := campaign.NewWorkQueue(ttl)
 	q.Store = store // bank late results of timed-out figures
 	mux := http.NewServeMux()
-	mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(q, store)))
+	mux.Handle("/work/", http.StripPrefix("/work", campaign.WithBearerAuth(token, campaign.WorkHandler(q, store))))
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -132,8 +137,9 @@ func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store cam
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("-remote %s: %w", addr, err)
+		return nil, nil, fmt.Errorf("-remote %s: %w", addr, err)
 	}
+	stop := q.StartSweeper(0) // requeue expired leases even when no worker is polling
 	go http.Serve(ln, mux)
 	fmt.Fprintf(os.Stderr, "astro-experiments: coordinating workers on %s (lease TTL %v); point `astro worker -coordinator http://<host>%s` here\n",
 		ln.Addr(), ttl, addr)
@@ -141,7 +147,7 @@ func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store cam
 		Queue: q,
 		Store: store,
 		Local: campaign.Pool{Workers: poolWorkers, Store: store},
-	}, nil
+	}, stop, nil
 }
 
 // run executes the requested artifacts, continuing past failures, and

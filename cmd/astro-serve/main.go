@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d]
+//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d] [-token t]
 //
 // Quick tour (see README.md for a full example):
 //
@@ -28,11 +28,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"astro/internal/campaign"
 )
@@ -44,6 +48,7 @@ func main() {
 	shards := flag.Int("shards", 0, "shard the result store by key prefix (0 = single directory; use with concurrent workers)")
 	remote := flag.Bool("remote", false, "execute campaigns on pull-based workers (`astro worker`) instead of in-process")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "how long a worker holds a cell before it re-leases")
+	token := flag.String("token", "", "bearer token required on all /work endpoints (empty = open, trusted-network)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 
@@ -73,11 +78,33 @@ func main() {
 		mode = "remote workers"
 	}
 	eng := campaign.NewEngineWith(runner, store)
+
+	// Background sweep so expired leases requeue promptly even while no
+	// worker is polling; stopped on shutdown with the server.
+	stopSweep := queue.StartSweeper(0)
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(eng, queue, *pprofOn, *token)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "astro-serve: listening on %s (%s, %d pool workers, cache %s)\n",
 		*addr, mode, *jobs, cacheOrMem(*cacheDir))
-	if err := http.ListenAndServe(*addr, newServer(eng, queue, *pprofOn)); err != nil {
-		fmt.Fprintln(os.Stderr, "astro-serve:", err)
-		os.Exit(1)
+	select {
+	case err := <-errc:
+		stopSweep()
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "astro-serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		// Graceful shutdown: stop the sweeper, let in-flight requests
+		// (SSE streams aside) finish, then exit.
+		fmt.Fprintln(os.Stderr, "astro-serve: shutting down")
+		stopSweep()
+		shCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
+		defer done()
+		srv.Shutdown(shCtx)
 	}
 }
 

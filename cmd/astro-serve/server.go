@@ -48,11 +48,17 @@ import (
 //
 // When pprofOn is true the net/http/pprof profiling endpoints are mounted
 // under /debug/pprof/ (opt-in: profiles expose internals and cost CPU).
-func newServer(eng *campaign.Engine, queue *campaign.WorkQueue, pprofOn bool) http.Handler {
+//
+// workToken, when non-empty, guards every /work endpoint behind bearer
+// auth (campaign.WithBearerAuth): workers must send
+// "Authorization: Bearer <token>". The campaign/scenario API stays open —
+// it is the /work surface that accepts result bytes into the store.
+func newServer(eng *campaign.Engine, queue *campaign.WorkQueue, pprofOn bool, workToken string) http.Handler {
 	mux := http.NewServeMux()
 	scenarios := newScenarioStore()
 	if queue != nil {
-		mux.Handle("/work/", http.StripPrefix("/work", campaign.WorkHandler(queue, eng.Store())))
+		mux.Handle("/work/", http.StripPrefix("/work",
+			campaign.WithBearerAuth(workToken, campaign.WorkHandler(queue, eng.Store()))))
 	}
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
 	if pprofOn {

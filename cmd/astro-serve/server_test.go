@@ -16,7 +16,7 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(campaign.NewEngine(4, nil), campaign.NewWorkQueue(0), false))
+	srv := httptest.NewServer(newServer(campaign.NewEngine(4, nil), campaign.NewWorkQueue(0), false, ""))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -196,7 +196,7 @@ func TestServeRemoteCampaign(t *testing.T) {
 		Local: campaign.Pool{Workers: 2, Store: store},
 	}
 	eng := campaign.NewEngineWith(runner, store)
-	srv := httptest.NewServer(newServer(eng, queue, false))
+	srv := httptest.NewServer(newServer(eng, queue, false, ""))
 	t.Cleanup(srv.Close)
 
 	ctx, cancel := context.WithCancel(context.Background())

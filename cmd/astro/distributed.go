@@ -26,9 +26,10 @@ type cluster struct {
 	queue  *campaign.WorkQueue
 	url    string
 
-	srv    *http.Server
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	srv       *http.Server
+	cancel    context.CancelFunc
+	stopSweep func()
+	wg        sync.WaitGroup
 }
 
 // startCluster spins up the coordinator and n workers sharing store.
@@ -51,6 +52,9 @@ func startCluster(n, localWidth int, store campaign.ResultStore) (*cluster, erro
 		url:   "http://" + ln.Addr().String(),
 		srv:   &http.Server{Handler: http.StripPrefix("/work", campaign.WorkHandler(q, store))},
 	}
+	// Background sweep: expired leases requeue on schedule even while
+	// every worker is busy executing (none polling).
+	c.stopSweep = q.StartSweeper(0)
 	go c.srv.Serve(ln)
 
 	ctx, cancel := context.WithCancel(bgContext())
@@ -78,10 +82,11 @@ func startCluster(n, localWidth int, store campaign.ResultStore) (*cluster, erro
 	return c, nil
 }
 
-// close stops the workers and the coordinator.
+// close stops the workers, the sweeper, and the coordinator.
 func (c *cluster) close() {
 	c.cancel()
 	c.wg.Wait()
+	c.stopSweep()
 	shCtx, done := context.WithTimeout(bgContext(), time.Second)
 	defer done()
 	c.srv.Shutdown(shCtx)

@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBearerAuthGuardsWorkEndpoints: with a token configured, every /work
+// request without the exact bearer credential is refused with 401 before
+// the handler sees it; the matching credential passes; an empty token
+// leaves the handler unwrapped (the trusted-network default).
+func TestBearerAuthGuardsWorkEndpoints(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := httptest.NewServer(http.StripPrefix("/work",
+		WithBearerAuth("s3cret", WorkHandler(q, store))))
+	defer srv.Close()
+
+	get := func(auth string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/work/status", nil)
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := get(""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no credential: %d", resp.StatusCode)
+	} else if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without a WWW-Authenticate challenge")
+	}
+	if resp := get("Bearer wrong"); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d", resp.StatusCode)
+	}
+	if resp := get("s3cret"); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("missing Bearer scheme: %d", resp.StatusCode)
+	}
+	if resp := get("Bearer s3cret"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: %d", resp.StatusCode)
+	}
+
+	// POST endpoints are guarded the same way (the mount wraps them all).
+	body, _ := json.Marshal(LeaseRequest{WorkerID: "w1", Max: 1})
+	resp, err := http.Post(srv.URL+"/work/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated lease: %d", resp.StatusCode)
+	}
+	if len(q.Stats().Workers) != 0 {
+		t.Fatal("unauthenticated lease registered a worker")
+	}
+
+	// Empty token: pass-through, no wrapper.
+	open := WorkHandler(q, store)
+	if WithBearerAuth("", open) != open {
+		t.Fatal("empty token did not return the handler unwrapped")
+	}
+}
+
+// TestWorkerAuthenticatesEndToEnd: a worker configured with the token
+// completes cells through a guarded coordinator; one without only piles up
+// lease errors and never registers.
+func TestWorkerAuthenticatesEndToEnd(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := httptest.NewServer(http.StripPrefix("/work",
+		WithBearerAuth("s3cret", WorkHandler(q, store))))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	q.Enqueue(wireCells(t, 1)[0], func(data []byte, err error) {
+		if err == nil {
+			close(done)
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	locked := &Worker{Coordinator: srv.URL + "/work", ID: "w-noauth", Poll: 5 * time.Millisecond}
+	go locked.Run(ctx)
+	authed := &Worker{Coordinator: srv.URL + "/work", ID: "w-auth", Poll: 5 * time.Millisecond, Token: "s3cret"}
+	go authed.Run(ctx)
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("authenticated worker never completed the cell")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for locked.LeaseErrors() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tokenless worker reported no lease errors against a guarded coordinator")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := q.Stats()
+	for _, w := range st.Workers {
+		if w.ID == "w-noauth" {
+			t.Fatal("tokenless worker registered with the queue")
+		}
+	}
+	if row := workerRow(t, st, "w-auth"); row.Completed != 1 {
+		t.Fatalf("authenticated worker completed %d cells", row.Completed)
+	}
+}
+
+// TestDrainEndpoint drives POST /work/drain over the wire: drain reports
+// the state and held-lease count, resume flips back to active, and a
+// missing worker_id is a 400.
+func TestDrainEndpoint(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := startCoordinator(t, q, store)
+
+	q.Enqueue(wireCells(t, 1)[0], func([]byte, error) {})
+	if cells := q.Lease("w1", 1); len(cells) != 1 {
+		t.Fatal("no lease")
+	}
+
+	post := func(req DrainRequest) (DrainResponse, int) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/work/drain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var dr DrainResponse
+		json.NewDecoder(resp.Body).Decode(&dr)
+		return dr, resp.StatusCode
+	}
+
+	dr, code := post(DrainRequest{WorkerID: "w1", GraceMS: 60_000})
+	if code != http.StatusOK || dr.State != "draining" || dr.Held != 1 {
+		t.Fatalf("drain: %d %+v", code, dr)
+	}
+	dr, code = post(DrainRequest{WorkerID: "w1", Resume: true})
+	if code != http.StatusOK || dr.State != "active" {
+		t.Fatalf("resume: %d %+v", code, dr)
+	}
+	if _, code := post(DrainRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty worker_id: %d", code)
+	}
+}

@@ -1,0 +1,235 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+	"astro/internal/scenario"
+)
+
+// chaosMatrix is the generated 100-cell grid the chaos drill runs: 5
+// synthesized programs × 2 schedulers × 2 configs × 5 seeds.
+func chaosMatrix() scenario.Matrix {
+	return scenario.Matrix{
+		Name:         "chaos-100",
+		ProgramCount: 5,
+		ProgramSeed:  13,
+		Schedulers:   []string{"default", "gts"},
+		Configs:      []string{"1L1B", "all-on"},
+		Seeds:        []int64{0, 1, 2, 3, 4},
+	}
+}
+
+// TestChaosFleetByteIdentity is the chaos drill the robustness work hangs
+// on: a 100-cell campaign executed by a fleet that loses a worker
+// mid-flight (killed), gracefully drains another, quarantines a third
+// that submits corrupt bytes for every cell, scales a fourth up
+// mid-campaign, and injects protocol faults throughout (dropped results,
+// stalled heartbeats, a coordinator that loses acked results). The
+// campaign must still complete every cell with fingerprints — and per-key
+// store bytes — identical to an undisturbed in-process run, with zero
+// wrong results banked.
+func TestChaosFleetByteIdentity(t *testing.T) {
+	m := chaosMatrix()
+	if got := m.Cells(); got != 100 {
+		t.Fatalf("matrix expands to %d cells, want 100", got)
+	}
+	jobs := expandMatrix(t, m)
+	if len(jobs) != 100 {
+		t.Fatalf("expanded to %d jobs, want 100", len(jobs))
+	}
+
+	// Leg A: undisturbed in-process pool — the reference bytes.
+	poolStore := campaign.NewMemStore()
+	pool := &campaign.Pool{Workers: 4, Store: poolStore}
+	outsA, err := pool.Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg B: the chaos fleet. Short TTL so killed/stalled leases re-issue
+	// quickly; a background sweeper so expiry never waits for traffic; a
+	// raised attempt cap so injected faults burn retries without failing
+	// cells; and a coordinator-side fault that drops ~5% of acked results.
+	store := campaign.NewMemStore()
+	q := campaign.NewWorkQueue(400 * time.Millisecond)
+	q.Store = store
+	q.SetMaxAttempts(8)
+	// The corruptor is exempt from the coordinator-side drop: its garbage
+	// must reach validation every time, so the quarantine assertion below
+	// does not depend on which cells it happens to lease.
+	q.Faults = exemptWorker{inner: &campaign.FaultSchedule{Seed: 1, DropComplete: 0.05}, id: "w-corrupt"}
+	stopSweep := q.StartSweeper(25 * time.Millisecond)
+	defer stopSweep()
+	srv := httptest.NewServer(http.StripPrefix("/work", campaign.WorkHandler(q, store)))
+	defer srv.Close()
+
+	fleetCtx, stopFleet := context.WithCancel(context.Background())
+	defer stopFleet()
+	newWorker := func(id string, faults campaign.FaultPolicy) *campaign.Worker {
+		return &campaign.Worker{
+			Coordinator: srv.URL + "/work",
+			ID:          id,
+			Parallel:    2,
+			Poll:        5 * time.Millisecond,
+			Faults:      faults,
+		}
+	}
+	var wg sync.WaitGroup
+	runWorker := func(ctx context.Context, w *campaign.Worker) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	// The cast: a victim killed mid-flight (who also stalls heartbeats and
+	// drops results while alive), a worker drained mid-flight, a corruptor
+	// whose every submission is garbage, and a steady worker with a mild
+	// drop rate that carries the campaign home.
+	victimCtx, killVictim := context.WithCancel(fleetCtx)
+	defer killVictim()
+	runWorker(victimCtx, newWorker("w-victim", &campaign.FaultSchedule{Seed: 2, Drop: 0.1, StallRenew: 0.25}))
+	drainer := newWorker("w-drainer", nil)
+	drainerDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drainerDone <- drainer.Run(fleetCtx)
+	}()
+	runWorker(fleetCtx, newWorker("w-corrupt", &campaign.FaultSchedule{Seed: 3, Corrupt: 1}))
+	runWorker(fleetCtx, newWorker("w-steady", &campaign.FaultSchedule{Seed: 4, Drop: 0.05}))
+
+	// Choreography keyed to campaign progress: kill at 10 done, drain at
+	// 25, scale up at 40. Done reaches 100 only at the end, so each
+	// trigger fires; the scale-up worker proves a fresh identity can join
+	// a degraded fleet mid-campaign.
+	doneAtLeast := func(n int) {
+		deadline := time.Now().Add(120 * time.Second)
+		for q.Stats().Done < n {
+			if time.Now().After(deadline) {
+				t.Errorf("campaign stalled before %d cells done", n)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	choreographed := make(chan struct{})
+	go func() {
+		defer close(choreographed)
+		doneAtLeast(10)
+		killVictim()
+		doneAtLeast(25)
+		drainer.Drain()
+		doneAtLeast(40)
+		runWorker(fleetCtx, newWorker("w-late", nil))
+	}()
+
+	runner := &campaign.RemoteRunner{Queue: q, Store: store}
+	outsB, err := runner.Run(context.Background(), expandMatrix(t, m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-choreographed
+
+	// Zero cells lost, zero cells failed.
+	for i, o := range outsB {
+		if o == nil || o.Err != nil {
+			t.Fatalf("cell %d did not survive the chaos: %+v", i, o)
+		}
+	}
+	// Byte identity with the undisturbed run — fingerprints and the store
+	// itself. Nothing wrong was banked: every key holds exactly the
+	// reference bytes, and nothing beyond the 100 cells exists.
+	if fa, fb := campaign.Fingerprint(outsA), campaign.Fingerprint(outsB); fa != fb {
+		t.Fatalf("chaos fingerprint %s != in-process %s", fb, fa)
+	}
+	for i, j := range jobs {
+		key, ok := j.Key()
+		if !ok {
+			t.Fatalf("job %d not cacheable", i)
+		}
+		want, ok1 := poolStore.Get(key)
+		got, ok2 := store.Get(key)
+		if !ok1 || !ok2 || !bytes.Equal(want, got) {
+			t.Fatalf("store bytes for %s diverged (ref %v, chaos %v)", key, ok1, ok2)
+		}
+	}
+	if n := store.Len(); n != 100 {
+		t.Fatalf("chaos store holds %d entries, want exactly 100", n)
+	}
+
+	// The drained worker exited by itself — before the fleet context was
+	// cancelled — with a clean Run and zero held leases.
+	select {
+	case err := <-drainerDone:
+		if err != nil {
+			t.Fatalf("drained worker returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drained worker never exited")
+	}
+	st := q.Stats()
+	if st.Done != 100 {
+		t.Fatalf("queue done %d, want 100", st.Done)
+	}
+	if row := workerRowExt(t, st, "w-drainer"); row.Leased != 0 {
+		t.Fatalf("drained worker still holds %d leases", row.Leased)
+	}
+	// The corruptor was quarantined after repeated rejects; the kill and
+	// the injected faults forced requeues the protocol absorbed.
+	if row := workerRowExt(t, st, "w-corrupt"); row.State != campaign.WorkerQuarantined || row.Rejects < 3 {
+		t.Fatalf("corruptor not quarantined: %+v", row)
+	}
+	if st.Requeues == 0 {
+		t.Fatal("no requeues despite a killed worker and injected faults")
+	}
+	if st.Rejects < 3 {
+		t.Fatalf("only %d rejects despite an always-corrupt worker", st.Rejects)
+	}
+	// The drain notification (async POST /drain) must have landed.
+	deadline := time.Now().Add(5 * time.Second)
+	for workerRowExt(t, q.Stats(), "w-drainer").State != campaign.WorkerDraining {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never marked the drainer draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stopFleet()
+	wg.Wait()
+}
+
+// exemptWorker composes fault policies: one worker sees no injected
+// faults, everyone else follows the inner schedule.
+type exemptWorker struct {
+	inner campaign.FaultPolicy
+	id    string
+}
+
+func (e exemptWorker) Fault(op campaign.FaultOp, workerID, key string) campaign.Fault {
+	if workerID == e.id {
+		return campaign.FaultNone
+	}
+	return e.inner.Fault(op, workerID, key)
+}
+
+// workerRowExt finds one worker's status row (external-package twin of the
+// internal tests' helper).
+func workerRowExt(t *testing.T, st campaign.QueueStats, id string) campaign.WorkerStatus {
+	t.Helper()
+	for _, w := range st.Workers {
+		if w.ID == id {
+			return w
+		}
+	}
+	t.Fatalf("no worker %q in %+v", id, st.Workers)
+	return campaign.WorkerStatus{}
+}

@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// workerRow finds one worker's status row in a stats snapshot.
+func workerRow(t *testing.T, st QueueStats, id string) WorkerStatus {
+	t.Helper()
+	for _, w := range st.Workers {
+		if w.ID == id {
+			return w
+		}
+	}
+	t.Fatalf("no worker %q in %+v", id, st.Workers)
+	return WorkerStatus{}
+}
+
+// TestDrainStopsLeasingFinishesHeld pins the drain contract: a draining
+// worker gets no new cells, but its held leases still renew and its valid
+// results still complete cells; whatever it still holds past the drain
+// deadline is requeued for the rest of the fleet; Resume reactivates it.
+func TestDrainStopsLeasingFinishesHeld(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	wires := wireJobs(t, 2)
+	var mu sync.Mutex
+	finished := map[string]bool{}
+	for _, w := range wires {
+		key := w.Key
+		q.Enqueue(w, func(data []byte, err error) {
+			mu.Lock()
+			finished[key] = err == nil
+			mu.Unlock()
+		})
+	}
+
+	if got := len(q.Lease("w1", len(wires))); got != len(wires) {
+		t.Fatalf("leased %d cells, want %d", got, len(wires))
+	}
+	ws := q.Drain("w1", 10*time.Second)
+	if ws.State != WorkerDraining || ws.Leased != len(wires) {
+		t.Fatalf("drain snapshot: %+v", ws)
+	}
+	if cells := q.Lease("w1", 10); cells != nil {
+		t.Fatalf("draining worker leased %d new cells", len(cells))
+	}
+
+	// Held leases keep renewing and completing while draining.
+	if renewed := q.Renew("w1", []string{wires[0].Key}); len(renewed) != 1 {
+		t.Fatalf("draining worker could not renew its held lease: %v", renewed)
+	}
+	if st := q.Complete("w1", wires[0].Key, validResult(t, wires[0]), ""); st != CompleteAccepted {
+		t.Fatalf("draining worker's valid result: %v", st)
+	}
+	mu.Lock()
+	ok := finished[wires[0].Key]
+	mu.Unlock()
+	if !ok {
+		t.Fatal("waiter did not see the draining worker's result")
+	}
+
+	// Past the drain deadline the leftover lease is reclaimed — even
+	// though it was renewed and is nowhere near the TTL.
+	*now = now.Add(11 * time.Second)
+	q.Sweep()
+	if row := workerRow(t, q.Stats(), "w1"); row.Leased != 0 || row.State != WorkerDraining {
+		t.Fatalf("after deadline: %+v", row)
+	}
+	if st := q.Stats(); st.Requeues == 0 || st.Pending != 1 {
+		t.Fatalf("leftover cell not requeued: %+v", st)
+	}
+	if got := len(q.Lease("w2", 10)); got != 1 {
+		t.Fatalf("fleet leased %d reclaimed cells, want 1", got)
+	}
+
+	// Resume closes the loop: the worker leases again.
+	if ws := q.Resume("w1"); ws.State != WorkerActive {
+		t.Fatalf("resume left state %q", ws.State)
+	}
+	q.Enqueue(wireTrainCell(t, 77), func([]byte, error) {})
+	if got := len(q.Lease("w1", 10)); got != 1 {
+		t.Fatalf("resumed worker leased %d cells, want 1", got)
+	}
+}
+
+// TestDrainUnknownWorkerPreRegisters: draining a worker the queue has
+// never seen registers it draining, so an operator can fence off a worker
+// before it first connects.
+func TestDrainUnknownWorkerPreRegisters(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	q.Enqueue(wireJobs(t, 1)[0], func([]byte, error) {})
+	if ws := q.Drain("ghost", 0); ws.State != WorkerDraining {
+		t.Fatalf("pre-drain state %q", ws.State)
+	}
+	if cells := q.Lease("ghost", 1); cells != nil {
+		t.Fatalf("pre-drained worker leased %d cells", len(cells))
+	}
+}
+
+// TestQuarantineAfterRepeatedRejects pins the circuit breaker: a worker
+// whose submissions repeatedly fail validation stops receiving leases,
+// while the poisoned cell survives (healthy workers finish it) and Resume
+// closes the breaker.
+func TestQuarantineAfterRepeatedRejects(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	q.SetMaxAttempts(10) // the garbage must not exhaust the cell
+	wire := wireJobs(t, 1)[0]
+	var got []byte
+	q.Enqueue(wire, func(data []byte, err error) {
+		if err == nil {
+			got = data
+		}
+	})
+
+	for i := 0; i < 3; i++ {
+		if cells := q.Lease("bad", 1); len(cells) != 1 {
+			t.Fatalf("round %d: leased %d cells", i, len(cells))
+		}
+		if st := q.Complete("bad", wire.Key, []byte("garbage"), ""); st != CompleteRejected {
+			t.Fatalf("round %d: garbage was %v", i, st)
+		}
+	}
+	row := workerRow(t, q.Stats(), "bad")
+	if row.State != WorkerQuarantined || row.Rejects != 3 {
+		t.Fatalf("after 3 rejects: %+v", row)
+	}
+	if cells := q.Lease("bad", 1); cells != nil {
+		t.Fatalf("quarantined worker leased %d cells", len(cells))
+	}
+
+	// The cell is still alive for the rest of the fleet.
+	if cells := q.Lease("good", 1); len(cells) != 1 {
+		t.Fatal("healthy worker could not lease the poisoned cell")
+	}
+	if st := q.Complete("good", wire.Key, validResult(t, wire), ""); st != CompleteAccepted {
+		t.Fatalf("healthy completion: %v", st)
+	}
+	if got == nil {
+		t.Fatal("waiter never saw the healthy result")
+	}
+
+	if ws := q.Resume("bad"); ws.State != WorkerActive || ws.Rejects != 0 {
+		t.Fatalf("resume: %+v", ws)
+	}
+}
+
+// TestQuarantineCountsOnlyValidationRejects: honest execution failures
+// (worker reports an error) must not trip the breaker — they re-queue the
+// cell but say nothing about the worker's integrity.
+func TestQuarantineCountsOnlyValidationRejects(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	q.SetMaxAttempts(100)
+	wire := wireJobs(t, 1)[0]
+	q.Enqueue(wire, func([]byte, error) {})
+	for i := 0; i < 10; i++ {
+		if cells := q.Lease("honest", 1); len(cells) != 1 {
+			t.Fatalf("round %d: no lease", i)
+		}
+		q.Complete("honest", wire.Key, nil, "module decode failed")
+	}
+	row := workerRow(t, q.Stats(), "honest")
+	if row.State != WorkerActive || row.Rejects != 0 {
+		t.Fatalf("honest failures tripped quarantine: %+v", row)
+	}
+}
+
+// TestRenewUnknownKeysNotRenewed pins the coordinator half of the
+// abandonment contract: keys the queue no longer holds for this worker —
+// done cells, never-enqueued keys — are absent from the renew response,
+// which is what tells the worker to abandon rather than double-submit.
+func TestRenewUnknownKeysNotRenewed(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	fakeClock(q)
+	wire := wireJobs(t, 1)[0]
+	q.Enqueue(wire, func([]byte, error) {})
+	if cells := q.Lease("w1", 1); len(cells) != 1 {
+		t.Fatal("no lease")
+	}
+	if st := q.Complete("w1", wire.Key, validResult(t, wire), ""); st != CompleteAccepted {
+		t.Fatalf("complete: %v", st)
+	}
+	never := strings.Repeat("a", 64)
+	if renewed := q.Renew("w1", []string{wire.Key, never}); len(renewed) != 0 {
+		t.Fatalf("renewed keys the queue no longer holds: %v", renewed)
+	}
+}
+
+// TestStartSweeperRequeuesWithoutTraffic: with no worker polling, only the
+// background sweeper can notice an expired lease — the ticker must requeue
+// it by itself, and stop must be idempotent.
+func TestStartSweeperRequeuesWithoutTraffic(t *testing.T) {
+	q := NewWorkQueue(50 * time.Millisecond)
+	q.Enqueue(wireJobs(t, 1)[0], func([]byte, error) {})
+	if cells := q.Lease("w1", 1); len(cells) != 1 {
+		t.Fatal("no lease")
+	}
+	stop := q.StartSweeper(10 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Stats().Requeues == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never requeued the expired lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := q.Stats(); st.Pending != 1 || st.Leased != 0 {
+		t.Fatalf("after sweep: %+v", st)
+	}
+	stop()
+	stop() // idempotent
+}
+
+// dropFirstComplete is a FaultPolicy for the coordinator seam: the first
+// otherwise-acceptable result submission is acked and discarded.
+type dropFirstComplete struct {
+	mu    sync.Mutex
+	fired bool
+}
+
+func (d *dropFirstComplete) Fault(op FaultOp, workerID, key string) Fault {
+	if op != FaultOpComplete {
+		return FaultNone
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fired {
+		return FaultNone
+	}
+	d.fired = true
+	return FaultDrop
+}
+
+// TestQueueDropsAckedResultThenRecovers: the "coordinator lost the result
+// after the ack" fault. The worker moves on believing the cell done; the
+// lease expires on schedule, the cell re-issues, and a second execution
+// completes it — no waiter ever sees the dropped bytes.
+func TestQueueDropsAckedResultThenRecovers(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	now := fakeClock(q)
+	q.Faults = &dropFirstComplete{}
+	wire := wireJobs(t, 1)[0]
+	data := validResult(t, wire)
+	got := make(chan []byte, 1)
+	q.Enqueue(wire, func(d []byte, err error) {
+		if err == nil {
+			got <- d
+		}
+	})
+	if cells := q.Lease("w1", 1); len(cells) != 1 {
+		t.Fatal("no lease")
+	}
+	if st := q.Complete("w1", wire.Key, data, ""); st != CompleteAccepted {
+		t.Fatalf("dropped submission acked as %v", st)
+	}
+	select {
+	case <-got:
+		t.Fatal("dropped result reached the waiter")
+	default:
+	}
+	if st := q.Stats(); st.Done != 0 || st.Leased != 1 {
+		t.Fatalf("after drop: %+v", st)
+	}
+
+	*now = now.Add(2 * time.Minute) // lease expires
+	if cells := q.Lease("w2", 1); len(cells) != 1 {
+		t.Fatal("expired cell did not re-issue")
+	}
+	if st := q.Complete("w2", wire.Key, data, ""); st != CompleteAccepted {
+		t.Fatalf("recovery completion: %v", st)
+	}
+	select {
+	case d := <-got:
+		if string(d) != string(data) {
+			t.Fatal("recovered bytes differ")
+		}
+	default:
+		t.Fatal("waiter never saw the recovered result")
+	}
+}

@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"io"
+	"sync"
+)
+
+// Fault injection for chaos drills. The seam is deliberately narrow: a
+// FaultPolicy hung on a Worker (Worker.Faults) or a WorkQueue
+// (WorkQueue.Faults) is consulted at the protocol points where real
+// fleets lose work — executing a cell, heartbeating a lease, accepting a
+// result — and answers with the fault to inject, if any. Production
+// paths pay one nil check; everything else lives here and in the chaos
+// tests. No fault can corrupt a campaign: every injected failure lands
+// on a path the protocol already recovers from (validation reject,
+// lease expiry and re-issue, duplicate acknowledgement), which is
+// exactly what TestChaosFleetByteIdentity pins.
+
+// FaultOp names a protocol point where a FaultPolicy may fire.
+type FaultOp string
+
+const (
+	// FaultOpExecute is consulted by the worker once per cell execution.
+	FaultOpExecute FaultOp = "execute"
+	// FaultOpRenew is consulted by the worker once per heartbeat round.
+	FaultOpRenew FaultOp = "renew"
+	// FaultOpComplete is consulted by the coordinator once per otherwise
+	// acceptable result submission.
+	FaultOpComplete FaultOp = "complete"
+)
+
+// Fault is an injected behavior.
+type Fault uint8
+
+const (
+	FaultNone Fault = iota
+	// FaultDrop: on execute, compute the cell but never submit the result
+	// (a worker that dies between finishing and pushing); on renew, skip
+	// the heartbeat round (a network partition delaying renewals past the
+	// TTL); on complete, acknowledge the submission and then discard it (a
+	// coordinator that loses a result after the ack).
+	FaultDrop
+	// FaultCorrupt: submit deliberately malformed result bytes (a
+	// byzantine or bit-flipping worker). The coordinator's validation
+	// rejects them and, repeated, quarantines the worker.
+	FaultCorrupt
+	// FaultCrash: the worker stops mid-batch — Run returns
+	// ErrInjectedCrash without submitting, and its held leases expire and
+	// re-issue like any dead worker's.
+	FaultCrash
+)
+
+// ErrInjectedCrash is returned by Worker.Run when its FaultPolicy fired
+// FaultCrash: the process-death analogue a supervisor would restart.
+var ErrInjectedCrash = errors.New("campaign: injected worker crash")
+
+// FaultPolicy decides, per protocol event, whether to inject a fault.
+// Implementations must be safe for concurrent use; key is the cell's
+// content address ("" for events that cover several keys, like a
+// heartbeat round).
+type FaultPolicy interface {
+	Fault(op FaultOp, workerID, key string) Fault
+}
+
+// FaultSchedule is the deterministic seeded FaultPolicy: each decision
+// hashes (Seed, op, workerID, key, occurrence#) to a unit float compared
+// against the configured rates, so the schedule depends only on the
+// sequence of events per (op, worker, key) tuple — never on goroutine
+// interleaving or wall clocks. Two runs that execute the same cells on
+// the same worker IDs inject the same faults.
+type FaultSchedule struct {
+	Seed int64
+
+	// FaultOpExecute rates, checked in this order against one draw.
+	Crash   float64 // P(worker crashes instead of executing)
+	Corrupt float64 // P(result bytes corrupted before submission)
+	Drop    float64 // P(result computed but never submitted)
+
+	StallRenew   float64 // FaultOpRenew: P(heartbeat round skipped)
+	DropComplete float64 // FaultOpComplete: P(result acked then discarded)
+
+	mu  sync.Mutex
+	seq map[string]uint64
+}
+
+// Fault implements FaultPolicy.
+func (f *FaultSchedule) Fault(op FaultOp, workerID, key string) Fault {
+	id := string(op) + "|" + workerID + "|" + key
+	f.mu.Lock()
+	if f.seq == nil {
+		f.seq = map[string]uint64{}
+	}
+	n := f.seq[id]
+	f.seq[id] = n + 1
+	f.mu.Unlock()
+	u := faultUnit(f.Seed, id, n)
+	switch op {
+	case FaultOpExecute:
+		switch {
+		case u < f.Crash:
+			return FaultCrash
+		case u < f.Crash+f.Corrupt:
+			return FaultCorrupt
+		case u < f.Crash+f.Corrupt+f.Drop:
+			return FaultDrop
+		}
+	case FaultOpRenew:
+		if u < f.StallRenew {
+			return FaultDrop
+		}
+	case FaultOpComplete:
+		if u < f.DropComplete {
+			return FaultDrop
+		}
+	}
+	return FaultNone
+}
+
+// faultUnit maps (seed, id, n) to a uniform-ish [0,1) float via FNV-1a.
+func faultUnit(seed int64, id string, n uint64) float64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], n)
+	h.Write(b[:])
+	io.WriteString(h, id)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// corruptResult makes result bytes that provably fail validation for
+// every cell kind (neither sim result nor agent snapshot decodes), so an
+// injected corruption can never be mistaken for a valid result.
+func corruptResult(data []byte) []byte {
+	return append([]byte("\x00corrupt:"), data...)
+}

@@ -46,10 +46,20 @@ var (
 	gQLeased     = telemetry.Default.Gauge("astro_queue_leased", "Cells currently leased out.")
 	gQWorkers    = telemetry.Default.Gauge("astro_queue_workers", "Workers that have ever contacted this queue.")
 
+	// Worker lifecycle transitions (draining, quarantine) and chaos seams.
+	cQDrains         = telemetry.Default.Counter("astro_queue_worker_drains_total", "Workers flipped into the draining state.")
+	cQResumes        = telemetry.Default.Counter("astro_queue_worker_resumes_total", "Drained or quarantined workers explicitly resumed.")
+	cQQuarantines    = telemetry.Default.Counter("astro_queue_worker_quarantines_total", "Workers quarantined after repeated rejected submissions.")
+	cQDrainRequeues  = telemetry.Default.Counter("astro_queue_drain_requeues_total", "Leases reclaimed because their holder drained past its deadline.")
+	cQFaultsInjected = telemetry.Default.Counter(`astro_faults_injected_total{site="queue"}`, "Injected faults fired, by site.")
+
 	// Worker side (meaningful in `astro worker` processes; also registered
 	// on coordinators so the exposition schema is stable everywhere).
 	cWLeaseErrs = telemetry.Default.Counter("astro_worker_lease_errors_total", "Coordinator-unreachable or HTTP-error lease attempts on this worker.")
 	cWCells     = telemetry.Default.Counter("astro_worker_cells_total", "Cells executed by this worker process.")
+	cWDrains    = telemetry.Default.Counter("astro_worker_drains_total", "Drain transitions of this worker process (SIGTERM or Drain call).")
+	cWAbandoned = telemetry.Default.Counter("astro_worker_abandoned_total", "Cells abandoned without submission after the coordinator reported the lease lost.")
+	cWFaults    = telemetry.Default.Counter(`astro_faults_injected_total{site="worker"}`, "Injected faults fired, by site.")
 )
 
 // shardGauge returns the occupancy gauge for shard i of a sharded store.

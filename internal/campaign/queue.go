@@ -25,9 +25,25 @@ import (
 //	                      │      Renew (held, │      │
 //	                      │      unexpired) ──┘      │
 //	                      │   lease expired, or      │
-//	                      │   worker error, or       │ attempts > MaxAttempts
-//	                      │   malformed result       ▼
-//	                      └───────────────────────  done(err)
+//	                      │   worker error, or       │
+//	                      │   malformed result, or   │ attempts > MaxAttempts
+//	                      │   holder drained past    ▼
+//	                      └── its deadline ───────  done(err)
+//
+// Workers have their own state machine layered on top (tracked in
+// WorkerStatus.State, exposed by /work/status and /work/fleet):
+//
+//	         Drain                    deadline passes
+//	active ─────────▶ draining ──────────────────────▶ (held leases requeue)
+//	   │    ▲            │ Resume
+//	   │    └────────────┘
+//	   │   QuarantineAfter rejected submissions        Resume
+//	   └──────────────────────────────▶ quarantined ──────────▶ active
+//
+// Draining and quarantined workers receive no cells from Lease; their
+// held leases still renew, and their valid results still complete cells
+// (drain: "finish what you hold"; quarantine: a valid result is valid
+// no matter who sent it — validation, not trust, guards the store).
 //
 // Invariants the failure-path tests pin:
 //
@@ -71,6 +87,19 @@ type WorkQueue struct {
 	// the coordinator's own lease_wait span. NewWorkQueue installs a
 	// bounded default store; GET /work/traces serves it.
 	Traces *telemetry.TraceStore
+
+	// Faults, when non-nil, injects coordinator-side faults (chaos
+	// drills): FaultDrop on FaultOpComplete acknowledges a result
+	// submission and then discards it, so the lease expires and the cell
+	// re-issues — the "coordinator lost the result after the ack" case.
+	// Set before serving.
+	Faults FaultPolicy
+
+	// QuarantineAfter is the rejected-submission count at which a worker
+	// is quarantined (no further leases until Resume). NewWorkQueue sets
+	// the default (3); non-positive disables quarantine. Set before
+	// serving.
+	QuarantineAfter int
 
 	mu sync.Mutex
 
@@ -139,6 +168,14 @@ const (
 	CompleteUnknown   CompleteStatus = "unknown"   // key never enqueued or withdrawn
 )
 
+// Worker states (WorkerStatus.State). The zero value is active so the
+// JSON of a healthy fleet is unchanged from before draining existed.
+const (
+	WorkerActive      = ""            // leasing normally
+	WorkerDraining    = "draining"    // finishes held leases, receives no new cells
+	WorkerQuarantined = "quarantined" // repeatedly rejected submissions; receives no new cells
+)
+
 // WorkerStatus is one worker's view in /work/status: liveness and the
 // lease/completion counters the operator watches during a multi-machine
 // sweep.
@@ -149,11 +186,22 @@ type WorkerStatus struct {
 	Leased    int       `json:"leased"` // cells currently leased to this worker
 	Completed int       `json:"completed"`
 	Errors    int       `json:"errors"`
+	// State is WorkerActive (""), WorkerDraining, or WorkerQuarantined.
+	// Draining and quarantined workers receive no cells from Lease.
+	State string `json:"state,omitempty"`
+	// Rejects counts this worker's submissions rejected by validation —
+	// the signal quarantine triggers on (Errors also includes worker-side
+	// execution failures, which are honest and must not quarantine).
+	Rejects int `json:"rejects,omitempty"`
 	// LeaseErrors is the worker's own cumulative count of failed lease
 	// attempts (coordinator unreachable, HTTP 5xx), self-reported in each
 	// lease request — the coordinator cannot observe connections that never
 	// reached it.
 	LeaseErrors uint64 `json:"lease_errors,omitempty"`
+
+	// drainDeadline: while draining, when the coordinator stops waiting
+	// and requeues whatever this worker still holds.
+	drainDeadline time.Time
 }
 
 // QueueStats is the aggregate queue snapshot. The Local* counters cover
@@ -190,15 +238,28 @@ func NewWorkQueue(ttl time.Duration) *WorkQueue {
 		ttl = DefaultLeaseTTL
 	}
 	return &WorkQueue{
-		ttl:         ttl,
-		maxAttempts: 3,
-		now:         time.Now,
-		cells:       map[string]*workCell{},
-		leased:      map[string]*workCell{},
-		doneKeys:    map[string]bool{},
-		workers:     map[string]*WorkerStatus{},
-		Traces:      telemetry.NewTraceStore(0),
+		ttl:             ttl,
+		maxAttempts:     3,
+		now:             time.Now,
+		cells:           map[string]*workCell{},
+		leased:          map[string]*workCell{},
+		doneKeys:        map[string]bool{},
+		workers:         map[string]*WorkerStatus{},
+		Traces:          telemetry.NewTraceStore(0),
+		QuarantineAfter: 3,
 	}
+}
+
+// SetMaxAttempts overrides the per-cell lease-attempt cap (default 3).
+// Chaos configurations raise it so injected faults burn attempts without
+// failing cells; n < 1 is ignored.
+func (q *WorkQueue) SetMaxAttempts(n int) {
+	if n < 1 {
+		return
+	}
+	q.mu.Lock()
+	q.maxAttempts = n
+	q.mu.Unlock()
 }
 
 // Enqueue registers a cell and a completion callback: the callback joins
@@ -251,6 +312,9 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 // Lease hands out up to max pending cells to workerID, marking each leased
 // until now+TTL. Expired leases are swept (re-queued) first, so a dead
 // worker's cells are re-issued by the very next lease call from anyone.
+// Draining and quarantined workers get nothing: their lease calls still
+// refresh liveness (and still sweep), but no cell is issued to a worker
+// that is leaving or untrusted.
 func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
 	if max <= 0 {
 		max = 1
@@ -259,6 +323,12 @@ func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
 	now := q.now()
 	expired := q.sweepLocked(now)
 	w := q.workerLocked(workerID, now)
+	if w.State != WorkerActive {
+		q.noteGaugesLocked()
+		q.mu.Unlock()
+		expired()
+		return nil
+	}
 
 	var out []*WireJob
 	keep := q.order[:0]
@@ -312,6 +382,13 @@ func (q *WorkQueue) Complete(workerID, key string, data []byte, workerErr string
 // (enqueue → first lease), keyed by cell content key and annotated with
 // the campaign that enqueued it.
 func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr string, spans []telemetry.Span) CompleteStatus {
+	// Chaos seam: a coordinator that loses a result after acknowledging
+	// it. The worker moves on, the lease expires, the cell re-issues —
+	// the protocol recovers exactly as it would from the real thing.
+	if q.Faults != nil && workerErr == "" && q.Faults.Fault(FaultOpComplete, workerID, key) == FaultDrop {
+		cQFaultsInjected.Inc()
+		return CompleteAccepted
+	}
 	q.mu.Lock()
 	now := q.now()
 	expired := q.sweepLocked(now)
@@ -371,6 +448,7 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 		q.rejects++
 		cQRejects.Inc()
 		w.Errors++
+		q.noteRejectLocked(w)
 		if !holds {
 			// Stale garbage: reject without disturbing the current holder.
 			q.mu.Unlock()
@@ -462,6 +540,103 @@ func (q *WorkQueue) Renew(workerID string, keys []string) []string {
 	q.mu.Unlock()
 	expired()
 	return renewed
+}
+
+// Drain flips workerID into the draining state: Lease returns it no new
+// cells, while its held leases continue to renew and its submissions
+// continue to complete cells. grace bounds the wait — anything the
+// worker still holds when now+grace passes is requeued by the next sweep
+// (0 = the lease TTL). Draining an unknown worker registers it, so an
+// operator can pre-drain a worker that is about to connect. Returns a
+// snapshot of the worker's status (Leased is the held-lease count the
+// drain is waiting on). Re-draining refreshes the deadline; a
+// quarantined worker stays quarantined (Resume clears both).
+func (q *WorkQueue) Drain(workerID string, grace time.Duration) WorkerStatus {
+	if grace <= 0 {
+		grace = q.ttl
+	}
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+	w := q.workerLocked(workerID, now)
+	if w.State == WorkerActive {
+		w.State = WorkerDraining
+		cQDrains.Inc()
+	}
+	if w.State == WorkerDraining {
+		w.drainDeadline = now.Add(grace)
+	}
+	snap := *w
+	q.mu.Unlock()
+	expired()
+	return snap
+}
+
+// Resume returns a drained or quarantined worker to active: it leases
+// again on its next poll. The rejection counter resets — quarantine is a
+// circuit breaker, and resuming closes it.
+func (q *WorkQueue) Resume(workerID string) WorkerStatus {
+	q.mu.Lock()
+	now := q.now()
+	expired := q.sweepLocked(now)
+	w := q.workerLocked(workerID, now)
+	if w.State != WorkerActive {
+		w.State = WorkerActive
+		w.drainDeadline = time.Time{}
+		w.Rejects = 0
+		cQResumes.Inc()
+	}
+	snap := *w
+	q.mu.Unlock()
+	expired()
+	return snap
+}
+
+// noteRejectLocked counts a rejected submission against its sender and
+// quarantines the worker once it crosses QuarantineAfter: a worker whose
+// results repeatedly fail validation is corrupting (bad build, bit
+// flips, hostile) and must stop burning cells' attempt budgets. Its held
+// leases are left to the normal expiry/reject paths — a valid result
+// would still be accepted — it just gets nothing new.
+func (q *WorkQueue) noteRejectLocked(w *WorkerStatus) {
+	w.Rejects++
+	if q.QuarantineAfter > 0 && w.Rejects >= q.QuarantineAfter && w.State != WorkerQuarantined {
+		w.State = WorkerQuarantined
+		w.drainDeadline = time.Time{}
+		cQQuarantines.Inc()
+	}
+}
+
+// StartSweeper runs Sweep on a background ticker so expired leases (and
+// drained workers' overdue holds) requeue promptly even when no worker
+// is polling — without it, expiry is only detected piggybacked on
+// request handling. interval <= 0 picks TTL/4 clamped to [50ms, 30s].
+// The returned stop is idempotent and must be called on shutdown.
+func (q *WorkQueue) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = q.ttl / 4
+		if interval < 50*time.Millisecond {
+			interval = 50 * time.Millisecond
+		}
+		if interval > 30*time.Second {
+			interval = 30 * time.Second
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				q.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // assembleTraceLocked builds the completed cell's cross-machine trace.
@@ -629,16 +804,28 @@ func (q *WorkQueue) Sweep() {
 }
 
 // sweepLocked returns expired leased cells to the front of the queue, or
-// fails them when their attempts are exhausted. The returned closure
-// invokes the waiters of failed cells; callers run it after releasing the
-// lock. Only q.leased is scanned — every Lease and Complete sweeps, so the
-// cost must be bounded by in-flight leases, not campaign size.
+// fails them when their attempts are exhausted. A lease is also reclaimed
+// — even unexpired, even renewing — when its holder has been draining
+// past its drain deadline: the grace period is over and the fleet takes
+// the cell back. The returned closure invokes the waiters of failed
+// cells; callers run it after releasing the lock. Only q.leased is
+// scanned — every Lease and Complete sweeps, so the cost must be bounded
+// by in-flight leases, not campaign size.
 func (q *WorkQueue) sweepLocked(now time.Time) func() {
 	var front []string
 	var failed []func()
 	for key, c := range q.leased {
-		if c.state != cellLeased || c.expires.After(now) {
+		if c.state != cellLeased {
 			continue
+		}
+		holder := q.workers[c.worker]
+		drained := holder != nil && holder.State == WorkerDraining &&
+			!holder.drainDeadline.IsZero() && !holder.drainDeadline.After(now)
+		if c.expires.After(now) && !drained {
+			continue
+		}
+		if drained {
+			cQDrainRequeues.Inc()
 		}
 		if w, ok := q.workers[c.worker]; ok {
 			w.Leased--

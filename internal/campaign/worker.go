@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,15 +30,24 @@ import (
 // one loses at most its in-flight cells, which the coordinator re-leases
 // after the TTL.
 //
-// While a worker executes a cell, a heartbeat goroutine renews that
-// cell's lease (POST /renew) at a third of the coordinator's TTL, so
-// cells that outrun the TTL — long training cells under a short
-// -lease-ttl — stay leased as long as the worker stays alive and working
-// on them. Cells leased but not yet started are not renewed: they expire
-// on schedule and re-issue to idle workers rather than queueing for hours
-// behind a long cell. Only a worker that dies (or loses the network)
-// stops heartbeating its current cell, which is exactly when re-issuing
-// it is the right call.
+// Parallel sizes the executor pool: one lease/heartbeat loop fans each
+// batch out across N goroutines, so a single worker process saturates a
+// many-core box (`astro worker -j N`). While executors run, a single
+// heartbeat goroutine renews the union of the cells currently executing
+// (POST /renew) at a third of the coordinator's TTL, so cells that
+// outrun the TTL — long training cells under a short -lease-ttl — stay
+// leased as long as the worker stays alive and working on them. Cells
+// leased but not yet started are not renewed: they expire on schedule
+// and re-issue to idle workers rather than queueing for hours behind a
+// long cell. Only a worker that dies (or loses the network) stops
+// heartbeating its executing cells, which is exactly when re-issuing
+// them is the right call; conversely, a key the coordinator's renew
+// response refuses is a lease this worker has lost, and the executor
+// abandons that cell rather than double-submitting.
+//
+// Drain flips the worker into a graceful shutdown: no new leases, the
+// held batch finishes and submits, Run returns nil (cmd/astro wires
+// SIGTERM here for rolling restarts).
 //
 // An optional local Store short-circuits execution: a cell whose key the
 // worker has already produced (an earlier run, a shared disk cache) is
@@ -46,23 +59,33 @@ import (
 type Worker struct {
 	Coordinator string         // coordinator base URL including the /work mount
 	ID          string         // worker identity for lease accounting
-	Max         int            // cells per lease (default 2)
+	Max         int            // cells per lease (0 = 2 per executor)
+	Parallel    int            // executor goroutines per batch (default 1); `astro worker -j`
 	Poll        time.Duration  // idle backoff (default 500ms; the coordinator may suggest longer)
 	Renew       time.Duration  // heartbeat interval; 0 = a third of the lease TTL, negative = disabled
 	Client      *http.Client   // nil = http.DefaultClient
 	Store       ResultStore    // optional local result cache
 	Agents      ResultStore    // trained-agent tier; nil = an AgentExchange against the coordinator over Store
-	OnProgress  func(Progress) // optional per-cell hook (logging)
+	Token       string         // bearer token for coordinators behind WithBearerAuth ("" = none)
+	Faults      FaultPolicy    // optional injected-fault schedule (chaos drills; nil = none)
+	OnProgress  func(Progress) // optional per-cell hook (logging); called concurrently when Parallel > 1
 
 	// Logf, when non-nil, receives operational log lines — lease failures
 	// with their retry counts and backoff, most importantly, so an
-	// unreachable coordinator is visible instead of a silent spin.
+	// unreachable coordinator is visible instead of a silent spin. Called
+	// concurrently when Parallel > 1.
 	Logf func(format string, args ...any)
 
 	agentsOnce sync.Once
 	agents     ResultStore
 
 	leaseErrs atomic.Uint64 // cumulative failed lease attempts (also self-reported to the coordinator)
+	draining  atomic.Bool   // Drain was called: finish the current batch, then Run returns
+
+	// Seeded jitter stream for lease-failure backoff (see jitteredBackoff).
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // LeaseErrors returns the worker's cumulative count of failed lease
@@ -84,9 +107,69 @@ func (w *Worker) client() *http.Client {
 
 func (w *Worker) max() int {
 	if w.Max <= 0 {
-		return 2
+		return 2 * w.parallel()
 	}
 	return w.Max
+}
+
+func (w *Worker) parallel() int {
+	if w.Parallel <= 0 {
+		return 1
+	}
+	return w.Parallel
+}
+
+func (w *Worker) setAuth(req *http.Request) {
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
+}
+
+// fault consults the injected-fault schedule, counting fired faults.
+func (w *Worker) fault(op FaultOp, key string) Fault {
+	if w.Faults == nil {
+		return FaultNone
+	}
+	f := w.Faults.Fault(op, w.ID, key)
+	if f != FaultNone {
+		cWFaults.Inc()
+	}
+	return f
+}
+
+// Drain flips the worker into draining for a rolling restart: it stops
+// leasing new cells, finishes, renews, and submits the batch it already
+// holds, and then Run returns nil with zero held leases. The coordinator
+// is notified (best effort) so /work/fleet shows the state and so a
+// worker that dies mid-drain still has its leftovers requeued at the
+// drain deadline rather than the lease TTL. Safe to call from any
+// goroutine (cmd/astro wires SIGTERM here); repeated calls are no-ops.
+func (w *Worker) Drain() {
+	if !w.draining.CompareAndSwap(false, true) {
+		return
+	}
+	cWDrains.Inc()
+	w.logf("worker %s: draining (finishing held leases, no new work)", w.ID)
+	go w.postDrain()
+}
+
+// Draining reports whether Drain has been called.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+func (w *Worker) postDrain() {
+	body, _ := json.Marshal(DrainRequest{WorkerID: w.ID})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/drain", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	w.setAuth(req)
+	if resp, err := w.client().Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+	}
 }
 
 // agentStore lazily builds the worker's trained-agent tier: the configured
@@ -124,14 +207,18 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
+		if w.draining.Load() {
+			w.logf("worker %s: drained with zero held leases", w.ID)
+			return nil
+		}
 		cells, retryAfter, ttl, err := w.lease(ctx)
 		if err != nil {
 			// Coordinator unreachable or erroring: count it, say so, and
-			// retry with capped exponential backoff.
+			// retry with capped, jittered exponential backoff.
 			n := w.leaseErrs.Add(1)
 			cWLeaseErrs.Inc()
 			idle++
-			wait := backoff(poll, idle)
+			wait := w.jitteredBackoff(poll, idle)
 			w.logf("worker %s: lease failed (attempt %d, total errors %d, retrying in %s): %v", w.ID, idle, n, wait, err)
 			if !sleep(ctx, wait) {
 				return nil
@@ -154,49 +241,99 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		idle = 0
-		w.executeBatch(ctx, cells, ttl)
+		if err := w.executeBatch(ctx, cells, ttl); err != nil {
+			return err
+		}
 	}
 }
 
-// executeBatch runs one lease's cells under a heartbeat that renews only
-// the cell currently *executing*, so a cell that outruns the TTL is not
-// re-issued out from under a live worker. Cells queued behind it in the
+// executeBatch fans one lease's cells out across Parallel executor
+// goroutines under a single heartbeat that renews the union of the cells
+// currently *executing*, so a cell that outruns the TTL is not re-issued
+// out from under a live worker. Cells queued behind the executors in the
 // same batch are deliberately left to expire: an idle worker elsewhere in
 // the fleet picks them up after one TTL instead of waiting hours behind
-// this worker's long cell, and if this worker reaches one anyway its late
-// result is acknowledged as a duplicate. (This is the client half of the
-// queue's renewal invariant: one heartbeat must not keep a whole worker's
-// untouched leases alive.) The heartbeat stops with the batch.
-func (w *Worker) executeBatch(ctx context.Context, cells []*WireJob, ttl time.Duration) {
+// this worker's long cells. (This is the client half of the queue's
+// renewal invariant: one heartbeat must not keep a whole worker's
+// untouched leases alive.) A key the coordinator's renew response omits
+// is a lost lease — the cell has been re-queued for someone else — and
+// the executor abandons it rather than double-submitting. The heartbeat
+// stops with the batch. A non-nil error (ErrInjectedCrash) means the
+// worker must die.
+func (w *Worker) executeBatch(ctx context.Context, cells []*WireJob, ttl time.Duration) error {
 	var (
-		mu      sync.Mutex
-		current string
+		mu        sync.Mutex
+		executing = map[string]bool{} // keys under execution right now
+		lost      = map[string]bool{} // leases the coordinator reported lost
 	)
+	held := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		keys := make([]string, 0, len(executing))
+		for k := range executing {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	markLost := func(keys []string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, k := range keys {
+			lost[k] = true
+		}
+	}
+	isLost := func(key string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return lost[key]
+	}
+
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	if interval := w.renewInterval(ttl); interval > 0 {
-		go w.renewLoop(hbCtx, interval, func() []string {
-			mu.Lock()
-			defer mu.Unlock()
-			if current == "" {
-				return nil
-			}
-			return []string{current}
-		})
+		go w.renewLoop(hbCtx, interval, held, markLost)
 	}
 	received := time.Now()
-	for _, cell := range cells {
-		if ctx.Err() != nil {
-			return
-		}
-		mu.Lock()
-		current = cell.Key
-		mu.Unlock()
-		w.execute(ctx, cell, received)
-		mu.Lock()
-		current = ""
-		mu.Unlock()
+	n := w.parallel()
+	if n > len(cells) {
+		n = len(cells)
 	}
+	var (
+		wg      sync.WaitGroup
+		crashed atomic.Bool
+		jobs    = make(chan *WireJob)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				if ctx.Err() != nil || crashed.Load() {
+					continue // drain the channel; these leases expire on schedule
+				}
+				mu.Lock()
+				executing[cell.Key] = true
+				mu.Unlock()
+				err := w.execute(ctx, cell, received, isLost)
+				mu.Lock()
+				delete(executing, cell.Key)
+				mu.Unlock()
+				if errors.Is(err, ErrInjectedCrash) {
+					crashed.Store(true)
+				}
+			}
+		}()
+	}
+	for _, cell := range cells {
+		jobs <- cell
+	}
+	close(jobs)
+	wg.Wait()
+	if crashed.Load() {
+		return ErrInjectedCrash
+	}
+	return nil
 }
 
 // renewInterval picks the heartbeat period: the configured Renew, or a
@@ -221,9 +358,13 @@ func (w *Worker) renewInterval(ttl time.Duration) time.Duration {
 }
 
 // renewLoop posts heartbeats for the still-held keys until cancelled.
-// Failures are ignored: a missed renewal either recovers on the next tick
-// or the lease expires and the protocol's re-issue path takes over.
-func (w *Worker) renewLoop(ctx context.Context, interval time.Duration, heldKeys func() []string) {
+// Network failures are ignored: a missed renewal either recovers on the
+// next tick or the lease expires and the protocol's re-issue path takes
+// over. A successful response, though, is authoritative — any requested
+// key it does not list as renewed has lost its lease (expired and
+// re-queued for another worker), and markLost tells the executors to
+// abandon that cell instead of double-submitting its result.
+func (w *Worker) renewLoop(ctx context.Context, interval time.Duration, heldKeys func() []string, markLost func([]string)) {
 	for {
 		if !sleep(ctx, interval) {
 			return
@@ -232,15 +373,44 @@ func (w *Worker) renewLoop(ctx context.Context, interval time.Duration, heldKeys
 		if len(keys) == 0 {
 			continue
 		}
+		if w.fault(FaultOpRenew, "") == FaultDrop {
+			w.logf("worker %s: injected fault: heartbeat skipped", w.ID)
+			continue
+		}
 		body, _ := json.Marshal(RenewRequest{WorkerID: w.ID, Keys: keys})
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+"/renew", bytes.NewReader(body))
 		if err != nil {
 			continue
 		}
 		req.Header.Set("Content-Type", "application/json")
-		if resp, err := w.client().Do(req); err == nil {
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		w.setAuth(req)
+		resp, err := w.client().Do(req)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
 			resp.Body.Close()
+			continue
+		}
+		var rr RenewResponse
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr)
+		resp.Body.Close()
+		if decErr != nil {
+			continue
+		}
+		renewed := make(map[string]bool, len(rr.Renewed))
+		for _, k := range rr.Renewed {
+			renewed[k] = true
+		}
+		var gone []string
+		for _, k := range keys {
+			if !renewed[k] {
+				gone = append(gone, k)
+			}
+		}
+		if len(gone) > 0 {
+			markLost(gone)
 		}
 	}
 }
@@ -254,6 +424,24 @@ func backoff(base time.Duration, n int) time.Duration {
 		d = 5 * time.Second
 	}
 	return d
+}
+
+// jitteredBackoff is backoff with ±20% seeded jitter: after a
+// coordinator restart, a fleet of workers would otherwise all have
+// counted the same number of failures and retry in lockstep forever. The
+// jitter stream is seeded from the worker ID — deterministic per worker,
+// decorrelated across the fleet.
+func (w *Worker) jitteredBackoff(base time.Duration, n int) time.Duration {
+	d := backoff(base, n)
+	w.rngOnce.Do(func() {
+		h := fnv.New64a()
+		io.WriteString(h, w.ID)
+		w.rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	})
+	w.rngMu.Lock()
+	u := w.rng.Float64()
+	w.rngMu.Unlock()
+	return time.Duration(float64(d) * (0.8 + 0.4*u))
 }
 
 func sleep(ctx context.Context, d time.Duration) bool {
@@ -274,6 +462,7 @@ func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, time.Dur
 		return nil, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	w.setAuth(req)
 	resp, err := w.client().Do(req)
 	if err != nil {
 		return nil, 0, 0, err
@@ -295,8 +484,17 @@ func (w *Worker) lease(ctx context.Context) ([]*WireJob, time.Duration, time.Dur
 // execution start; "execute": the execution itself), which the
 // coordinator merges with its own lease_wait span into the cell's trace.
 // Failures are reported to the coordinator (so the cell can be re-leased
-// or failed) rather than swallowed.
-func (w *Worker) execute(ctx context.Context, cell *WireJob, received time.Time) {
+// or failed) rather than swallowed. A cell whose lease the coordinator
+// reported lost (isLost) is abandoned without submission: the cell has
+// re-queued for another worker, and a late duplicate would only burn
+// coordinator validation for nothing. Returns ErrInjectedCrash when the
+// fault schedule kills the worker here.
+func (w *Worker) execute(ctx context.Context, cell *WireJob, received time.Time, isLost func(string) bool) error {
+	fault := w.fault(FaultOpExecute, cell.Key)
+	if fault == FaultCrash {
+		w.logf("worker %s: injected fault: crashing while holding %s", w.ID, cell.Key)
+		return ErrInjectedCrash
+	}
 	start := time.Now()
 	var (
 		data    []byte
@@ -323,6 +521,29 @@ func (w *Worker) execute(ctx context.Context, cell *WireJob, received time.Time)
 	}
 
 	cWCells.Inc()
+	if isLost != nil && isLost(cell.Key) {
+		cWAbandoned.Inc()
+		w.logf("worker %s: lease lost for %s (%s); abandoning without submission", w.ID, cell.Key, cell.Label)
+		if w.OnProgress != nil {
+			w.OnProgress(Progress{JobIndex: cell.Index, Label: cell.Label, CacheHit: hit,
+				WallS: time.Since(start).Seconds(), Err: "lease lost; abandoned"})
+		}
+		return nil
+	}
+	switch fault {
+	case FaultDrop:
+		w.logf("worker %s: injected fault: dropping result for %s", w.ID, cell.Key)
+		if w.OnProgress != nil {
+			w.OnProgress(Progress{JobIndex: cell.Index, Label: cell.Label, CacheHit: hit,
+				WallS: time.Since(start).Seconds(), Err: "injected fault: result dropped"})
+		}
+		return nil
+	case FaultCorrupt:
+		if execErr == nil {
+			w.logf("worker %s: injected fault: corrupting result for %s", w.ID, cell.Key)
+			data = corruptResult(data)
+		}
+	}
 	spans := []telemetry.Span{
 		{Name: "queued", Host: w.ID, Start: received, DurS: start.Sub(received).Seconds()},
 		{Name: "execute", Host: w.ID, Start: start, DurS: time.Since(start).Seconds()},
@@ -349,6 +570,7 @@ func (w *Worker) execute(ctx context.Context, cell *WireJob, received time.Time)
 		}
 		w.OnProgress(p)
 	}
+	return nil
 }
 
 // executeSim runs one simulation cell to canonical result bytes.
@@ -414,6 +636,7 @@ func (w *Worker) submit(ctx context.Context, sub ResultSubmission) (CompleteStat
 			return "", err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		w.setAuth(req)
 		resp, err := w.client().Do(req)
 		if err != nil {
 			lastErr = err

@@ -1,0 +1,386 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// wireCells expands n distinct micro cells (one per seed) and wires them —
+// the parallel-executor tests need more cells than one spec point yields.
+func wireCells(t *testing.T, n int) []*WireJob {
+	t.Helper()
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(100 + i)
+	}
+	spec := Spec{
+		Benchmarks: []string{"micro"},
+		Schedulers: []string{"default"},
+		Seeds:      seeds,
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < n {
+		t.Fatalf("spec expands to %d jobs, need %d", len(jobs), n)
+	}
+	wires := make([]*WireJob, n)
+	for i := 0; i < n; i++ {
+		w, err := jobs[i].Wire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wires[i] = w
+	}
+	return wires
+}
+
+// TestJitteredBackoff pins the lease-failure backoff jitter: within ±20%
+// of the exponential base, deterministic per worker ID, decorrelated
+// across IDs (so a fleet does not retry in lockstep after a coordinator
+// restart).
+func TestJitteredBackoff(t *testing.T) {
+	a1 := &Worker{ID: "w-a"}
+	a2 := &Worker{ID: "w-a"}
+	b := &Worker{ID: "w-b"}
+	base := 100 * time.Millisecond
+	sameID, crossID := 0, 0
+	const rounds = 16
+	for n := 1; n <= rounds; n++ {
+		d := backoff(base, n)
+		j1, j2, j3 := a1.jitteredBackoff(base, n), a2.jitteredBackoff(base, n), b.jitteredBackoff(base, n)
+		if f := float64(j1) / float64(d); f < 0.79 || f > 1.21 {
+			t.Fatalf("round %d: jitter factor %.3f outside ±20%%", n, f)
+		}
+		if j1 == j2 {
+			sameID++
+		}
+		if j1 == j3 {
+			crossID++
+		}
+	}
+	if sameID != rounds {
+		t.Fatalf("same worker ID diverged: %d/%d draws equal", sameID, rounds)
+	}
+	if crossID == rounds {
+		t.Fatal("distinct worker IDs produced identical jitter schedules")
+	}
+	if d := backoff(time.Second, 50); d != 5*time.Second {
+		t.Fatalf("backoff cap: %v", d)
+	}
+}
+
+// TestSubmitRetriesTransientFailures: a coordinator hiccup (5xx) on result
+// submission retries instead of discarding a computed simulation.
+func TestSubmitRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ResultResponse{Status: CompleteAccepted})
+	}))
+	defer srv.Close()
+	w := &Worker{Coordinator: srv.URL, ID: "w1"}
+	st, err := w.submit(context.Background(), ResultSubmission{WorkerID: "w1", Key: strings.Repeat("a", 64)})
+	if err != nil || st != CompleteAccepted {
+		t.Fatalf("submit after transient failures: status %q, err %v", st, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("submit made %d attempts, want 3", n)
+	}
+}
+
+// TestSubmitGivesUpAfterThreeAttempts: a permanently failing coordinator
+// surfaces an error after exactly the retry budget.
+func TestSubmitGivesUpAfterThreeAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	w := &Worker{Coordinator: srv.URL, ID: "w1"}
+	st, err := w.submit(context.Background(), ResultSubmission{WorkerID: "w1", Key: strings.Repeat("a", 64)})
+	if err == nil || st != "" {
+		t.Fatalf("permanent failure returned status %q, err %v", st, err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("submit made %d attempts, want 3", n)
+	}
+}
+
+// TestSubmitDoesNotRetryRejection: a 422 is the coordinator's verdict, not
+// a transient failure — one attempt, status passed through.
+func TestSubmitDoesNotRetryRejection(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(ResultResponse{Status: CompleteRejected})
+	}))
+	defer srv.Close()
+	w := &Worker{Coordinator: srv.URL, ID: "w1"}
+	st, err := w.submit(context.Background(), ResultSubmission{WorkerID: "w1", Key: strings.Repeat("a", 64)})
+	if err != nil || st != CompleteRejected {
+		t.Fatalf("rejection round-trip: status %q, err %v", st, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("rejected submission retried: %d attempts", n)
+	}
+}
+
+// TestRenewLoopMarksLostLeases pins the worker half of the abandonment
+// contract: a requested key the coordinator's (successful) renew response
+// does not list is a lost lease and must be marked for the executors.
+func TestRenewLoopMarksLostLeases(t *testing.T) {
+	keyA, keyB := strings.Repeat("a", 64), strings.Repeat("b", 64)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(RenewResponse{Renewed: []string{keyA}}) // keyB has moved on
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lostCh := make(chan []string, 1)
+	w := &Worker{Coordinator: srv.URL, ID: "w1"}
+	go w.renewLoop(ctx, 5*time.Millisecond,
+		func() []string { return []string{keyA, keyB} },
+		func(keys []string) {
+			select {
+			case lostCh <- keys:
+			default:
+			}
+		})
+	select {
+	case keys := <-lostCh:
+		if len(keys) != 1 || keys[0] != keyB {
+			t.Fatalf("marked lost: %v, want [%s]", keys, keyB)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("renew loop never reported the lost lease")
+	}
+}
+
+// TestExecuteAbandonsLostLease pins the executor half: a cell whose lease
+// was reported lost is computed (too late to save that) but never
+// submitted — no double-submission for a cell another worker now owns.
+func TestExecuteAbandonsLostLease(t *testing.T) {
+	var submissions atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		submissions.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ResultResponse{Status: CompleteAccepted})
+	}))
+	defer srv.Close()
+	cell := wireCells(t, 1)[0]
+	var progErr string
+	w := &Worker{Coordinator: srv.URL, ID: "w1", OnProgress: func(p Progress) { progErr = p.Err }}
+	if err := w.execute(context.Background(), cell, time.Now(), func(string) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n := submissions.Load(); n != 0 {
+		t.Fatalf("abandoned cell was submitted %d times", n)
+	}
+	if !strings.Contains(progErr, "abandoned") {
+		t.Fatalf("progress hook saw %q, want an abandonment", progErr)
+	}
+}
+
+// concProbe measures executor overlap through the fault seam: each
+// FaultOpExecute consultation holds a slot for a moment and records the
+// concurrent high-water mark (and injects nothing).
+type concProbe struct {
+	mu        sync.Mutex
+	cur, peak int
+}
+
+func (p *concProbe) Fault(op FaultOp, workerID, key string) Fault {
+	if op != FaultOpExecute {
+		return FaultNone
+	}
+	p.mu.Lock()
+	p.cur++
+	if p.cur > p.peak {
+		p.peak = p.cur
+	}
+	p.mu.Unlock()
+	time.Sleep(20 * time.Millisecond) // hold the slot so executors overlap
+	p.mu.Lock()
+	p.cur--
+	p.mu.Unlock()
+	return FaultNone
+}
+
+func (p *concProbe) Peak() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// TestParallelExecutorsOverlap: `-j N` must actually fan a batch out — at
+// least two cells of one lease in flight at once — and still complete
+// every cell exactly once.
+func TestParallelExecutorsOverlap(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := startCoordinator(t, q, store)
+	probe := &concProbe{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Coordinator: srv.URL + "/work",
+		ID:          "w-par",
+		Parallel:    4,
+		Max:         8,
+		Poll:        5 * time.Millisecond,
+		Faults:      probe,
+	}
+	go w.Run(ctx)
+
+	wires := wireCells(t, 8)
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for _, wire := range wires {
+		wg.Add(1)
+		q.Enqueue(wire, func(data []byte, err error) {
+			if err != nil {
+				errs.Add(1)
+			}
+			wg.Done()
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("parallel batch never completed")
+	}
+	if n := errs.Load(); n != 0 {
+		t.Fatalf("%d cells errored", n)
+	}
+	if peak := probe.Peak(); peak < 2 {
+		t.Fatalf("executor concurrency peaked at %d; -j 4 never overlapped", peak)
+	}
+	if st := q.Stats(); st.Done != 8 {
+		t.Fatalf("queue done %d, want 8", st.Done)
+	}
+}
+
+// TestWorkerDrainFinishesHeldBatch: Drain mid-batch finishes and submits
+// everything the worker holds, then Run returns nil with zero held leases;
+// unleased cells stay pending for the rest of the fleet, and the
+// coordinator learns the state (best-effort notification).
+func TestWorkerDrainFinishesHeldBatch(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := startCoordinator(t, q, store)
+	w := &Worker{Coordinator: srv.URL + "/work", ID: "w-drain", Max: 3, Poll: 5 * time.Millisecond}
+	var once sync.Once
+	w.OnProgress = func(Progress) { once.Do(w.Drain) }
+
+	for _, wire := range wireCells(t, 6) {
+		q.Enqueue(wire, func([]byte, error) {})
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run(context.Background()) }()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drained run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drained worker never exited")
+	}
+	if !w.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	st := q.Stats()
+	if st.Done != 3 || st.Pending != 3 {
+		t.Fatalf("after drain: done %d pending %d, want 3/3 (held batch finished, rest left)", st.Done, st.Pending)
+	}
+	if row := workerRow(t, st, "w-drain"); row.Leased != 0 {
+		t.Fatalf("drained worker still holds %d leases", row.Leased)
+	}
+	// The POST /drain notification is async; the coordinator-side state
+	// must land shortly after.
+	deadline := time.Now().Add(5 * time.Second)
+	for workerRow(t, q.Stats(), "w-drain").State != WorkerDraining {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never saw the drain notification")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestInjectedCrashStopsWorker: FaultCrash kills Run with ErrInjectedCrash
+// before anything is submitted; the held leases are left to expire like a
+// real worker death.
+func TestInjectedCrashStopsWorker(t *testing.T) {
+	q := NewWorkQueue(time.Minute)
+	store := NewMemStore()
+	srv := startCoordinator(t, q, store)
+	for _, wire := range wireCells(t, 2) {
+		q.Enqueue(wire, func([]byte, error) {})
+	}
+	w := &Worker{
+		Coordinator: srv.URL + "/work",
+		ID:          "w-crash",
+		Max:         2,
+		Poll:        5 * time.Millisecond,
+		Faults:      &FaultSchedule{Seed: 1, Crash: 1},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := w.Run(ctx); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crashed run returned %v", err)
+	}
+	if st := q.Stats(); st.Done != 0 {
+		t.Fatalf("crashed worker completed %d cells", st.Done)
+	}
+}
+
+// TestFaultScheduleDeterministic: the seeded schedule depends only on the
+// (op, worker, key, occurrence) tuple — two instances with the same seed
+// agree draw for draw, and the zero value never fires.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	mk := func() *FaultSchedule {
+		return &FaultSchedule{Seed: 9, Crash: 0.1, Corrupt: 0.2, Drop: 0.2, StallRenew: 0.3, DropComplete: 0.3}
+	}
+	a, b := mk(), mk()
+	seen := map[Fault]bool{}
+	for i := 0; i < 64; i++ {
+		for _, op := range []FaultOp{FaultOpExecute, FaultOpRenew, FaultOpComplete} {
+			key := strings.Repeat("0123456789abcdef"[i%16:i%16+1], 64)
+			fa, fb := a.Fault(op, "w1", key), b.Fault(op, "w1", key)
+			if fa != fb {
+				t.Fatalf("draw %d/%s diverged: %v != %v", i, op, fa, fb)
+			}
+			seen[fa] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("schedule fired only %d distinct outcomes over 192 draws; hash not spreading", len(seen))
+	}
+	var zero FaultSchedule
+	for i := 0; i < 32; i++ {
+		if f := zero.Fault(FaultOpExecute, "w1", "k"); f != FaultNone {
+			t.Fatalf("zero-value schedule fired %v", f)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 //	POST /lease         LeaseRequest  -> LeaseResponse (content-addressed cells)
 //	POST /renew         RenewRequest  -> RenewResponse (heartbeat: extend held leases)
 //	POST /result        ResultSubmission -> ResultResponse (fsync-safe once stored)
+//	POST /drain         DrainRequest  -> DrainResponse (drain or resume a worker)
 //	GET  /status        QueueStats (pending/leased/done + per-worker counters)
 //	GET  /fleet         FleetStatus (per-worker registry: liveness, throughput, in-flight cell)
 //	GET  /traces        assembled per-cell traces, newest first (?campaign=, ?n=)
@@ -82,12 +84,31 @@ type RenewRequest struct {
 }
 
 // RenewResponse lists the keys actually renewed (request order). A key the
-// worker sent that is absent here was not renewable — its lease expired or
-// moved on — and the worker should expect its eventual result to be
-// acknowledged as a duplicate.
+// worker sent that is absent here was not renewable — its lease expired
+// and the cell has been re-queued or re-issued — and the worker abandons
+// that cell rather than double-submitting a result another worker is
+// already computing.
 type RenewResponse struct {
 	Renewed    []string `json:"renewed"`
 	LeaseTTLMS int64    `json:"lease_ttl_ms"`
+}
+
+// DrainRequest flips a worker's coordinator-side state. Without Resume it
+// drains: the worker receives no new cells, its held leases keep renewing
+// and completing, and anything still held after GraceMS (0 = the lease
+// TTL) is requeued. With Resume it returns a drained or quarantined
+// worker to active.
+type DrainRequest struct {
+	WorkerID string `json:"worker_id"`
+	GraceMS  int64  `json:"grace_ms,omitempty"`
+	Resume   bool   `json:"resume,omitempty"`
+}
+
+// DrainResponse reports the worker's state after the transition and the
+// held-lease count the drain is waiting on.
+type DrainResponse struct {
+	State string `json:"state"` // "active", "draining", or "quarantined"
+	Held  int    `json:"held"`
 }
 
 // keyPattern is what a content address looks like: lowercase SHA-256 hex.
@@ -174,6 +195,29 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 			code = http.StatusUnprocessableEntity
 		}
 		writeJSON(w, code, ResultResponse{Status: st})
+	})
+
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		var req DrainRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad drain request: %v", err)
+			return
+		}
+		if req.WorkerID == "" {
+			writeErr(w, http.StatusBadRequest, "drain request needs worker_id")
+			return
+		}
+		var ws WorkerStatus
+		if req.Resume {
+			ws = q.Resume(req.WorkerID)
+		} else {
+			ws = q.Drain(req.WorkerID, time.Duration(req.GraceMS)*time.Millisecond)
+		}
+		state := ws.State
+		if state == WorkerActive {
+			state = "active"
+		}
+		writeJSON(w, http.StatusOK, DrainResponse{State: state, Held: ws.Leased})
 	})
 
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
@@ -268,6 +312,33 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 	return mux
 }
 
+// WithBearerAuth guards h behind a shared bearer token: every request
+// must carry "Authorization: Bearer <token>" or is refused with 401. An
+// empty token returns h unwrapped — today's trusted-network behavior —
+// so callers can pass their -token flag through unconditionally. Mount
+// it around WorkHandler to guard all /work endpoints:
+//
+//	http.StripPrefix("/work", campaign.WithBearerAuth(token, campaign.WorkHandler(q, store)))
+//
+// The comparison is constant-time; the token travels in a header, so run
+// TLS (or a trusted network) if the path crosses machines you don't own.
+func WithBearerAuth(token string, h http.Handler) http.Handler {
+	if token == "" {
+		return h
+	}
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="astro"`)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnauthorized)
+			json.NewEncoder(w).Encode(map[string]string{"error": "missing or invalid bearer token"})
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // AgentExchange is the worker-side tier of the trained-agent snapshot
 // exchange: a ResultStore that reads through to the coordinator's store
 // over HTTP and publishes local training results back. Point TrainCell (or
@@ -279,6 +350,7 @@ type AgentExchange struct {
 	Coordinator string       // coordinator base URL (the /work mount), e.g. http://host:8080/work
 	Client      *http.Client // nil = http.DefaultClient
 	Local       ResultStore  // local tier; fetched snapshots are cached here
+	Token       string       // bearer token for coordinators behind WithBearerAuth ("" = none)
 }
 
 // NewAgentExchange builds an exchange over a local store (nil = fresh
@@ -303,13 +375,24 @@ func (x *AgentExchange) client() *http.Client {
 	return exchangeClient
 }
 
+func (x *AgentExchange) setAuth(req *http.Request) {
+	if x.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+x.Token)
+	}
+}
+
 // Get consults the local tier, then the coordinator; remote hits are cached
 // locally.
 func (x *AgentExchange) Get(key string) ([]byte, bool) {
 	if data, ok := x.Local.Get(key); ok {
 		return data, true
 	}
-	resp, err := x.client().Get(x.Coordinator + "/agents/" + key)
+	req, err := http.NewRequest(http.MethodGet, x.Coordinator+"/agents/"+key, nil)
+	if err != nil {
+		return nil, false
+	}
+	x.setAuth(req)
+	resp, err := x.client().Do(req)
 	if err != nil {
 		return nil, false
 	}
@@ -344,6 +427,7 @@ func (x *AgentExchange) Put(key string, data []byte) error {
 		return nil
 	}
 	req.Header.Set("Content-Type", "application/json")
+	x.setAuth(req)
 	if resp, err := x.client().Do(req); err == nil {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
 		resp.Body.Close()
