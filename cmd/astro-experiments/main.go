@@ -51,6 +51,7 @@ import (
 
 	"astro/internal/campaign"
 	"astro/internal/experiments"
+	"astro/internal/journal"
 	"astro/internal/telemetry"
 )
 
@@ -65,6 +66,7 @@ func main() {
 	token := flag.String("token", "", "with -remote: bearer token required on the /work endpoints (empty = open)")
 	timeout := flag.Duration("timeout", 0, "stop scheduling simulations after this duration; in-flight work finishes (0 = none)")
 	pprofOn := flag.Bool("pprof", false, "with -remote: mount net/http/pprof endpoints under /debug/pprof/ on the coordinator")
+	journalDir := flag.String("journal", "", "with -remote: flight-recorder directory, journaling every queue lifecycle event (empty = off)")
 	flag.Parse()
 
 	sc := experiments.Small
@@ -92,7 +94,7 @@ func main() {
 	}
 	cfg := experiments.ExecConfig{Workers: *jobs, Store: exec, Ctx: ctx}
 	if *remoteAddr != "" {
-		runner, stop, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec, *pprofOn, *token)
+		runner, stop, err := startCoordinator(*remoteAddr, *leaseTTL, *jobs, exec, *pprofOn, *token, *journalDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astro-experiments:", err)
 			os.Exit(1)
@@ -115,19 +117,38 @@ func main() {
 // coordinator-local simulations or trainings.
 //
 // Beside the /work endpoints the coordinator serves GET /metrics
-// (Prometheus text over the process-wide telemetry registry) so a long
-// paper run is observable: curl /work/fleet for per-worker rates and
-// in-flight cells, /metrics for queue depth, lease-wait and execute
-// latency histograms. pprofOn additionally mounts /debug/pprof/; token,
-// when non-empty, guards every /work endpoint behind bearer auth (point
-// workers here with `astro worker -token`). The returned stop halts the
-// queue's background lease sweeper.
-func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore, pprofOn bool, token string) (*campaign.RemoteRunner, func(), error) {
+// (Prometheus text over the process-wide telemetry registry), GET
+// /healthz (liveness) and GET /readyz (readiness: store writable,
+// sweeper live, fleet fresh) so a long paper run is probe-able by the
+// same tooling as astro-serve: curl /work/fleet for per-worker rates
+// and in-flight cells, /metrics for queue depth, lease-wait and
+// execute latency histograms. pprofOn additionally mounts
+// /debug/pprof/; token, when non-empty, guards every /work endpoint
+// behind bearer auth (point workers here with `astro worker -token`);
+// journalDir, when non-empty, records every queue lifecycle event for
+// `astro journal replay` and GET /work/journal. The returned stop
+// halts the queue's background lease sweeper and closes the journal.
+func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store campaign.ResultStore, pprofOn bool, token, journalDir string) (*campaign.RemoteRunner, func(), error) {
 	q := campaign.NewWorkQueue(ttl)
 	q.Store = store // bank late results of timed-out figures
+	closeJournal := func() {}
+	if journalDir != "" {
+		jw, err := journal.Open(journalDir, journal.Options{})
+		if err != nil {
+			return nil, nil, fmt.Errorf("-journal %s: %w", journalDir, err)
+		}
+		q.Events = jw
+		closeJournal = func() { jw.Close() }
+	}
 	mux := http.NewServeMux()
 	mux.Handle("/work/", http.StripPrefix("/work", campaign.WithBearerAuth(token, campaign.WorkHandler(q, store))))
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	healther, _ := store.(campaign.Healther)
+	mux.Handle("GET /readyz", campaign.ReadyHandler(q, healther))
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -139,7 +160,8 @@ func startCoordinator(addr string, ttl time.Duration, poolWorkers int, store cam
 	if err != nil {
 		return nil, nil, fmt.Errorf("-remote %s: %w", addr, err)
 	}
-	stop := q.StartSweeper(0) // requeue expired leases even when no worker is polling
+	stopSweep := q.StartSweeper(0) // requeue expired leases even when no worker is polling
+	stop := func() { stopSweep(); closeJournal() }
 	go http.Serve(ln, mux)
 	fmt.Fprintf(os.Stderr, "astro-experiments: coordinating workers on %s (lease TTL %v); point `astro worker -coordinator http://<host>%s` here\n",
 		ln.Addr(), ttl, addr)

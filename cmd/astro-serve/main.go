@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d] [-token t]
+//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d] [-token t] [-journal dir]
 //
 // Quick tour (see README.md for a full example):
 //
@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"astro/internal/campaign"
+	"astro/internal/journal"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "how long a worker holds a cell before it re-leases")
 	token := flag.String("token", "", "bearer token required on all /work endpoints (empty = open, trusted-network)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/")
+	journalDir := flag.String("journal", "", "flight-recorder directory: journal every queue lifecycle event as segment-rotated JSONL (empty = off)")
 	flag.Parse()
 
 	var store campaign.ResultStore
@@ -66,6 +68,16 @@ func main() {
 
 	queue := campaign.NewWorkQueue(*leaseTTL)
 	queue.Store = store // keep late results of cancelled campaigns
+	closeJournal := func() {}
+	if *journalDir != "" {
+		jw, err := journal.Open(*journalDir, journal.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astro-serve:", err)
+			os.Exit(1)
+		}
+		queue.Events = jw
+		closeJournal = func() { jw.Close() }
+	}
 	var runner campaign.Runner = &campaign.Pool{Workers: *jobs, Store: store}
 	mode := "local pool"
 	if *remote {
@@ -93,6 +105,7 @@ func main() {
 	select {
 	case err := <-errc:
 		stopSweep()
+		closeJournal()
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "astro-serve:", err)
 			os.Exit(1)
@@ -105,6 +118,7 @@ func main() {
 		shCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
 		defer done()
 		srv.Shutdown(shCtx)
+		closeJournal()
 	}
 }
 

@@ -17,7 +17,8 @@ import (
 // newServer wires the campaign engine into an HTTP handler. The API is
 // JSON throughout:
 //
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (process up)
+//	GET    /readyz                   readiness probe (store writable, sweeper live, fleet fresh)
 //	GET    /api/benchmarks           bundled benchmark names
 //	GET    /api/platforms            platform names
 //	POST   /campaigns                submit a campaign.Spec; 202 + status
@@ -37,6 +38,7 @@ import (
 //	GET    /work/status              queue + per-worker fleet status
 //	GET    /work/fleet               derived per-worker fleet view (rates, in-flight)
 //	GET    /work/traces              coordinator-assembled per-cell traces
+//	GET    /work/journal             flight-recorder events (cursor-paged; needs -journal)
 //	GET    /work/agents/{key}        trained-agent snapshot exchange (fetch)
 //	PUT    /work/agents/{key}        trained-agent snapshot exchange (publish)
 //
@@ -59,6 +61,8 @@ func newServer(eng *campaign.Engine, queue *campaign.WorkQueue, pprofOn bool, wo
 	if queue != nil {
 		mux.Handle("/work/", http.StripPrefix("/work",
 			campaign.WithBearerAuth(workToken, campaign.WorkHandler(queue, eng.Store()))))
+		h, _ := eng.Store().(campaign.Healther)
+		mux.Handle("GET /readyz", campaign.ReadyHandler(queue, h))
 	}
 	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default))
 	if pprofOn {

@@ -184,6 +184,38 @@ func TestServeCancel(t *testing.T) {
 	}
 }
 
+// TestServeReadyz probes the readiness endpoint across the states an
+// orchestrator's probe would see: not ready while the sweeper has never
+// started, ready once it runs, with /healthz up throughout.
+func TestServeReadyz(t *testing.T) {
+	queue := campaign.NewWorkQueue(time.Minute)
+	srv := httptest.NewServer(newServer(campaign.NewEngine(2, nil), queue, false, ""))
+	t.Cleanup(srv.Close)
+
+	if code := getJSON(t, srv.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	var st campaign.ReadyStatus
+	if code := getJSON(t, srv.URL+"/readyz", &st); code != http.StatusServiceUnavailable || st.Ready {
+		t.Fatalf("pre-sweeper readyz: code %d, %+v", code, st)
+	}
+	found := false
+	for _, c := range st.Checks {
+		if c.Name == "sweeper" && !c.OK {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("readyz body does not name the failing sweeper check: %+v", st)
+	}
+
+	stop := queue.StartSweeper(0)
+	defer stop()
+	if code := getJSON(t, srv.URL+"/readyz", &st); code != 200 || !st.Ready {
+		t.Fatalf("post-sweeper readyz: code %d, %+v", code, st)
+	}
+}
+
 // TestServeRemoteCampaign runs a campaign through a -remote engine: the
 // server's /work endpoints hand cells to a pull-based worker, and the
 // campaign completes with results identical in shape to local execution.

@@ -14,6 +14,8 @@
 //	astro scenario  generate [-seed N] [-cpu N -io N -blocked N -mixed N] [...]
 //	astro scenario  sweep|report [-spec matrix.json | -programs N -zoo ...] [-workers N]
 //	astro worker    [-coordinator URL] [-id name] [-max N] [-cache dir]
+//	astro journal   replay [-store dir] <journal-dir>
+//	astro fleet     top [-coordinator URL] [-token t] [-interval d] [-frames N]
 //
 // Programs are either astc source paths or "bench:<name>" for a bundled
 // benchmark.
@@ -61,6 +63,10 @@ func main() {
 		err = cmdScenario(args)
 	case "worker":
 		err = cmdWorker(args)
+	case "journal":
+		err = cmdJournal(args)
+	case "fleet":
+		err = cmdFleet(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -72,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign|scenario|worker> [flags] <file.astc | bench:name>`)
+	fmt.Fprintln(os.Stderr, `usage: astro <features|disasm|run|train|bench|campaign|scenario|worker|journal|fleet> [flags] <file.astc | bench:name>`)
 }
 
 // load resolves a program argument to a module.

@@ -5,12 +5,16 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"astro/internal/campaign"
+	"astro/internal/journal"
 	"astro/internal/scenario"
+	"astro/internal/telemetry"
 )
 
 // chaosMatrix is the generated 100-cell grid the chaos drill runs: 5
@@ -61,6 +65,21 @@ func TestChaosFleetByteIdentity(t *testing.T) {
 	q := campaign.NewWorkQueue(400 * time.Millisecond)
 	q.Store = store
 	q.SetMaxAttempts(8)
+	// Journal the whole drill. Byte identity asserted below is therefore
+	// also the journal-inertness proof (DESIGN.md invariant 10), and the
+	// log feeds the replay/audit checks at the end. ASTRO_ARTIFACT_DIR
+	// (set in CI) preserves the journal and a metrics snapshot as build
+	// artifacts when the race job fails.
+	artifactDir := os.Getenv("ASTRO_ARTIFACT_DIR")
+	if artifactDir == "" {
+		artifactDir = t.TempDir()
+	}
+	journalDir := filepath.Join(artifactDir, "journal")
+	jw, err := journal.Open(journalDir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Events = jw
 	// The corruptor is exempt from the coordinator-side drop: its garbage
 	// must reach validation every time, so the quarantine assertion below
 	// does not depend on which cells it happens to lease.
@@ -205,6 +224,59 @@ func TestChaosFleetByteIdentity(t *testing.T) {
 
 	stopFleet()
 	wg.Wait()
+
+	// Postmortem: close the journal and replay it cold, exactly as
+	// `astro journal replay` would after a coordinator crash. The
+	// reconstructed queue counters must match the live queue, and every
+	// journaled completion must be banked in the store — 100/100.
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := journal.ReadSince(journalDir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := journal.Replay(events)
+	live := q.Stats()
+	if rep.Pending != live.Pending || rep.Leased != live.Leased || rep.Done != live.Done ||
+		rep.Requeues != live.Requeues || rep.Rejects != live.Rejects ||
+		rep.Duplicates != live.Duplicates || rep.Renewals != live.Renewals {
+		t.Errorf("replay diverges from live queue:\n  replay {pend %d leased %d done %d req %d rej %d dup %d ren %d}\n  live   {pend %d leased %d done %d req %d rej %d dup %d ren %d}",
+			rep.Pending, rep.Leased, rep.Done, rep.Requeues, rep.Rejects, rep.Duplicates, rep.Renewals,
+			live.Pending, live.Leased, live.Done, live.Requeues, live.Rejects, live.Duplicates, live.Renewals)
+	}
+	for _, lw := range live.Workers {
+		rw := rep.Workers[lw.ID]
+		if rw == nil {
+			t.Errorf("worker %s missing from replay", lw.ID)
+			continue
+		}
+		if rw.Completed != lw.Completed || rw.Errors != lw.Errors ||
+			rw.Rejects != lw.Rejects || rw.State != lw.State {
+			t.Errorf("worker %s: replay %+v, live %+v", lw.ID, rw, lw)
+		}
+	}
+	completed := rep.CompletedKeys()
+	if len(completed) != 100 {
+		t.Errorf("journal records %d completed cells, want 100", len(completed))
+	}
+	banked := 0
+	for _, key := range completed {
+		if _, ok := store.Get(key); ok {
+			banked++
+		} else {
+			t.Errorf("journaled completion %s not banked", key)
+		}
+	}
+	t.Logf("postmortem audit: %d/%d journaled results banked, %d events replayed", banked, len(completed), rep.Events)
+
+	// Snapshot the process-wide metrics beside the journal so a failing
+	// CI run ships both.
+	var prom bytes.Buffer
+	telemetry.Default.WritePrometheus(&prom)
+	if err := os.WriteFile(filepath.Join(artifactDir, "metrics.prom"), prom.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // exemptWorker composes fault policies: one worker sees no injected

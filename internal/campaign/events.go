@@ -1,0 +1,48 @@
+package campaign
+
+import "astro/internal/journal"
+
+// EventSink is the observer seam the flight recorder plugs into the
+// WorkQueue: the queue calls Record once per lifecycle transition —
+// enqueue, lease, renew, complete, reject, requeue, expire, drain,
+// quarantine, fault injection. *journal.Writer satisfies it directly.
+//
+// Emission is fire-and-forget by design (DESIGN.md invariant 10): a
+// sink error is counted and dropped, never surfaced to the queue
+// operation that triggered it, so a full disk degrades observability
+// without touching campaign outputs.
+type EventSink interface {
+	Record(journal.Event) (uint64, error)
+}
+
+// JournalReader is the optional read side of an EventSink. When the
+// queue's sink also satisfies it (*journal.Writer does), the
+// coordinator serves GET /work/journal from it — cursor-paged, so a
+// poller (or astro journal replay pointed at a live coordinator's
+// dump) resumes exactly where it left off.
+type JournalReader interface {
+	ReadSince(cursor uint64, max int) ([]journal.Event, error)
+}
+
+// JournalPage is the GET /work/journal payload. NextCursor is the last
+// event's sequence number (or the request cursor when the page is
+// empty): feed it back as ?cursor= to tail the journal.
+type JournalPage struct {
+	Events     []journal.Event `json:"events"`
+	NextCursor uint64          `json:"next_cursor"`
+}
+
+// emit records one lifecycle event on the configured sink. Most call
+// sites hold q.mu, which is what gives the journal its strict event
+// ordering; the documented exceptions (EvComplete, EvBank, EvFault)
+// are emitted outside the lock and replay order-tolerantly.
+func (q *WorkQueue) emit(ev journal.Event) {
+	if q.Events == nil {
+		return
+	}
+	if _, err := q.Events.Record(ev); err != nil {
+		cQJournalErrors.Inc()
+		return
+	}
+	cQJournalEvents.Inc()
+}

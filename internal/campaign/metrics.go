@@ -46,6 +46,10 @@ var (
 	gQLeased     = telemetry.Default.Gauge("astro_queue_leased", "Cells currently leased out.")
 	gQWorkers    = telemetry.Default.Gauge("astro_queue_workers", "Workers that have ever contacted this queue.")
 
+	// Flight recorder (the EventSink seam; see internal/journal).
+	cQJournalEvents = telemetry.Default.Counter("astro_journal_events_total", "Lifecycle events recorded to the fleet journal.")
+	cQJournalErrors = telemetry.Default.Counter("astro_journal_errors_total", "Journal appends that failed (events dropped; the queue is unaffected).")
+
 	// Worker lifecycle transitions (draining, quarantine) and chaos seams.
 	cQDrains         = telemetry.Default.Counter("astro_queue_worker_drains_total", "Workers flipped into the draining state.")
 	cQResumes        = telemetry.Default.Counter("astro_queue_worker_resumes_total", "Drained or quarantined workers explicitly resumed.")

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"astro/internal/journal"
 	"astro/internal/sim"
 	"astro/internal/telemetry"
 )
@@ -101,6 +102,12 @@ type WorkQueue struct {
 	// serving.
 	QuarantineAfter int
 
+	// Events, when non-nil, receives one journal.Event per lifecycle
+	// transition — the flight-recorder seam. Emission never fails or
+	// delays a queue operation (DESIGN.md invariant 10: journaling is
+	// inert on campaign outputs). Set before serving.
+	Events EventSink
+
 	mu sync.Mutex
 
 	ttl         time.Duration
@@ -128,6 +135,12 @@ type WorkQueue struct {
 	localPending int
 	localDone    uint64
 	localErrors  uint64
+
+	// Sweeper bookkeeping for /readyz: every entry point sweeps, so
+	// lastSweep advances with traffic as well as with the ticker.
+	sweeperOn     bool
+	sweepInterval time.Duration
+	lastSweep     time.Time
 }
 
 // maxDoneKeys bounds the duplicate-detection set. Past the cap it resets:
@@ -281,6 +294,7 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 		q.cells[wire.Key] = c
 		q.order = append(q.order, wire.Key)
 		cQEnqueued.Inc()
+		q.emit(journal.Event{Type: journal.EvEnqueue, Key: wire.Key, Kind: wire.Kind, Campaign: wire.Campaign})
 	}
 	id := q.nextWaiter
 	q.nextWaiter++
@@ -304,6 +318,7 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 			// Lazy removal: the key stays in order but Lease skips cells
 			// that are gone from the map.
 			delete(q.cells, key)
+			q.emit(journal.Event{Type: journal.EvCancel, Key: key})
 		}
 		return true
 	}
@@ -347,6 +362,7 @@ func (q *WorkQueue) Lease(workerID string, max int) []*WireJob {
 			w.Leased++
 			out = append(out, c.wire)
 			cQLeased.Inc()
+			q.emit(journal.Event{Type: journal.EvLease, Key: key, Worker: workerID, Kind: c.wire.Kind, Attempt: c.attempts})
 			if c.attempts == 1 {
 				hQLeaseWait.Observe(now.Sub(c.enqueuedAt).Seconds())
 			}
@@ -387,6 +403,7 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 	// the protocol recovers exactly as it would from the real thing.
 	if q.Faults != nil && workerErr == "" && q.Faults.Fault(FaultOpComplete, workerID, key) == FaultDrop {
 		cQFaultsInjected.Inc()
+		q.emit(journal.Event{Type: journal.EvFault, Key: key, Worker: workerID, Cause: "drop_complete"})
 		return CompleteAccepted
 	}
 	q.mu.Lock()
@@ -400,6 +417,7 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 		if q.doneKeys[key] {
 			q.duplicates++
 			cQDuplicates.Inc()
+			q.emit(journal.Event{Type: journal.EvDuplicate, Key: key, Worker: workerID})
 			st = CompleteDuplicate
 		}
 		q.mu.Unlock()
@@ -414,7 +432,9 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 		// callers too).
 		if st == CompleteUnknown && workerErr == "" && q.Store != nil && keyPattern.MatchString(key) {
 			if validateWireResult(KindSim, data) == nil || validateWireResult(KindTrain, data) == nil {
-				_ = q.Store.Put(key, data)
+				if q.Store.Put(key, data) == nil {
+					q.emit(journal.Event{Type: journal.EvBank, Key: key, Worker: workerID})
+				}
 			}
 		}
 		return st
@@ -425,13 +445,14 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 	}
 	if workerErr != "" {
 		w.Errors++
+		q.emit(journal.Event{Type: journal.EvError, Key: key, Worker: workerID, Cause: workerErr})
 		if !holds {
 			// Stale failure report: the lease moved on. Ignore it.
 			q.mu.Unlock()
 			expired()
 			return CompleteUnknown
 		}
-		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s: %s", workerID, workerErr))
+		st := q.retryOrFailLocked(c, key, "error", fmt.Errorf("campaign: worker %s: %s", workerID, workerErr))
 		q.noteGaugesLocked()
 		q.mu.Unlock()
 		expired()
@@ -448,6 +469,7 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 		q.rejects++
 		cQRejects.Inc()
 		w.Errors++
+		q.emit(journal.Event{Type: journal.EvReject, Key: key, Worker: workerID, Cause: err.Error()})
 		q.noteRejectLocked(w)
 		if !holds {
 			// Stale garbage: reject without disturbing the current holder.
@@ -455,7 +477,7 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 			expired()
 			return CompleteRejected
 		}
-		st := q.retryOrFailLocked(c, key, fmt.Errorf("campaign: worker %s sent malformed result for %s: %w", workerID, key, err))
+		st := q.retryOrFailLocked(c, key, "reject", fmt.Errorf("campaign: worker %s sent malformed result for %s: %w", workerID, key, err))
 		q.noteGaugesLocked()
 		q.mu.Unlock()
 		expired()
@@ -492,6 +514,12 @@ func (q *WorkQueue) CompleteSpans(workerID, key string, data []byte, workerErr s
 	if q.Store != nil {
 		_ = q.Store.Put(key, data)
 	}
+	// The completion is journaled only after the bytes reach the store
+	// (write data, then log): a journaled EvComplete therefore implies
+	// the result is banked, which is exactly what the postmortem audit
+	// checks after a kill -9. The cost is that this one event is emitted
+	// outside q.mu; Replay tolerates the benign reorderings that allows.
+	q.emit(journal.Event{Type: journal.EvComplete, Key: key, Worker: workerID, Kind: c.wire.Kind, Attempt: c.attempts})
 	waiters()
 	return CompleteAccepted
 }
@@ -536,6 +564,9 @@ func (q *WorkQueue) Renew(workerID string, keys []string) []string {
 	}
 	q.renewals += uint64(len(renewed))
 	cQRenewals.Add(uint64(len(renewed)))
+	if len(renewed) > 0 {
+		q.emit(journal.Event{Type: journal.EvRenew, Worker: workerID, N: len(renewed)})
+	}
 	q.noteGaugesLocked()
 	q.mu.Unlock()
 	expired()
@@ -562,6 +593,7 @@ func (q *WorkQueue) Drain(workerID string, grace time.Duration) WorkerStatus {
 	if w.State == WorkerActive {
 		w.State = WorkerDraining
 		cQDrains.Inc()
+		q.emit(journal.Event{Type: journal.EvDrain, Worker: workerID})
 	}
 	if w.State == WorkerDraining {
 		w.drainDeadline = now.Add(grace)
@@ -585,6 +617,7 @@ func (q *WorkQueue) Resume(workerID string) WorkerStatus {
 		w.drainDeadline = time.Time{}
 		w.Rejects = 0
 		cQResumes.Inc()
+		q.emit(journal.Event{Type: journal.EvResume, Worker: workerID})
 	}
 	snap := *w
 	q.mu.Unlock()
@@ -604,6 +637,7 @@ func (q *WorkQueue) noteRejectLocked(w *WorkerStatus) {
 		w.State = WorkerQuarantined
 		w.drainDeadline = time.Time{}
 		cQQuarantines.Inc()
+		q.emit(journal.Event{Type: journal.EvQuarantine, Worker: w.ID})
 	}
 }
 
@@ -622,6 +656,10 @@ func (q *WorkQueue) StartSweeper(interval time.Duration) (stop func()) {
 			interval = 30 * time.Second
 		}
 	}
+	q.mu.Lock()
+	q.sweeperOn = true
+	q.sweepInterval = interval
+	q.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		t := time.NewTicker(interval)
@@ -812,6 +850,7 @@ func (q *WorkQueue) Sweep() {
 // scanned — every Lease and Complete sweeps, so the cost must be bounded
 // by in-flight leases, not campaign size.
 func (q *WorkQueue) sweepLocked(now time.Time) func() {
+	q.lastSweep = now
 	var front []string
 	var failed []func()
 	for key, c := range q.leased {
@@ -824,16 +863,20 @@ func (q *WorkQueue) sweepLocked(now time.Time) func() {
 		if c.expires.After(now) && !drained {
 			continue
 		}
+		cause := "expire"
 		if drained {
+			cause = "drain"
 			cQDrainRequeues.Inc()
 		}
 		if w, ok := q.workers[c.worker]; ok {
 			w.Leased--
 		}
 		if c.attempts >= q.maxAttempts {
+			q.emit(journal.Event{Type: journal.EvFail, Key: key, Worker: c.worker, Attempt: c.attempts, Cause: cause})
 			failed = append(failed, q.finishLocked(c, key, nil, fmt.Errorf("campaign: cell %s (%s) failed after %d lease attempts (last worker %s)", key, c.wire.Label, c.attempts, c.worker)))
 			continue
 		}
+		q.emit(journal.Event{Type: journal.EvRequeue, Key: key, Worker: c.worker, Attempt: c.attempts, Cause: cause})
 		c.state = cellPending
 		c.worker = ""
 		delete(q.leased, key)
@@ -855,10 +898,12 @@ func (q *WorkQueue) sweepLocked(now time.Time) func() {
 // retryOrFailLocked re-queues a cell after a failed attempt, or finishes it
 // with err once attempts are exhausted. It returns the (possibly no-op)
 // waiter invocation to run outside the lock.
-func (q *WorkQueue) retryOrFailLocked(c *workCell, key string, err error) func() {
+func (q *WorkQueue) retryOrFailLocked(c *workCell, key, cause string, err error) func() {
 	if c.attempts >= q.maxAttempts {
+		q.emit(journal.Event{Type: journal.EvFail, Key: key, Worker: c.worker, Attempt: c.attempts, Cause: cause})
 		return q.finishLocked(c, key, nil, err)
 	}
+	q.emit(journal.Event{Type: journal.EvRequeue, Key: key, Worker: c.worker, Attempt: c.attempts, Cause: cause})
 	c.state = cellPending
 	c.worker = ""
 	delete(q.leased, key)
@@ -905,6 +950,16 @@ func (q *WorkQueue) workerLocked(id string, now time.Time) *WorkerStatus {
 	}
 	w.LastSeen = now
 	return w
+}
+
+// SweeperHealth reports whether StartSweeper is running, its tick
+// interval, and when the queue last swept (every entry point sweeps,
+// so lastSweep also advances with request traffic). Readiness probes
+// compare the last-sweep age against the interval.
+func (q *WorkQueue) SweeperHealth() (running bool, interval time.Duration, last time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sweeperOn, q.sweepInterval, q.lastSweep
 }
 
 // Stats snapshots the queue.

@@ -136,6 +136,26 @@ func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
 	return s, nil
 }
 
+// OpenStore opens dir as whichever store layout it holds: sharded when
+// the INDEX.json manifest is present (honouring the manifest's own
+// shard count), plain otherwise. Read-side tools — the journal replay
+// audit — use this so the operator needn't remember the -shards value
+// a coordinator was launched with.
+func OpenStore(dir string) (ResultStore, error) {
+	if dir == "" {
+		return NewMemStore(), nil
+	}
+	data, err := os.ReadFile(filepath.Join(dir, shardManifestName))
+	if err != nil {
+		return NewStore(dir)
+	}
+	var m shardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt %s in %s: %w", shardManifestName, dir, err)
+	}
+	return NewShardedStore(dir, m.Shards)
+}
+
 // hasPlainStoreLayout reports whether dir looks like a populated
 // (unsharded) Store tree: any two-hex-char fan-out subdirectory.
 func hasPlainStoreLayout(dir string) bool {

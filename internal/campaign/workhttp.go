@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"astro/internal/journal"
 	"astro/internal/telemetry"
 )
 
@@ -24,6 +25,7 @@ import (
 //	POST /drain         DrainRequest  -> DrainResponse (drain or resume a worker)
 //	GET  /status        QueueStats (pending/leased/done + per-worker counters)
 //	GET  /fleet         FleetStatus (per-worker registry: liveness, throughput, in-flight cell)
+//	GET  /journal       flight-recorder events after ?cursor=N (?n= caps the page)
 //	GET  /traces        assembled per-cell traces, newest first (?campaign=, ?n=)
 //	GET  /traces/{key}  one cell's trace
 //	GET  /agents/{key}  trained-agent snapshot bytes from the shared store
@@ -226,6 +228,42 @@ func WorkHandler(q *WorkQueue, store ResultStore) http.Handler {
 
 	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, q.Fleet())
+	})
+
+	mux.HandleFunc("GET /journal", func(w http.ResponseWriter, r *http.Request) {
+		jr, ok := q.Events.(JournalReader)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "journaling disabled (start the coordinator with -journal)")
+			return
+		}
+		var cursor uint64
+		if s := r.URL.Query().Get("cursor"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad cursor %q", s)
+				return
+			}
+			cursor = v
+		}
+		n := 1000
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 && v <= 10000 {
+				n = v
+			}
+		}
+		evs, err := jr.ReadSince(cursor, n)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "read journal: %v", err)
+			return
+		}
+		next := cursor
+		if len(evs) > 0 {
+			next = evs[len(evs)-1].Seq
+		}
+		if evs == nil {
+			evs = []journal.Event{}
+		}
+		writeJSON(w, http.StatusOK, JournalPage{Events: evs, NextCursor: next})
 	})
 
 	mux.HandleFunc("GET /traces", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,275 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k1", "k2", "k3"}
+	for i, k := range keys {
+		seq, err := w.Record(Event{Type: EvEnqueue, Key: k, Kind: "sim"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d, want %d", seq, i+1)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, err := ReadSince(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("read %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Key != keys[i] || ev.Type != EvEnqueue || ev.T == 0 {
+			t.Fatalf("event %d malformed: %+v", i, ev)
+		}
+	}
+
+	// Cursor reads: everything after seq 2.
+	evs, err = ReadSince(dir, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Seq != 3 {
+		t.Fatalf("cursor read got %+v, want only seq 3", evs)
+	}
+	// Max limiting.
+	evs, err = ReadSince(dir, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Seq != 2 {
+		t.Fatalf("max-limited read got %+v, want seqs 1,2", evs)
+	}
+	// Cursor at the end: empty, not an error.
+	if evs, err := ReadSince(dir, 3, 0); err != nil || len(evs) != 0 {
+		t.Fatalf("read past end: %v, %v", evs, err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	ev := Event{Seq: 7, T: 42, Type: EvLease, Key: "abc", Worker: "w1", Attempt: 2}
+	a, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(ev)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding not deterministic: %s vs %s", a, b)
+	}
+	want := `{"seq":7,"t":42,"type":"lease","key":"abc","worker":"w1","attempt":2}`
+	if string(a) != want {
+		t.Fatalf("encoding drifted:\n got %s\nwant %s", a, want)
+	}
+}
+
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every couple of events rotates.
+	w, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		if _, err := w.Record(Event{Type: EvLease, Key: "key", Worker: "w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+
+	evs, err := ReadSince(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != total {
+		t.Fatalf("read %d events across segments, want %d", len(evs), total)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// A cursor inside a later segment skips earlier segments but loses
+	// nothing.
+	evs, err = ReadSince(dir, uint64(total)-3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 || evs[0].Seq != uint64(total)-2 {
+		t.Fatalf("tail read got %d events starting %d", len(evs), evs[0].Seq)
+	}
+
+	// Reopen resumes numbering.
+	w2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.Record(Event{Type: EvComplete, Key: "key", Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != total+1 {
+		t.Fatalf("reopened writer assigned seq %d, want %d", seq, total+1)
+	}
+	w2.Close()
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := w.Record(Event{Type: EvEnqueue, Key: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate a crash mid-append: a partial line with no newline.
+	segs, _ := segments(dir)
+	path := filepath.Join(dir, segs[len(segs)-1].name)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":4,"type":"comp`)
+	f.Close()
+
+	// The reader ignores the torn line.
+	evs, err := ReadSince(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("reader saw %d events with torn tail, want 3", len(evs))
+	}
+
+	// Reopen truncates it and resumes at seq 4.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w2.Record(Event{Type: EvComplete, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("post-recovery seq %d, want 4", seq)
+	}
+	w2.Close()
+	evs, err = ReadSince(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 || evs[3].Seq != 4 || evs[3].Type != EvComplete {
+		t.Fatalf("post-recovery journal: %+v", evs)
+	}
+}
+
+func TestCorruptMiddleLineFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Open(dir, Options{})
+	w.Record(Event{Type: EvEnqueue, Key: "k"})
+	w.Close()
+	segs, _ := segments(dir)
+	path := filepath.Join(dir, segs[0].name)
+	data, _ := os.ReadFile(path)
+	// Garbage line followed by a valid line: corruption, not a torn tail.
+	data = append(data, []byte("not json\n")...)
+	valid, _ := json.Marshal(Event{Seq: 2, Type: EvComplete, Key: "k"})
+	data = append(data, valid...)
+	data = append(data, '\n')
+	os.WriteFile(path, data, 0o644)
+	if _, err := ReadSince(dir, 0, 0); err == nil {
+		t.Fatal("corrupt middle line read silently")
+	}
+}
+
+func TestReplayStateMachine(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, Type: EvEnqueue, Key: "a", Kind: "sim", Campaign: "c1"},
+		{Seq: 2, Type: EvEnqueue, Key: "b", Kind: "sim"},
+		{Seq: 3, Type: EvEnqueue, Key: "c", Kind: "train"},
+		{Seq: 4, Type: EvLease, Key: "a", Worker: "w1", Attempt: 1},
+		{Seq: 5, Type: EvLease, Key: "b", Worker: "w2", Attempt: 1},
+		{Seq: 6, Type: EvRenew, Worker: "w1", N: 1},
+		{Seq: 7, Type: EvComplete, Key: "a", Worker: "w1", Kind: "sim"},
+		{Seq: 8, Type: EvReject, Key: "b", Worker: "w2", Cause: "held"},
+		{Seq: 9, Type: EvRequeue, Key: "b", Worker: "w2", Cause: "reject"},
+		{Seq: 10, Type: EvLease, Key: "b", Worker: "w1", Attempt: 2},
+		{Seq: 11, Type: EvError, Key: "b", Worker: "w1", Cause: "held"},
+		{Seq: 12, Type: EvRequeue, Key: "b", Worker: "w1", Cause: "error"},
+		{Seq: 13, Type: EvQuarantine, Worker: "w2"},
+		{Seq: 14, Type: EvDuplicate, Key: "a", Worker: "w2"},
+		{Seq: 15, Type: EvDrain, Worker: "w1"},
+		{Seq: 16, Type: EvFault, Key: "c", Worker: "w1", Cause: "drop_complete"},
+		{Seq: 17, Type: EvBank, Key: "z", Worker: "w3"},
+		{Seq: 18, Type: EvCancel, Key: "c"},
+	}
+	st := Replay(evs)
+	if st.Events != len(evs) || st.LastSeq != 18 {
+		t.Fatalf("events=%d lastseq=%d", st.Events, st.LastSeq)
+	}
+	if st.Enqueued != 3 || st.Leases != 3 || st.Completes != 1 || st.Done != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	if st.Requeues != 2 || st.Rejects != 1 || st.Duplicates != 1 || st.Renewals != 1 ||
+		st.Banked != 1 || st.Faults != 1 || st.Cancels != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+	// b is pending (requeued, never resolved); a done; c cancelled.
+	if st.Pending != 1 || st.Leased != 0 {
+		t.Fatalf("population: pending=%d leased=%d", st.Pending, st.Leased)
+	}
+	if inf := st.InFlight(); len(inf) != 1 || inf["b"] != "" {
+		t.Fatalf("in-flight: %+v", inf)
+	}
+	if got := st.CompletedKeys(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("completed keys %v", got)
+	}
+	if got := st.BankedKeys(); len(got) != 1 || got[0] != "z" {
+		t.Fatalf("banked keys %v", got)
+	}
+	w1 := st.Workers["w1"]
+	if w1 == nil || w1.Completed != 1 || w1.Errors != 1 || w1.State != "draining" {
+		t.Fatalf("w1: %+v", w1)
+	}
+	w2 := st.Workers["w2"]
+	if w2 == nil || w2.Errors != 1 || w2.Rejects != 1 || w2.State != "quarantined" {
+		t.Fatalf("w2: %+v", w2)
+	}
+	// Resume clears quarantine and the reject count.
+	st = Replay(append(evs, Event{Seq: 19, Type: EvResume, Worker: "w2"}))
+	w2 = st.Workers["w2"]
+	if w2.State != "" || w2.Rejects != 0 {
+		t.Fatalf("w2 after resume: %+v", w2)
+	}
+}

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text exposition (the format WritePrometheus
+// emits) into a flat map of full sample name — labels included — to
+// value. It is the client half of the dashboard loop: `astro fleet top`
+// scrapes a coordinator's /metrics and reads queue depths and completion
+// counters out of the result. Comment lines and anything unparseable are
+// skipped (a dashboard should degrade, not die, on a scrape hiccup);
+// histogram series appear under their _bucket/_sum/_count sample names.
+func ParseText(r io.Reader) map[string]float64 {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the name (which may
+		// contain spaces only inside label quotes) is everything before it.
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	return out
+}

@@ -86,8 +86,13 @@ type Histogram struct {
 	sumBits atomic.Uint64
 }
 
-// Observe records one value.
+// Observe records one value. NaN is dropped: it would land in the +Inf
+// bucket but poison the sum (every later Sum reads NaN), so a single
+// bad division upstream must not wreck a whole histogram's exposition.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++

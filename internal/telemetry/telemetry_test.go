@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bytes"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -49,6 +51,131 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if again := r.Histogram("h_seconds", "", nil); again != h {
 		t.Fatalf("re-registration returned a different histogram")
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1, 2})
+
+	// Negative observations are legal (a clock step backwards upstream)
+	// and land in the lowest bucket.
+	h.Observe(-3)
+	if h.Count() != 1 || h.Sum() != -3 {
+		t.Fatalf("after negative observe: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if snap := r.Snapshot()["h_seconds"]; snap.Buckets["0.5"] != 1 {
+		t.Fatalf("negative value not in lowest bucket: %+v", snap.Buckets)
+	}
+
+	// NaN is dropped entirely: counting it but not summing it would skew
+	// the mean, and summing it would turn every later Sum into NaN.
+	h.Observe(math.NaN())
+	if h.Count() != 1 {
+		t.Fatalf("NaN was counted: count=%d", h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatalf("NaN reached the sum")
+	}
+
+	// Exact boundary values belong to the bucket they bound (le semantics:
+	// v > bound moves on, v == bound stays).
+	for _, v := range []float64{0.5, 1, 2} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()["h_seconds"]
+	want := map[string]uint64{"0.5": 2, "1": 3, "2": 4, "+Inf": 4}
+	for b, n := range want {
+		if snap.Buckets[b] != n {
+			t.Errorf("boundary bucket %s = %d, want %d", b, snap.Buckets[b], n)
+		}
+	}
+
+	// +Inf observations count and reach only the implicit bucket.
+	h.Observe(math.Inf(1))
+	if snap := r.Snapshot()["h_seconds"]; snap.Buckets["+Inf"] != 5 || snap.Buckets["2"] != 4 {
+		t.Fatalf("+Inf placement wrong: %+v", snap.Buckets)
+	}
+}
+
+func TestSnapshotDuringWrites(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(0.25)
+					h.Observe(0.75)
+				}
+			}
+		}()
+	}
+	// Snapshots taken mid-write must be internally sane: cumulative
+	// buckets monotone, +Inf equal to the total it reports, never more
+	// than the live count read afterwards.
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()["h_seconds"]
+		if snap.Buckets["0.5"] > snap.Buckets["1"] || snap.Buckets["1"] > snap.Buckets["+Inf"] {
+			t.Fatalf("non-monotone cumulative buckets: %+v", snap.Buckets)
+		}
+		if after := h.Count(); snap.Buckets["+Inf"] > after {
+			t.Fatalf("snapshot total %d exceeds later live count %d", snap.Buckets["+Inf"], after)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTraceEvictionCounter(t *testing.T) {
+	before := cTraceEvictions.Value()
+	s := NewTraceStore(2)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		s.Add(Trace{Key: k})
+	}
+	if got := cTraceEvictions.Value() - before; got != 2 {
+		t.Fatalf("astro_trace_evictions_total advanced by %d, want 2", got)
+	}
+	// A duplicate Add is refused before the eviction loop runs.
+	s.Add(Trace{Key: "c"})
+	if got := cTraceEvictions.Value() - before; got != 2 {
+		t.Fatalf("duplicate Add evicted: counter advanced by %d", got)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("astro_a_total", "a").Add(7)
+	r.Counter(`astro_b_total{kind="sim"}`, "b").Add(3)
+	r.Gauge("astro_g", "g").Set(2.5)
+	r.Histogram("astro_h_seconds", "h", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	got := ParseText(&buf)
+	want := map[string]float64{
+		"astro_a_total":                  7,
+		`astro_b_total{kind="sim"}`:      3,
+		"astro_g":                        2.5,
+		`astro_h_seconds_bucket{le="1"}`: 1,
+		"astro_h_seconds_count":          1,
+		"astro_h_seconds_sum":            0.5,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %g, want %g (parsed: %v)", k, got[k], v, got)
+		}
+	}
+	// Garbage degrades to skipped lines, never a panic or partial map loss.
+	got = ParseText(strings.NewReader("# comment\nbad line without value x\nok 1\n\n"))
+	if len(got) != 1 || got["ok"] != 1 {
+		t.Fatalf("garbage parse = %v", got)
 	}
 }
 

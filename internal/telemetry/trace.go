@@ -51,6 +51,13 @@ func NewTraceStore(limit int) *TraceStore {
 	return &TraceStore{limit: limit, traces: map[string]*Trace{}}
 }
 
+// cTraceEvictions counts traces dropped by the FIFO bound — the signal
+// that /work/traces has become lossy and the operator should raise the
+// retention limit (or scrape faster). Registered on Default so every
+// coordinator exposes it; the exposition golden test uses its own
+// registry and is unaffected.
+var cTraceEvictions = Default.Counter("astro_trace_evictions_total", "Traces evicted from the bounded trace store (oldest-first).")
+
 // Add records a completed cell's trace, evicting the oldest when full.
 func (s *TraceStore) Add(t Trace) {
 	s.mu.Lock()
@@ -62,6 +69,7 @@ func (s *TraceStore) Add(t Trace) {
 		old := s.order[0]
 		s.order = s.order[1:]
 		delete(s.traces, old)
+		cTraceEvictions.Inc()
 	}
 	cp := t
 	cp.Spans = append([]Span(nil), t.Spans...)
