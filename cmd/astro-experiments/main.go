@@ -9,8 +9,8 @@
 // Usage:
 //
 //	astro-experiments [-scale small|paper] [-fig 1|3|4|6|9|10|11|table1|headline|all]
-//	                  [-j N] [-cache dir] [-coordinator URL]
-//	                  [-remote addr] [-lease-ttl d] [-timeout d]
+//	                  [-j N] [-cache dir] [-store-max-bytes N] [-hot-cache-bytes N]
+//	                  [-coordinator URL] [-remote addr] [-lease-ttl d] [-timeout d]
 //
 // -coordinator fronts the store with a trained-agent snapshot exchange
 // against a running astro-serve: fig10-style training cells finished on
@@ -60,6 +60,8 @@ func main() {
 	fig := flag.String("fig", "all", "which artifact: 1,3,4,6,9,10,11,table1,headline,all")
 	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers for simulation sweeps")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "cap the on-disk result store; LRU-evicts unpinned entries past the cap (0 = unbounded; requires -cache)")
+	hotCacheBytes := flag.Int64("hot-cache-bytes", 0, "cap the in-memory hot result cache (0 with -store-max-bytes = same as the disk cap)")
 	coordinator := flag.String("coordinator", "", "astro-serve URL: exchange trained-agent snapshots with its store, so fig10-style training done on any machine warms this one (and vice versa)")
 	remoteAddr := flag.String("remote", "", "listen address: become the coordinator of an `astro worker` fleet and lease every cell (simulations and training) to it")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "with -remote: how long a worker holds a cell between renewals")
@@ -83,7 +85,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	store, err := campaign.NewStore(*cacheDir)
+	store, err := campaign.NewStoreWith(*cacheDir, campaign.StoreConfig{MaxBytes: *storeMaxBytes, HotBytes: *hotCacheBytes})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astro-experiments:", err)
 		os.Exit(1)

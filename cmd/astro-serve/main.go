@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-remote] [-lease-ttl d] [-token t] [-journal dir]
+//	astro-serve [-addr :8080] [-j N] [-cache dir] [-shards N] [-store-max-bytes N] [-hot-cache-bytes N] [-remote] [-lease-ttl d] [-token t] [-journal dir]
 //
 // Quick tour (see README.md for a full example):
 //
@@ -47,6 +47,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "campaign pool workers (local execution and -remote fallback)")
 	cacheDir := flag.String("cache", "", "on-disk result cache directory (default: in-memory only)")
 	shards := flag.Int("shards", 0, "shard the result store by key prefix (0 = single directory; use with concurrent workers)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "cap the on-disk result store; LRU-evicts unpinned entries past the cap (0 = unbounded; requires -cache)")
+	hotCacheBytes := flag.Int64("hot-cache-bytes", 0, "cap the in-memory hot result cache (0 with -store-max-bytes = same as the disk cap)")
 	remote := flag.Bool("remote", false, "execute campaigns on pull-based workers (`astro worker`) instead of in-process")
 	leaseTTL := flag.Duration("lease-ttl", campaign.DefaultLeaseTTL, "how long a worker holds a cell before it re-leases")
 	token := flag.String("token", "", "bearer token required on all /work endpoints (empty = open, trusted-network)")
@@ -54,12 +56,21 @@ func main() {
 	journalDir := flag.String("journal", "", "flight-recorder directory: journal every queue lifecycle event as segment-rotated JSONL (empty = off)")
 	flag.Parse()
 
+	storeCfg := campaign.StoreConfig{MaxBytes: *storeMaxBytes, HotBytes: *hotCacheBytes}
 	var store campaign.ResultStore
 	var err error
+	stopCompact := func() {}
 	if *shards > 0 {
-		store, err = campaign.NewShardedStore(*cacheDir, *shards)
+		var ss *campaign.ShardedStore
+		ss, err = campaign.NewShardedStoreWith(*cacheDir, *shards, storeCfg)
+		if err == nil {
+			store = ss
+			// Background compaction keeps each shard's keys.idx honest
+			// about evictions without ever blocking writers.
+			stopCompact = ss.StartCompactor(0)
+		}
 	} else {
-		store, err = campaign.NewStore(*cacheDir)
+		store, err = campaign.NewStoreWith(*cacheDir, storeCfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "astro-serve:", err)
@@ -105,6 +116,7 @@ func main() {
 	select {
 	case err := <-errc:
 		stopSweep()
+		stopCompact()
 		closeJournal()
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "astro-serve:", err)
@@ -115,6 +127,7 @@ func main() {
 		// (SSE streams aside) finish, then exit.
 		fmt.Fprintln(os.Stderr, "astro-serve: shutting down")
 		stopSweep()
+		stopCompact()
 		shCtx, done := context.WithTimeout(context.Background(), 5*time.Second)
 		defer done()
 		srv.Shutdown(shCtx)

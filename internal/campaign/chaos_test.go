@@ -75,6 +75,11 @@ func TestChaosFleetByteIdentity(t *testing.T) {
 		artifactDir = t.TempDir()
 	}
 	journalDir := filepath.Join(artifactDir, "journal")
+	// A rerun into the same artifact dir (local loops; CI dirs are fresh)
+	// must not replay the previous run's events into this run's audit.
+	if err := os.RemoveAll(journalDir); err != nil {
+		t.Fatal(err)
+	}
 	jw, err := journal.Open(journalDir, journal.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -164,6 +164,13 @@ type workCell struct {
 	attempts int
 	waiters  map[int]func(data []byte, err error)
 
+	// pinned is the trained-agent snapshot key this cell holds a store pin
+	// on (hybrid cells reference their agent by content key; workers fetch
+	// it from the coordinator's store, so a bounded store must not evict it
+	// while this cell is in flight). Pinned on cell creation, unpinned
+	// exactly once — when the cell finishes or its last waiter cancels.
+	pinned string
+
 	// Telemetry timestamps (never consulted by the lease machinery):
 	// enqueuedAt→first lease is the lease_wait span; leasedAt anchors the
 	// in-flight elapsed column of /work/fleet.
@@ -291,6 +298,15 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 	c, ok := q.cells[wire.Key]
 	if !ok {
 		c = &workCell{wire: wire, waiters: map[int]func([]byte, error){}, enqueuedAt: q.now()}
+		// A hybrid cell's trained-agent snapshot must survive in the store
+		// until every worker that might lease this cell has fetched it:
+		// pin it for the cell's lifetime (released in finishLocked or when
+		// the last waiter cancels). Pinning is per-cell, not per-waiter —
+		// the ledger refcounts across cells sharing an agent.
+		if ps, ok := q.Store.(PinStore); ok && wire.AgentKey != "" {
+			ps.Pin(wire.AgentKey)
+			c.pinned = wire.AgentKey
+		}
 		q.cells[wire.Key] = c
 		q.order = append(q.order, wire.Key)
 		cQEnqueued.Inc()
@@ -318,6 +334,7 @@ func (q *WorkQueue) Enqueue(wire *WireJob, done func(data []byte, err error)) (c
 			// Lazy removal: the key stays in order but Lease skips cells
 			// that are gone from the map.
 			delete(q.cells, key)
+			q.unpinLocked(cc)
 			q.emit(journal.Event{Type: journal.EvCancel, Key: key})
 		}
 		return true
@@ -919,10 +936,24 @@ func (q *WorkQueue) retryOrFailLocked(c *workCell, key, cause string, err error)
 // campaign retries a failed cell fresh). It returns a closure that invokes
 // the cell's waiters — callers run it after releasing the lock, since
 // waiters call back into stores and progress sinks.
+// unpinLocked releases a cell's trained-agent pin (no-op for unpinned
+// cells). Called exactly once per cell: on finish or on last-waiter
+// cancel, both of which remove the cell from q.cells first.
+func (q *WorkQueue) unpinLocked(c *workCell) {
+	if c.pinned == "" {
+		return
+	}
+	if ps, ok := q.Store.(PinStore); ok {
+		ps.Unpin(c.pinned)
+	}
+	c.pinned = ""
+}
+
 func (q *WorkQueue) finishLocked(c *workCell, key string, data []byte, err error) func() {
 	c.state = cellDone
 	delete(q.cells, key)
 	delete(q.leased, key)
+	q.unpinLocked(c)
 	if err == nil {
 		if len(q.doneKeys) >= maxDoneKeys {
 			q.doneKeys = map[string]bool{}

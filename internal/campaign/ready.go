@@ -95,6 +95,24 @@ func Readiness(q *WorkQueue, store Healther) ReadyStatus {
 		add("store", nil)
 	}
 
+	// Store pressure: a bounded store sitting over its cap can only mean
+	// pinned bytes exceed it (eviction handles everything unpinned) —
+	// live campaigns reference more trained-agent state than the cap
+	// allows, and the next eviction-worthy write has nowhere to go. Fail
+	// readiness so the operator raises -store-max-bytes or sheds load
+	// before correctness pressure turns into recompute storms.
+	if occ, ok := store.(Occupant); ok {
+		o := occ.Occupancy()
+		switch {
+		case o.CapBytes > 0 && o.DiskBytes > o.CapBytes:
+			add("store_pressure", fmt.Errorf("disk tier %d bytes over its %d-byte cap (%d pinned bytes held by live campaigns)", o.DiskBytes, o.CapBytes, o.PinnedBytes))
+		case o.CapBytes > 0 && o.PinnedBytes > o.CapBytes:
+			add("store_pressure", fmt.Errorf("pinned bytes %d exceed the %d-byte cap; the next write must evict a pinned snapshot or stay over cap", o.PinnedBytes, o.CapBytes))
+		default:
+			add("store_pressure", nil)
+		}
+	}
+
 	running, interval, last := q.SweeperHealth()
 	switch {
 	case !running:

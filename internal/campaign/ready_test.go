@@ -107,6 +107,57 @@ func TestStoreHealthy(t *testing.T) {
 	}
 }
 
+// TestReadinessStorePressure pins the bounded-store probe: a capped
+// store within its cap passes; one held over the cap by pinned bytes —
+// the only way a bounded store can stay over it — fails with the pinned
+// pressure named, and clears once the pins release and eviction runs.
+func TestReadinessStorePressure(t *testing.T) {
+	store, err := NewStoreWith(t.TempDir(), StoreConfig{MaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewWorkQueue(time.Minute)
+	stop := q.StartSweeper(time.Hour)
+	defer stop()
+
+	if err := store.Put(testKey(1), valFor(1, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if st := Readiness(q, store); !st.Ready {
+		t.Fatalf("within-cap store not ready: %+v", st)
+	}
+	if c := checkByName(t, Readiness(q, store), "store_pressure"); !c.OK {
+		t.Fatalf("store_pressure failed within cap: %+v", c)
+	}
+
+	// Pin everything, then overfill: eviction has nowhere to go and the
+	// store sits over cap — the probe must trip.
+	for i := 1; i <= 4; i++ {
+		store.Pin(testKey(i))
+		if err := store.Put(testKey(i), valFor(i, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := Readiness(q, store)
+	if st.Ready {
+		t.Fatalf("ready with pinned bytes over the cap: %+v", st)
+	}
+	if c := checkByName(t, st, "store_pressure"); c.OK {
+		t.Fatalf("store_pressure passed over cap: %+v", c)
+	}
+
+	// Releasing the pins lets the next write evict back under the cap.
+	for i := 1; i <= 4; i++ {
+		store.Unpin(testKey(i))
+	}
+	if err := store.Put(testKey(5), valFor(5, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if c := checkByName(t, Readiness(q, store), "store_pressure"); !c.OK {
+		t.Fatalf("store_pressure still failing after pins released: %+v", c)
+	}
+}
+
 // TestReadyHandlerHTTP checks the wire shape: 503 + JSON body naming the
 // failing check, then 200 once the coordinator is actually ready.
 func TestReadyHandlerHTTP(t *testing.T) {

@@ -7,7 +7,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"astro/internal/telemetry"
 )
@@ -37,14 +39,26 @@ import (
 // coordinator uses to skip leasing cells that any previous run — local or
 // remote — already produced. A missing or truncated index line only costs
 // enumeration: Get still falls through to the disk tier by path, so
-// correctness never depends on the index.
+// correctness never depends on the index. An eviction leaves its index
+// line behind on disk (the in-memory key set forgets immediately);
+// compaction — CompactShard / StartCompactor — rewrites keys.idx down to
+// the live keys with the same atomic write discipline as values.
 //
 // The shard count is part of the on-disk layout, so reopening a directory
 // with a different -shards value is an error rather than a silent cache
 // miss on every key.
+//
+// Opened with NewShardedStoreWith and a StoreConfig, the store is
+// bounded: the MaxBytes cap splits evenly across shards (uniform keys
+// keep the split fair), each shard evicts LRU-unpinned entries
+// independently under its own lock, and one shared hot cache plus one
+// shared pin ledger front the whole store — see bounded.go.
 type ShardedStore struct {
 	dir    string
 	mask   uint8
+	cfg    StoreConfig
+	hot    *hotCache  // shared across shards; nil when unbounded
+	pins   *PinLedger // shared across shards
 	shards []*shardStore
 }
 
@@ -53,15 +67,28 @@ type shardStore struct {
 
 	mu      sync.Mutex // guards idxPath appends and known
 	idxPath string
-	known   map[string]bool // keys recorded on disk (loaded from keys.idx)
+	known   map[string]bool // keys recorded on disk (loaded from keys.idx, pruned on eviction)
 
 	occupancy *telemetry.Gauge // distinct keys in this shard (telemetry only)
 }
 
-// noteOccupancy publishes the shard's current distinct-key count. Callers
-// must not hold sh.mu or the shard's store lock (keysOf takes both).
+// noteOccupancy publishes the shard's current distinct-key count and the
+// store-wide disk occupancy gauges. Callers must not hold sh.mu or the
+// shard's store lock (keysOf takes both).
 func (s *ShardedStore) noteOccupancy(sh *shardStore) {
 	sh.occupancy.Set(float64(len(s.keysOf(sh))))
+	var bytes int64
+	var keys int
+	for _, ss := range s.shards {
+		if ss == nil {
+			continue // still under construction
+		}
+		b, k := ss.store.diskUsage()
+		bytes += b
+		keys += k
+	}
+	gStoreDiskBytes.Set(float64(bytes))
+	gStoreDiskKeys.Set(float64(keys))
 }
 
 type shardManifest struct {
@@ -71,11 +98,18 @@ type shardManifest struct {
 
 const shardManifestName = "INDEX.json"
 
-// NewShardedStore opens (or creates) a sharded store under dir with the
-// given shard count (0 = 16; snapped up to a power of two, max 256). An
-// empty dir builds a memory-only sharded store (useful for contention-free
-// concurrent writers without persistence).
+// NewShardedStore opens (or creates) an unbounded sharded store under dir
+// with the given shard count (0 = 16; snapped up to a power of two, max
+// 256). An empty dir builds a memory-only sharded store (useful for
+// contention-free concurrent writers without persistence).
 func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
+	return NewShardedStoreWith(dir, shards, StoreConfig{})
+}
+
+// NewShardedStoreWith is NewShardedStore with byte caps (see StoreConfig):
+// the disk cap splits evenly across shards, the hot cache and the pin
+// ledger are shared by all of them.
+func NewShardedStoreWith(dir string, shards int, cfg StoreConfig) (*ShardedStore, error) {
 	if shards <= 0 {
 		shards = 16
 	}
@@ -86,7 +120,13 @@ func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
 	if n > 256 {
 		return nil, fmt.Errorf("campaign: sharded store: %d shards exceeds the 256-shard (one key byte) limit", shards)
 	}
-	s := &ShardedStore{dir: dir, mask: uint8(n - 1), shards: make([]*shardStore, n)}
+	if dir == "" && cfg.bounded() {
+		return nil, fmt.Errorf("campaign: store caps need a disk tier (-cache); a memory-only store cannot evict without losing results")
+	}
+	s := &ShardedStore{dir: dir, mask: uint8(n - 1), cfg: cfg, pins: NewPinLedger(), shards: make([]*shardStore, n)}
+	if cfg.bounded() {
+		s.hot = newHotCache(cfg.effHotBytes())
+	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("campaign: sharded store: %w", err)
@@ -116,19 +156,45 @@ func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
 			}
 		}
 	}
+	shardCfg := StoreConfig{}
+	if cfg.bounded() {
+		shardCfg.MaxBytes = cfg.MaxBytes / int64(n)
+		if cfg.MaxBytes > 0 && shardCfg.MaxBytes == 0 {
+			shardCfg.MaxBytes = 1 // a cap below one byte per shard still bounds, never unbounds
+		}
+		shardCfg.HotBytes = cfg.effHotBytes() // hot cache is shared; any >0 value flips the shard to bounded mode
+	}
 	for i := 0; i < n; i++ {
 		sub := ""
 		if dir != "" {
 			sub = filepath.Join(dir, fmt.Sprintf("shard-%02x", i))
 		}
-		st, err := NewStore(sub)
+		st, err := newStoreTier(sub, shardCfg, s.hot, s.pins)
 		if err != nil {
 			return nil, err
 		}
 		sh := &shardStore{store: st, known: map[string]bool{}, occupancy: shardGauge(i)}
 		if sub != "" {
 			sh.idxPath = filepath.Join(sub, "keys.idx")
-			sh.loadIndex()
+			if cfg.bounded() {
+				// The open-time scan is ground truth (it already excludes
+				// anything evicted to honour a lowered cap); stale index
+				// lines from evictions before the last compaction must not
+				// resurrect phantom keys in Len/Keys.
+				for _, k := range st.diskKeys() {
+					sh.known[k] = true
+				}
+			} else {
+				sh.loadIndex()
+			}
+		}
+		// Evictions prune the in-memory key set immediately; keys.idx on
+		// disk catches up at the next compaction.
+		st.onEvict = func(key string) {
+			sh.mu.Lock()
+			delete(sh.known, key)
+			sh.mu.Unlock()
+			s.noteOccupancy(sh)
 		}
 		s.shards[i] = sh
 		s.noteOccupancy(sh)
@@ -140,7 +206,8 @@ func NewShardedStore(dir string, shards int) (*ShardedStore, error) {
 // the INDEX.json manifest is present (honouring the manifest's own
 // shard count), plain otherwise. Read-side tools — the journal replay
 // audit — use this so the operator needn't remember the -shards value
-// a coordinator was launched with.
+// a coordinator was launched with. The store opens unbounded: an audit
+// must never evict the evidence.
 func OpenStore(dir string) (ResultStore, error) {
 	if dir == "" {
 		return NewMemStore(), nil
@@ -238,6 +305,189 @@ func (s *ShardedStore) Put(key string, data []byte) error {
 	}
 	f.Close()
 	return nil
+}
+
+// Pin and Unpin implement PinStore on the ledger every shard's eviction
+// consults: a pinned key is never evicted, whichever shard holds it.
+func (s *ShardedStore) Pin(key string)   { s.pins.Pin(key) }
+func (s *ShardedStore) Unpin(key string) { s.pins.Unpin(key) }
+
+// Occupancy sums the per-shard disk accounting (Occupant interface). The
+// hot cache is shared, so its numbers are read once, not per shard.
+func (s *ShardedStore) Occupancy() Occupancy {
+	var occ Occupancy
+	for _, sh := range s.shards {
+		so := sh.store.Occupancy()
+		occ.DiskBytes += so.DiskBytes
+		occ.CapBytes += so.CapBytes
+		occ.DiskKeys += so.DiskKeys
+		occ.PinnedKeys += so.PinnedKeys
+		occ.PinnedBytes += so.PinnedBytes
+		occ.DiskWrites += so.DiskWrites
+		occ.PutNoops += so.PutNoops
+		occ.Evictions += so.Evictions
+	}
+	if s.hot != nil {
+		occ.HotBytes = s.hot.size()
+		occ.HotCapBytes = s.hot.max
+	}
+	return occ
+}
+
+// CompactShard rewrites shard i's keys.idx down to the keys whose value
+// files are actually live, and sweeps temp-file strays older than a
+// minute (failed writeFileAtomic leftovers; in-flight writes are far
+// faster). The walk runs without any lock; the index swap holds only the
+// shard's index mutex for an atomic rewrite, so value reads and writes —
+// on this shard and every other — proceed throughout. Crash-safety is
+// the usual discipline: keys.idx is replaced via temp-file + fsync +
+// rename, so a crash mid-compaction leaves either the old index or the
+// new one, and a torn tail from a crash mid-*append* is repaired by the
+// next loadIndex (both pinned by tests).
+func (s *ShardedStore) CompactShard(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("campaign: compact: no shard %d", i)
+	}
+	sh := s.shards[i]
+	if sh.idxPath == "" {
+		return nil
+	}
+	live, err := scanStoreDir(sh.store.dir, time.Minute)
+	if err != nil {
+		return fmt.Errorf("campaign: compact shard %02x: %w", i, err)
+	}
+	newKnown := make(map[string]bool, len(live))
+	for _, k := range live {
+		newKnown[k] = true
+	}
+	sh.mu.Lock()
+	// Keys Put between the walk and here are in known but not in the
+	// walk; confirm their file and keep them, so compaction never drops
+	// a fresh write from the index.
+	for k := range sh.known {
+		if !newKnown[k] {
+			if _, err := os.Stat(sh.store.path(k)); err == nil {
+				newKnown[k] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(newKnown))
+	for k := range newKnown {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	werr := writeFileAtomic(sh.idxPath, []byte(b.String()))
+	if werr == nil {
+		sh.known = newKnown
+	}
+	sh.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("campaign: compact shard %02x: %w", i, werr)
+	}
+	cStoreCompactions.Inc()
+	s.noteOccupancy(sh)
+	return nil
+}
+
+// Compact compacts every shard, stopping at the first error.
+func (s *ShardedStore) Compact() error {
+	for i := range s.shards {
+		if err := s.CompactShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartCompactor compacts all shards on a background ticker, one full
+// pass per interval (<= 0 picks a minute). The returned stop is
+// idempotent; compaction errors are counted, never fatal — a failed
+// rewrite leaves the previous index in place.
+func (s *ShardedStore) StartCompactor(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := s.Compact(); err != nil {
+					cStoreCompactErrors.Inc()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// scanStoreDir walks a Store directory's two-hex fan-out and returns the
+// keys whose value files exist — the ground truth compaction rebuilds
+// keys.idx from. Temp files older than pruneTmpAge are removed (a failed
+// atomic write's leftovers); younger ones may be in-flight writes and
+// are left alone.
+func scanStoreDir(dir string, pruneTmpAge time.Duration) ([]string, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	pruneTmp := func(parent string, e os.DirEntry) bool {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), ".tmp") {
+			return false
+		}
+		if fi, err := e.Info(); err == nil && pruneTmpAge > 0 && now.Sub(fi.ModTime()) > pruneTmpAge {
+			os.Remove(filepath.Join(parent, e.Name()))
+		}
+		return true
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		// keys.idx (and the manifest) rewrite atomically into this level,
+		// so a crashed rewrite leaves its temp file here.
+		if pruneTmp(dir, e) {
+			continue
+		}
+		if !e.IsDir() || len(name) != 2 {
+			continue
+		}
+		if _, err := strconv.ParseUint(name, 16, 8); err != nil {
+			continue
+		}
+		sub := filepath.Join(dir, name)
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			fname := f.Name()
+			if pruneTmp(sub, f) || f.IsDir() {
+				continue
+			}
+			if filepath.Ext(fname) != ".json" {
+				continue
+			}
+			key := fname[:len(fname)-len(".json")]
+			if len(key) > 2 && key[:2] == name {
+				keys = append(keys, key)
+			}
+		}
+	}
+	return keys, nil
 }
 
 // Len returns the number of distinct keys the store knows about: resident

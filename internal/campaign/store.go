@@ -1,9 +1,11 @@
 package campaign
 
 import (
+	"container/list"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -15,25 +17,90 @@ import (
 // small for hundred-thousand-job campaigns. The disk tier is what makes a
 // warm re-run of a campaign across process restarts perform zero fresh
 // simulations.
+//
+// Opened with a StoreConfig the store is production-bounded: the disk
+// tier holds at most MaxBytes of value bytes, evicting least-recently-
+// used unpinned entries (the whole file — an entry is always either
+// fully present or absent), and the memory tier becomes a byte-bounded
+// hot cache instead of an unbounded map. Eviction is safe by
+// construction: a content-addressed entry can only be absent (forcing a
+// recomputation that produces the identical bytes) or byte-for-byte
+// correct, never stale or torn (DESIGN.md invariant 11). Pinned keys —
+// see PinLedger — are skipped by eviction, which is how trained-agent
+// snapshots referenced by live campaigns survive any pressure.
 type Store struct {
 	mu  sync.RWMutex
-	mem map[string][]byte
+	mem map[string][]byte // unbounded memory tier (nil when hot is set)
+	hot *hotCache         // bounded memory tier (may be shared across shards)
 	dir string
 
-	hits, misses, puts uint64
+	pins *PinLedger // never nil; shards share the parent store's
+
+	// Disk-tier accounting (dir != ""). disk maps every key known to be
+	// on disk to its LRU element; for unbounded stores it fills lazily
+	// (Put, Get disk hits, Stat probes), for bounded ones it is seeded
+	// by a full scan at open so the cap holds across restarts.
+	maxBytes  int64
+	diskBytes int64
+	disk      map[string]*list.Element
+	lru       *list.List      // front = most recently used; values are *diskEnt
+	writing   map[string]bool // keys with a value write in flight (dedup without holding mu across fsync)
+
+	// onEvict, when set, observes every disk-tier eviction after the file
+	// is removed; the sharded store uses it to keep its key index honest.
+	onEvict func(key string)
+
+	// publish marks a standalone disk store that owns the store-wide
+	// occupancy gauges; shards leave it false (their parent publishes the
+	// summed view from noteOccupancy instead).
+	publish bool
+
+	hits, misses, puts   uint64
+	diskWrites, putNoops uint64
+	evictions            uint64
+}
+
+type diskEnt struct {
+	key  string
+	size int64
 }
 
 // NewMemStore builds a memory-only store.
 func NewMemStore() *Store {
-	return &Store{mem: map[string][]byte{}}
+	return &Store{mem: map[string][]byte{}, pins: NewPinLedger()}
 }
 
-// NewStore builds a store backed by dir (created if missing); an empty dir
-// means memory-only. A directory holding a *sharded* layout is refused:
-// opening it flat would miss every stored key, silently invalidating the
-// whole cache — the caller should reopen with NewShardedStore (-shards).
+// NewStore builds an unbounded store backed by dir (created if missing);
+// an empty dir means memory-only. A directory holding a *sharded* layout
+// is refused: opening it flat would miss every stored key, silently
+// invalidating the whole cache — the caller should reopen with
+// NewShardedStore (-shards).
 func NewStore(dir string) (*Store, error) {
+	return NewStoreWith(dir, StoreConfig{})
+}
+
+// NewStoreWith is NewStore with byte caps. Caps require a disk tier: a
+// memory-only store's map is authoritative storage, and evicting from it
+// would lose results rather than spill them.
+func NewStoreWith(dir string, cfg StoreConfig) (*Store, error) {
+	var hot *hotCache
+	if cfg.bounded() {
+		hot = newHotCache(cfg.effHotBytes())
+	}
+	return newStoreTier(dir, cfg, hot, nil)
+}
+
+// newStoreTier is the shared constructor: a standalone store owns its
+// hot cache and pin ledger; a shard receives both from its parent so one
+// cache fronts all shards and one pin protects a key wherever it lands.
+func newStoreTier(dir string, cfg StoreConfig, hot *hotCache, pins *PinLedger) (*Store, error) {
+	if dir == "" && cfg.bounded() {
+		return nil, fmt.Errorf("campaign: store caps need a disk tier (-cache); a memory-only store cannot evict without losing results")
+	}
 	s := NewMemStore()
+	if pins != nil {
+		s.pins = pins
+	}
 	if dir == "" {
 		return s, nil
 	}
@@ -44,6 +111,18 @@ func NewStore(dir string) (*Store, error) {
 		return nil, fmt.Errorf("campaign: %s holds a sharded store (%s present); reopen it with the same -shards value it was created with", dir, shardManifestName)
 	}
 	s.dir = dir
+	s.disk = map[string]*list.Element{}
+	s.lru = list.New()
+	s.writing = map[string]bool{}
+	s.publish = pins == nil
+	if cfg.bounded() {
+		s.maxBytes = cfg.MaxBytes
+		s.mem = nil
+		s.hot = hot
+		if err := s.loadDiskTier(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -51,25 +130,118 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key[:2], key+".json")
 }
 
+// loadDiskTier seeds the disk-tier accounting from the files already
+// present: every <2-hex>/<key>.json under dir, ordered oldest-modified
+// first so the LRU starts with a sensible cold end. Bounded stores need
+// this at open — the cap must hold over what a previous process wrote —
+// and it immediately evicts down to the cap if the directory arrives
+// over it (a cap lowered between runs).
+func (s *Store) loadDiskTier() error {
+	type onDisk struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var found []onDisk
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("campaign: store scan: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || len(name) != 2 {
+			continue
+		}
+		if _, err := strconv.ParseUint(name, 16, 8); err != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			fname := f.Name()
+			if f.IsDir() || filepath.Ext(fname) != ".json" {
+				continue
+			}
+			key := fname[:len(fname)-len(".json")]
+			if len(key) <= 2 || key[:2] != name {
+				continue
+			}
+			fi, err := f.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, onDisk{key: key, size: fi.Size(), mtime: fi.ModTime()})
+		}
+	}
+	// Oldest first, so the first PushFront calls land at the cold end.
+	for i := 0; i < len(found); i++ {
+		for j := i + 1; j < len(found); j++ {
+			if found[j].mtime.Before(found[i].mtime) {
+				found[i], found[j] = found[j], found[i]
+			}
+		}
+	}
+	s.mu.Lock()
+	for _, f := range found {
+		s.trackLocked(f.key, f.size)
+	}
+	victims := s.evictLocked()
+	s.publishLocked()
+	s.mu.Unlock()
+	s.notifyEvicted(victims)
+	return nil
+}
+
+// memGet reads the memory tier (whichever kind is configured).
+func (s *Store) memGet(key string) ([]byte, bool) {
+	if s.hot != nil {
+		return s.hot.get(key)
+	}
+	s.mu.RLock()
+	data, ok := s.mem[key]
+	s.mu.RUnlock()
+	return data, ok
+}
+
+// memPut fills the memory tier.
+func (s *Store) memPut(key string, data []byte) {
+	if s.hot != nil {
+		s.hot.put(key, data)
+		return
+	}
+	s.mu.Lock()
+	s.mem[key] = data
+	s.mu.Unlock()
+}
+
 // Get returns the stored canonical result bytes for key, if present.
 func (s *Store) Get(key string) ([]byte, bool) {
 	start := time.Now()
 	defer func() { hStoreGet.Observe(time.Since(start).Seconds()) }()
-	s.mu.RLock()
-	data, ok := s.mem[key]
-	s.mu.RUnlock()
-	if ok {
+	if data, ok := s.memGet(key); ok {
 		s.mu.Lock()
 		s.hits++
+		if s.disk != nil {
+			s.touchLocked(key)
+		}
 		s.mu.Unlock()
 		cStoreHits.Inc()
 		return data, true
 	}
 	if s.dir != "" && len(key) > 2 {
 		if data, err := os.ReadFile(s.path(key)); err == nil {
+			s.memPut(key, data)
 			s.mu.Lock()
-			s.mem[key] = data
 			s.hits++
+			if _, tracked := s.disk[key]; tracked {
+				s.touchLocked(key)
+			} else {
+				// An unbounded store discovering a prior process's entry.
+				s.trackLocked(key, int64(len(data)))
+				s.publishLocked()
+			}
 			s.mu.Unlock()
 			cStoreHits.Inc()
 			return data, true
@@ -91,30 +263,215 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // appears before the data blocks; a truncated-but-parseable JSON prefix
 // would then poison warm-cache determinism, which trusts stored bytes as
 // canonical.)
+//
+// A Put of a key already on disk is a no-op on the disk tier: the store
+// is content-addressed, so same key ⇒ same bytes, and rewriting them
+// would only churn a temp file, an fsync and a rename for nothing. One
+// unique key costs exactly one disk write (TestStorePutSingleDiskWrite),
+// and the skip counts into astro_store_put_noops_total.
 func (s *Store) Put(key string, data []byte) error {
 	start := time.Now()
 	defer func() { hStorePut.Observe(time.Since(start).Seconds()) }()
 	cStorePuts.Inc()
+	s.memPut(key, data)
 	s.mu.Lock()
-	s.mem[key] = data
 	s.puts++
-	s.mu.Unlock()
 	if s.dir == "" || len(key) <= 2 {
+		s.mu.Unlock()
 		return nil
 	}
+	if _, ok := s.disk[key]; ok || s.writing[key] {
+		// Already durable (or another goroutine is making it so).
+		if ok {
+			s.touchLocked(key)
+		}
+		s.putNoops++
+		s.mu.Unlock()
+		cStorePutNoops.Inc()
+		return nil
+	}
+	if s.maxBytes > 0 && int64(len(data)) > s.maxBytes && !s.pins.Pinned(key) {
+		// The value alone exceeds this tier's cap: banking it would
+		// evict every peer in the shard and the value would still have
+		// to go — a whole shard of cache destroyed for nothing. Refuse
+		// it up front (it stays in the memory tier for this process and
+		// recomputes like any evicted key); a *pinned* oversized value
+		// is banked regardless, holding the store over cap exactly as a
+		// pinned eviction survivor would (Occupancy/readyz report it).
+		s.evictions++
+		s.mu.Unlock()
+		cStoreEvictions.Add(1)
+		return nil
+	}
+	s.writing[key] = true
+	s.mu.Unlock()
+
 	p := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("campaign: store put: %w", err)
+	// An unbounded store does not scan at open, so a prior process's
+	// entry surfaces here: one Stat instead of a rewrite.
+	if fi, err := os.Stat(p); err == nil {
+		s.mu.Lock()
+		delete(s.writing, key)
+		s.trackLocked(key, fi.Size())
+		s.putNoops++
+		s.publishLocked()
+		s.mu.Unlock()
+		cStorePutNoops.Inc()
+		return nil
 	}
-	if err := writeFileAtomic(p, data); err != nil {
-		return fmt.Errorf("campaign: store put: %w", err)
+	var werr error
+	if werr = os.MkdirAll(filepath.Dir(p), 0o755); werr == nil {
+		werr = writeFileAtomic(p, data)
 	}
+	s.mu.Lock()
+	delete(s.writing, key)
+	var victims []string
+	if werr == nil {
+		s.diskWrites++
+		s.trackLocked(key, int64(len(data)))
+		victims = s.evictLocked()
+		s.publishLocked()
+	}
+	s.mu.Unlock()
+	if werr != nil {
+		return fmt.Errorf("campaign: store put: %w", werr)
+	}
+	cStoreDiskWrites.Inc()
+	s.notifyEvicted(victims)
 	return nil
 }
 
+// trackLocked records key as on-disk with the given size (moving it to
+// the hot end if already tracked) and publishes the occupancy gauges.
+func (s *Store) trackLocked(key string, size int64) {
+	if e, ok := s.disk[key]; ok {
+		s.lru.MoveToFront(e)
+		ent := e.Value.(*diskEnt)
+		s.diskBytes += size - ent.size
+		ent.size = size
+		return
+	}
+	s.disk[key] = s.lru.PushFront(&diskEnt{key: key, size: size})
+	s.diskBytes += size
+}
+
+// publishLocked refreshes the store-wide occupancy gauges (standalone
+// disk stores only; a sharded store publishes its summed view itself).
+func (s *Store) publishLocked() {
+	if !s.publish {
+		return
+	}
+	gStoreDiskBytes.Set(float64(s.diskBytes))
+	gStoreDiskKeys.Set(float64(len(s.disk)))
+}
+
+// diskUsage reports the disk tier's current bytes and key count.
+func (s *Store) diskUsage() (bytes int64, keys int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.diskBytes, len(s.disk)
+}
+
+// diskKeys returns the keys currently tracked on disk. For bounded
+// stores this is exact (seeded by the open-time scan); the sharded store
+// rebuilds its per-shard index from it.
+func (s *Store) diskKeys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.disk))
+	for k := range s.disk {
+		out = append(out, k)
+	}
+	return out
+}
+
+// touchLocked marks key most-recently-used.
+func (s *Store) touchLocked(key string) {
+	if e, ok := s.disk[key]; ok {
+		s.lru.MoveToFront(e)
+	}
+}
+
+// evictLocked removes least-recently-used unpinned entries until the
+// disk tier fits its cap, returning the evicted keys (the caller runs
+// onEvict outside the lock). Pinned entries are skipped in place — a
+// clock-style pass — so a store whose pinned bytes exceed the cap simply
+// stays over it (and reports so through Occupancy/readyz) rather than
+// evicting a snapshot a live campaign depends on. File removal happens
+// inside the lock-held walk but is a plain unlink (no fsync); a
+// concurrent Get racing the unlink either reads the full old bytes or
+// misses — both correct.
+func (s *Store) evictLocked() []string {
+	if s.maxBytes <= 0 || s.diskBytes <= s.maxBytes {
+		return nil
+	}
+	var victims []string
+	for e := s.lru.Back(); e != nil && s.diskBytes > s.maxBytes; {
+		ent := e.Value.(*diskEnt)
+		prev := e.Prev()
+		if s.pins.Pinned(ent.key) {
+			e = prev
+			continue
+		}
+		os.Remove(s.path(ent.key))
+		s.lru.Remove(e)
+		delete(s.disk, ent.key)
+		s.diskBytes -= ent.size
+		s.evictions++
+		victims = append(victims, ent.key)
+		e = prev
+	}
+	cStoreEvictions.Add(uint64(len(victims)))
+	return victims
+}
+
+// notifyEvicted runs the eviction observers outside s.mu: the hot cache
+// drops its copy (evicted ⇒ the next Get recomputes, crisply) and the
+// sharded store prunes its key index.
+func (s *Store) notifyEvicted(keys []string) {
+	for _, key := range keys {
+		if s.hot != nil {
+			s.hot.drop(key)
+		}
+		if s.onEvict != nil {
+			s.onEvict(key)
+		}
+	}
+}
+
+// Occupancy snapshots the disk-tier accounting (Occupant interface).
+func (s *Store) Occupancy() Occupancy {
+	s.mu.RLock()
+	occ := Occupancy{
+		DiskBytes:  s.diskBytes,
+		CapBytes:   s.maxBytes,
+		DiskKeys:   len(s.disk),
+		DiskWrites: s.diskWrites,
+		PutNoops:   s.putNoops,
+		Evictions:  s.evictions,
+	}
+	for _, key := range s.pins.PinnedKeys() {
+		if e, ok := s.disk[key]; ok {
+			occ.PinnedBytes += e.Value.(*diskEnt).size
+			occ.PinnedKeys++
+		}
+	}
+	s.mu.RUnlock()
+	if s.hot != nil {
+		occ.HotBytes = s.hot.size()
+		occ.HotCapBytes = s.hot.max
+	}
+	return occ
+}
+
+// Pin and Unpin implement PinStore on the ledger this store consults
+// during eviction.
+func (s *Store) Pin(key string)   { s.pins.Pin(key) }
+func (s *Store) Unpin(key string) { s.pins.Unpin(key) }
+
 // writeFileAtomic writes data via temp-file + fsync + rename + directory
-// sync — the one crash-safety discipline shared by result values and the
-// sharded store's manifest.
+// sync — the one crash-safety discipline shared by result values, the
+// sharded store's manifest, and compaction's keys.idx rewrite.
 func writeFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".tmp*")
@@ -151,8 +508,11 @@ func syncDir(dir string) {
 	d.Close()
 }
 
-// Len returns the number of results resident in memory.
+// Len returns the number of results resident in the memory tier.
 func (s *Store) Len() int {
+	if s.hot != nil {
+		return s.hot.lenKeys()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.mem)
