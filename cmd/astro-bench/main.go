@@ -105,6 +105,29 @@ func Parse(r io.Reader) (map[string]Entry, error) {
 // second, reported by the pinned sim fast-path benchmarks.
 const throughputMetric = "Minstr/s"
 
+// LoadBaseline reads and decodes a -prev baseline file. A path that does
+// not exist is its own loud error: the usual cause is a numbering gap
+// (regenerating BENCH_11 against a BENCH_10 that was never committed), and
+// silently gating against nothing would let a regression ship — so the
+// caller must run this preflight before writing any output.
+func LoadBaseline(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, fmt.Errorf("baseline %s does not exist — check the BENCH_<n> numbering (the gate refuses to run against a missing file)", path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var prev File
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(prev.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s holds no benchmarks — gating against it would pass vacuously", path)
+	}
+	return prev.Benchmarks, nil
+}
+
 // Compare diffs the fresh entries against a prior baseline and returns one
 // violation line per benchmark whose throughput metric dropped by more than
 // maxRegressPct percent. Benchmarks missing from either side, or without
@@ -143,6 +166,18 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 15, "with -prev: max tolerated Minstr/s drop, percent")
 	flag.Parse()
 
+	// Preflight the baseline before consuming stdin or writing -o: a
+	// missing or malformed -prev must not leave a fresh, ungated baseline
+	// behind.
+	var prevEntries map[string]Entry
+	if *prevPath != "" {
+		var err error
+		if prevEntries, err = LoadBaseline(*prevPath); err != nil {
+			fmt.Fprintf(os.Stderr, "astro-bench: -prev: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	entries, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "astro-bench: %v\n", err)
@@ -175,17 +210,7 @@ func main() {
 	}
 
 	if *prevPath != "" {
-		prevData, err := os.ReadFile(*prevPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "astro-bench: -prev: %v\n", err)
-			os.Exit(1)
-		}
-		var prev File
-		if err := json.Unmarshal(prevData, &prev); err != nil {
-			fmt.Fprintf(os.Stderr, "astro-bench: -prev %s: %v\n", *prevPath, err)
-			os.Exit(1)
-		}
-		violations := Compare(prev.Benchmarks, entries, *maxRegress)
+		violations := Compare(prevEntries, entries, *maxRegress)
 		for _, v := range violations {
 			fmt.Fprintf(os.Stderr, "astro-bench: regression vs %s: %s\n", *prevPath, v)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -63,5 +64,48 @@ func TestCompareGatesThroughput(t *testing.T) {
 	}
 	if v := Compare(prev, cur, 25); len(v) != 0 {
 		t.Fatalf("25%% limit should pass, got %v", v)
+	}
+}
+
+// TestLoadBaseline pins the -prev preflight: a missing baseline (the
+// classic BENCH_<n> numbering gap) is a loud, specific error; so are
+// malformed JSON and an empty benchmark set, which would gate vacuously.
+// A valid file loads its entries.
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := LoadBaseline(dir + "/BENCH_41.json"); err == nil {
+		t.Fatal("missing baseline accepted")
+	} else if !strings.Contains(err.Error(), "does not exist") || !strings.Contains(err.Error(), "numbering") {
+		t.Fatalf("missing baseline error not specific enough: %v", err)
+	}
+
+	junk := dir + "/junk.json"
+	if err := os.WriteFile(junk, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(junk); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+
+	empty := dir + "/empty.json"
+	if err := os.WriteFile(empty, []byte(`{"schema":"astro-bench-v1","benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(empty); err == nil {
+		t.Fatal("empty baseline accepted; the gate would pass vacuously")
+	}
+
+	good := dir + "/BENCH_9.json"
+	body := `{"schema":"astro-bench-v1","benchmarks":{"BenchmarkBurstFast":{"n":100,"ns_per_op":1000,"metrics":{"Minstr/s":357.1}}}}`
+	if err := os.WriteFile(good, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries["BenchmarkBurstFast"].Metrics["Minstr/s"]; got != 357.1 {
+		t.Fatalf("baseline throughput %v, want 357.1", got)
 	}
 }

@@ -75,9 +75,10 @@ func startCluster(n, localWidth int, store campaign.ResultStore) (*cluster, erro
 		}()
 	}
 	c.runner = &campaign.RemoteRunner{
-		Queue: q,
-		Store: store,
-		Local: campaign.Pool{Workers: localWidth, Store: store},
+		Queue:        q,
+		Store:        store,
+		Local:        campaign.Pool{Workers: localWidth, Store: store},
+		ShipPrograms: true,
 	}
 	return c, nil
 }

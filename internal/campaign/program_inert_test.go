@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestWireProgramFieldInert pins the inertness invariant for
+// WireJob.Program, exactly like TestWireCampaignFieldInert does for the
+// campaign annotation: Job() never reads the field, so no payload — valid
+// program bytes, garbage, anything — can reach the recomputed content key
+// or the job the worker executes. The shipped program influences *how* a
+// worker runs the cell (executeSim decodes and verifies it separately),
+// never *what* the cell is.
+func TestWireProgramFieldInert(t *testing.T) {
+	w := wireJobs(t, 1)[0]
+	if w.Program != nil {
+		t.Fatalf("fresh wire job carries %d program bytes", len(w.Program))
+	}
+	stamped := *w
+	stamped.Program = []byte("not even a valid program artifact")
+	data, err := json.Marshal(&stamped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt WireJob
+	if err := json.Unmarshal(data, &rt); err != nil {
+		t.Fatal(err)
+	}
+	if string(rt.Program) != string(stamped.Program) {
+		t.Fatalf("program bytes changed in transit")
+	}
+	j, err := rt.Job()
+	if err != nil {
+		t.Fatalf("program-stamped wire job rejected: %v", err)
+	}
+	if key, ok := j.Key(); !ok || key != w.Key {
+		t.Fatalf("program bytes changed the key: %q vs %q", key, w.Key)
+	}
+	if j.Program != nil {
+		t.Fatal("Job() populated Program from wire bytes; decoding belongs to executeSim, after verification")
+	}
+}
+
+// TestProgramKey pins the artifact address: deterministic, and sensitive
+// to both inputs — a different module or a different cost table must land
+// in a different store slot, or workers would decode the wrong program
+// (and refuse it, wasting the shipping round-trip).
+func TestProgramKey(t *testing.T) {
+	k := ProgramKey("mod-a", "table-1")
+	if k != ProgramKey("mod-a", "table-1") {
+		t.Fatal("ProgramKey not deterministic")
+	}
+	if k == ProgramKey("mod-b", "table-1") {
+		t.Fatal("ProgramKey ignores the module hash")
+	}
+	if k == ProgramKey("mod-a", "table-2") {
+		t.Fatal("ProgramKey ignores the cost-table identity")
+	}
+	if len(k) != 64 {
+		t.Fatalf("ProgramKey length %d, want 64 hex chars", len(k))
+	}
+}

@@ -1,0 +1,254 @@
+package campaign_test
+
+// Wire-path coverage for compiled-program shipping: a coordinator with
+// ShipPrograms attaches canonical sim.EncodeProgram bytes to leased cells,
+// warm workers skip recompilation entirely (counter-pinned), and every
+// refusal path — missing bytes, corruption in transit, a coordinator
+// calibrated for different hardware — falls back to a local compile with
+// byte-identical result bytes.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"astro/internal/campaign"
+	"astro/internal/hw"
+	"astro/internal/scenario"
+	"astro/internal/sim"
+	"astro/internal/telemetry"
+)
+
+// Shared-registry instruments the shipping tests pin. Lookup is by name,
+// so these are the same counters the campaign and sim layers bump.
+var (
+	cProgShips   = telemetry.Default.Counter("astro_program_ships_total", "")
+	cProgHits    = telemetry.Default.Counter("astro_worker_program_hits_total", "")
+	cProgRejects = telemetry.Default.Counter("astro_worker_program_rejects_total", "")
+	cSimCompiles = telemetry.Default.Counter("astro_sim_compiles_total", "")
+)
+
+// startWorkers launches n pull workers against a fresh loopback
+// coordinator for q and returns the cleanup.
+func startWorkers(t *testing.T, q *campaign.WorkQueue, store campaign.ResultStore, n int) func() {
+	t.Helper()
+	srv := httptest.NewServer(http.StripPrefix("/work", campaign.WorkHandler(q, store)))
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < n; i++ {
+		w := &campaign.Worker{
+			Coordinator: srv.URL + "/work",
+			ID:          []string{"ship-a", "ship-b", "ship-c"}[i],
+			Max:         2,
+			Poll:        5 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+	return func() { cancel(); srv.Close() }
+}
+
+// TestProgramShippingLoopback is the warm-path acceptance test: a 12-cell
+// matrix through two loopback workers with program shipping on produces
+// the same fingerprint as the in-process pool, every fresh cell consumes
+// a shipped program (zero rejects), and the process-wide compile counter
+// moves only by the coordinator's per-module compilations — the workers,
+// who would otherwise compile once per cell (each wire cell decodes a
+// fresh module), compile nothing.
+func TestProgramShippingLoopback(t *testing.T) {
+	m := scenarioMatrix12()
+	jobsA := expandMatrix(t, m)
+
+	pool := &campaign.Pool{Workers: 4, Store: campaign.NewMemStore()}
+	outsA, err := pool.Run(context.Background(), jobsA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := campaign.Fingerprint(outsA)
+
+	store := campaign.NewMemStore()
+	q := campaign.NewWorkQueue(time.Minute)
+	q.Store = store
+	stop := startWorkers(t, q, store, 2)
+	defer stop()
+	runner := &campaign.RemoteRunner{Queue: q, Store: store, ShipPrograms: true}
+
+	jobsB := expandMatrix(t, m)
+	distinct := map[any]bool{}
+	for _, j := range jobsB {
+		distinct[j.Module] = true
+	}
+
+	ships0, hits0, rej0, comp0 := cProgShips.Value(), cProgHits.Value(), cProgRejects.Value(), cSimCompiles.Value()
+	outsB, err := runner.Run(context.Background(), jobsB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := campaign.Fingerprint(outsB); fb != fa {
+		t.Fatalf("shipped-program fingerprint %s != in-process %s", fb, fa)
+	}
+	if hits := campaign.CacheHits(outsB); hits != 0 {
+		t.Fatalf("cold run claims %d cache hits", hits)
+	}
+	if d := cProgShips.Value() - ships0; d != uint64(len(jobsB)) {
+		t.Fatalf("coordinator shipped %d programs, want %d", d, len(jobsB))
+	}
+	if d := cProgHits.Value() - hits0; d != uint64(len(jobsB)) {
+		t.Fatalf("workers consumed %d shipped programs, want %d", d, len(jobsB))
+	}
+	if d := cProgRejects.Value() - rej0; d != 0 {
+		t.Fatalf("workers rejected %d shipped programs on the happy path", d)
+	}
+	// The whole distributed run compiled each distinct module exactly once
+	// — on the coordinator, inside programBytes. Worker-side compiles are
+	// what this pins to zero: without shipping, every cell would compile
+	// its freshly decoded module.
+	if d := cSimCompiles.Value() - comp0; d != uint64(len(distinct)) {
+		t.Fatalf("run compiled %d times, want %d (one per distinct module, coordinator-side only)", d, len(distinct))
+	}
+
+	// Warm re-run: answered from the store, nothing leased, nothing
+	// shipped, nothing compiled anywhere.
+	ships1, comp1 := cProgShips.Value(), cSimCompiles.Value()
+	outsW, err := runner.Run(context.Background(), expandMatrix(t, m), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := campaign.CacheHits(outsW); hits != len(jobsB) {
+		t.Fatalf("warm re-run: %d/%d cache hits", hits, len(jobsB))
+	}
+	if d := cProgShips.Value() - ships1; d != 0 {
+		t.Fatalf("warm re-run shipped %d programs", d)
+	}
+	if d := cSimCompiles.Value() - comp1; d != 0 {
+		t.Fatalf("warm re-run compiled %d times", d)
+	}
+}
+
+// scenarioMatrix12 is a 12-cell grid over 3 synthesized modules — small
+// enough for a loopback test, wide enough that both workers participate
+// and module sharing across cells is visible in the compile counter.
+func scenarioMatrix12() scenario.Matrix {
+	return scenario.Matrix{
+		Name:         "program-ship-12",
+		ProgramCount: 3,
+		ProgramSeed:  5,
+		Schedulers:   []string{"default", "gts"},
+		Configs:      []string{"all-on"},
+		Seeds:        []int64{0, 1},
+	}
+}
+
+// shipJobs expands one micro benchmark into three seed-distinct jobs and
+// the platform they run on, for the fallback tests.
+func shipJobs(t *testing.T) ([]*campaign.Job, *hw.Platform) {
+	t.Helper()
+	spec := campaign.Spec{
+		Benchmarks: []string{"spin"},
+		Schedulers: []string{"default"},
+		Seeds:      []int64{1, 2, 3},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("spec expands to %d jobs, want 3", len(jobs))
+	}
+	plat, err := hw.ByName(campaign.DefaultPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs, plat
+}
+
+// enqueueWait pushes one wire cell and blocks for its result bytes.
+func enqueueWait(t *testing.T, q *campaign.WorkQueue, w *campaign.WireJob) []byte {
+	t.Helper()
+	type outcome struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	q.Enqueue(w, func(data []byte, err error) { ch <- outcome{data, err} })
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("cell %s: %v", w.Label, o.err)
+		}
+		return o.data
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cell %s: no result after 30s", w.Label)
+		return nil
+	}
+}
+
+// TestProgramShippingFallbacks pins the refusal paths: cells whose program
+// bytes are absent, corrupted in transit, or specialized for a different
+// cost table all complete with result bytes identical to a local execute —
+// the worker refuses the bad artifact (counter-pinned) and compiles.
+func TestProgramShippingFallbacks(t *testing.T) {
+	jobs, plat := shipJobs(t)
+	q := campaign.NewWorkQueue(time.Minute)
+	stop := startWorkers(t, q, campaign.NewMemStore(), 1)
+	defer stop()
+
+	good := sim.EncodeProgram(sim.CompiledProgram(jobs[0].Module), plat)
+
+	pp := hw.DefaultZooParams()
+	pp.BigBlend = 0.5
+	zoo, err := pp.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := sim.EncodeProgram(sim.CompiledProgram(jobs[2].Module), zoo)
+
+	cases := []struct {
+		name    string
+		job     *campaign.Job
+		program []byte
+		reject  bool
+	}{
+		{"missing", jobs[0], nil, false},
+		{"corrupt", jobs[1], corrupt(good), true},
+		{"foreign-cost-table", jobs[2], foreign, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := tc.job.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sim.EncodeResult(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := tc.job.Wire()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire.Program = tc.program
+			rej0 := cProgRejects.Value()
+			got := enqueueWait(t, q, wire)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("fallback result diverged from local execute:\ngot:  %.200s\nwant: %.200s", got, want)
+			}
+			d := cProgRejects.Value() - rej0
+			if tc.reject && d != 1 {
+				t.Fatalf("worker recorded %d program rejects, want 1", d)
+			}
+			if !tc.reject && d != 0 {
+				t.Fatalf("worker recorded %d program rejects for an unshipped cell", d)
+			}
+		})
+	}
+}
+
+// corrupt flips one bit mid-payload, past the header so the damage lands
+// in the instruction stream and only the checksum can catch it.
+func corrupt(data []byte) []byte {
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x20
+	return bad
+}

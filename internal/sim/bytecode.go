@@ -1,0 +1,358 @@
+package sim
+
+// Canonical byte encoding of compiled programs — the bytecode tier's wire
+// and store format. EncodeProgram flattens a Program (the superop-fused
+// register-machine stream of compile.go) plus the platform's distinct
+// big/LITTLE cost tables into a deterministic byte string: two independent
+// compiles of equal modules encode identically, so compiled programs
+// content-address exactly like results and trained agents (the campaign
+// store keys them by module hash + cost-table identity, see
+// campaign.ProgramKey).
+//
+// The format defends itself in three layers:
+//
+//   - a version derived from the opcode-space size, so a stream compiled by
+//     a different compiler generation (more or fewer superops) is refused
+//     rather than misdispatched;
+//   - the source module's content hash and the platform's cost-table
+//     identity, so an artifact can never silently attach to the wrong
+//     module or the wrong silicon;
+//   - a sha256 trailer over the whole payload, so corruption fails loudly
+//     instead of decoding into a plausible-looking stream.
+//
+// DecodeProgram re-checks all three plus the structural invariants the
+// dispatcher relies on, and rebuilds the per-core-cost specialization for
+// every table carried in the header — a decoded program is ready to run
+// with zero compilation work (invariant 12 pins that it also runs
+// byte-identically to a locally compiled one).
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+)
+
+const bcMagic = "ASTROBC1"
+
+// encoder/decoder mirror ir's varint codec (ir keeps its own unexported):
+// uvarint/varint scalars, big-endian float bits, length-prefixed strings.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u64(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *encoder) f64(v float64) { e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+func (e *encoder) str(s string)  { e.u64(uint64(len(s))); e.buf = append(e.buf, s...) }
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("sim: program artifact: truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("sim: program artifact: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.err = fmt.Errorf("sim: program artifact: truncated float at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.err = fmt.Errorf("sim: program artifact: truncated string at offset %d", d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// bcVersion pins the opcode space: superop values extend ir's opcodes
+// contiguously, so the first unused value identifies the compiler
+// generation. Adding or removing a superop changes the dispatch contract
+// and must invalidate every cached artifact — deriving the version from the
+// last opcode makes that automatic.
+const bcVersion = uint64(opBinMovICmpBr) + 1
+
+// bcChecksumLen is the length of the sha256 prefix trailing the payload.
+const bcChecksumLen = 8
+
+// moduleHashHex is the content address of a module: the sha256 of its
+// canonical ir encoding (the same value campaign.ModuleHash computes;
+// duplicated here because sim must stay importable from campaign).
+func moduleHashHex(m *ir.Module) string {
+	sum := sha256.Sum256(ir.Encode(m))
+	return hex.EncodeToString(sum[:])
+}
+
+// distinctCostTables returns the platform's distinct per-core cost tables in
+// first-appearance core order — for a big.LITTLE platform, the LITTLE and
+// big tables. Order is deterministic, so the encoding and identity are too.
+func distinctCostTables(plat *hw.Platform) []costTable {
+	var tables []costTable
+	for i := range plat.Cores {
+		t := makeCostTable(&plat.Cores[i])
+		dup := false
+		for _, seen := range tables {
+			if seen == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tables = append(tables, t)
+		}
+	}
+	return tables
+}
+
+// CostTableID is the content identity of a platform's cost model: a sha256
+// over the bit patterns of every distinct per-core cost table in core
+// order. Two platforms with the same ID charge bit-identical cycles per
+// instruction class, so a program artifact specialized for one is valid for
+// the other; campaign.ProgramKey includes it so artifacts never cross cost
+// models.
+func CostTableID(plat *hw.Platform) string {
+	h := sha256.New()
+	h.Write([]byte("astro-costtable-v1\n"))
+	var buf [8]byte
+	for _, t := range distinctCostTables(plat) {
+		for _, v := range t {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// EncodeProgram serializes a compiled program to the canonical byte format,
+// specialized for (and pinned to) plat's cost tables. The bytes are
+// deterministic: same module, same platform, same compiler generation →
+// same bytes, across processes.
+func EncodeProgram(p *Program, plat *hw.Platform) []byte {
+	e := &encoder{buf: append([]byte(nil), bcMagic...)}
+	e.u64(bcVersion)
+	e.str(moduleHashHex(p.mod))
+	e.str(CostTableID(plat))
+	tables := distinctCostTables(plat)
+	e.u64(uint64(len(tables)))
+	for _, t := range tables {
+		for _, v := range t {
+			e.f64(v)
+		}
+	}
+	e.u64(uint64(len(p.funcs)))
+	for i := range p.funcs {
+		cf := &p.funcs[i]
+		e.u64(uint64(len(cf.blockStart)))
+		for _, s := range cf.blockStart {
+			e.u64(uint64(s))
+		}
+		e.u64(uint64(len(cf.args)))
+		for _, a := range cf.args {
+			e.i64(int64(a))
+		}
+		e.u64(uint64(len(cf.code)))
+		for j := range cf.code {
+			ci := &cf.code[j]
+			e.u64(uint64(ci.op))
+			e.u64(uint64(ci.cls))
+			if ci.sync {
+				e.u64(1)
+			} else {
+				e.u64(0)
+			}
+			e.u64(uint64(ci.argN))
+			e.i64(int64(ci.dst))
+			e.i64(int64(ci.a))
+			e.i64(int64(ci.b))
+			e.i64(int64(ci.c))
+			e.i64(int64(ci.sym))
+			e.i64(int64(ci.blk))
+			e.i64(int64(ci.pc))
+			e.i64(int64(ci.argOff))
+			e.i64(ci.imm)
+			e.i64(ci.aux)
+		}
+	}
+	sum := sha256.Sum256(e.buf)
+	return append(e.buf, sum[:bcChecksumLen]...)
+}
+
+// ProgramBytesCurrent reports whether data plausibly holds an artifact of
+// the current compiler generation — magic and version only, no integrity
+// check. Coordinators use it to refuse shipping stale store artifacts
+// (e.g. cached by an older build) that every worker would reject anyway.
+func ProgramBytesCurrent(data []byte) bool {
+	if len(data) < len(bcMagic) || string(data[:len(bcMagic)]) != bcMagic {
+		return false
+	}
+	v, n := binary.Uvarint(data[len(bcMagic):])
+	return n > 0 && v == bcVersion
+}
+
+// DecodeProgram rebuilds a Program from its canonical encoding, verifying
+// integrity (sha256 trailer), provenance (module hash must match mod,
+// cost-table identity and bit patterns must match plat) and structure (the
+// flat-stream invariants the dispatcher indexes by). The returned program
+// is bound to mod and already specialized for plat's cost tables, so
+// executing it performs no compilation work. Any mismatch is an error: the
+// caller falls back to compiling locally, never to trusting the bytes.
+func DecodeProgram(data []byte, mod *ir.Module, plat *hw.Platform) (*Program, error) {
+	if len(data) < len(bcMagic)+bcChecksumLen || string(data[:len(bcMagic)]) != bcMagic {
+		return nil, fmt.Errorf("sim: program artifact: bad magic")
+	}
+	payload, trailer := data[:len(data)-bcChecksumLen], data[len(data)-bcChecksumLen:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:bcChecksumLen]) != string(trailer) {
+		return nil, fmt.Errorf("sim: program artifact: checksum mismatch (corrupt bytes)")
+	}
+	d := &decoder{buf: payload, off: len(bcMagic)}
+	if v := d.u64(); d.err == nil && v != bcVersion {
+		return nil, fmt.Errorf("sim: program artifact: version %d, want %d (compiler generation changed)", v, bcVersion)
+	}
+	if h := d.str(); d.err == nil && h != moduleHashHex(mod) {
+		return nil, fmt.Errorf("sim: program artifact was compiled from a different module than %q", mod.Name)
+	}
+	if id := d.str(); d.err == nil && id != CostTableID(plat) {
+		return nil, fmt.Errorf("sim: program artifact was specialized for a different cost table than platform %q", plat.Name)
+	}
+	localTables := distinctCostTables(plat)
+	nTables := d.u64()
+	if d.err == nil && int(nTables) != len(localTables) {
+		return nil, fmt.Errorf("sim: program artifact: %d cost tables, platform has %d", nTables, len(localTables))
+	}
+	tables := make([]costTable, 0, len(localTables))
+	for i := 0; i < int(nTables) && d.err == nil; i++ {
+		var t costTable
+		for k := range t {
+			t[k] = d.f64()
+		}
+		if d.err == nil && t != localTables[i] {
+			return nil, fmt.Errorf("sim: program artifact: cost table %d does not match platform %q bit-for-bit", i, plat.Name)
+		}
+		tables = append(tables, t)
+	}
+	nf := d.u64()
+	if d.err == nil && int(nf) != len(mod.Funcs) {
+		return nil, fmt.Errorf("sim: program artifact: %d functions, module has %d", nf, len(mod.Funcs))
+	}
+	p := &Program{mod: mod, funcs: make([]compiledFunc, len(mod.Funcs))}
+	for i := 0; i < int(nf) && d.err == nil; i++ {
+		fn := mod.Funcs[i]
+		cf := compiledFunc{fn: fn}
+		nb := d.u64()
+		if d.err == nil && int(nb) != len(fn.Blocks) {
+			return nil, fmt.Errorf("sim: program artifact: func %q has %d block starts, want %d", fn.Name, nb, len(fn.Blocks))
+		}
+		cf.blockStart = make([]int32, int(nb))
+		for j := 0; j < int(nb) && d.err == nil; j++ {
+			cf.blockStart[j] = int32(d.u64())
+		}
+		na := d.u64()
+		for j := uint64(0); j < na && d.err == nil; j++ {
+			cf.args = append(cf.args, int32(d.i64()))
+		}
+		total := 0
+		for _, b := range fn.Blocks {
+			total += len(b.Instrs)
+		}
+		nc := d.u64()
+		if d.err == nil && int(nc) != total {
+			return nil, fmt.Errorf("sim: program artifact: func %q has %d instructions, module has %d", fn.Name, nc, total)
+		}
+		cf.code = make([]cinstr, int(nc))
+		for j := 0; j < int(nc) && d.err == nil; j++ {
+			ci := &cf.code[j]
+			op := d.u64()
+			if d.err == nil && op >= bcVersion {
+				return nil, fmt.Errorf("sim: program artifact: opcode %d out of range in %q", op, fn.Name)
+			}
+			ci.op = ir.Opcode(op)
+			cls := d.u64()
+			if d.err == nil && cls >= uint64(nCostClasses) {
+				return nil, fmt.Errorf("sim: program artifact: cost class %d out of range in %q", cls, fn.Name)
+			}
+			ci.cls = uint8(cls)
+			ci.sync = d.u64() != 0
+			ci.argN = uint8(d.u64())
+			ci.dst = int32(d.i64())
+			ci.a = int32(d.i64())
+			ci.b = int32(d.i64())
+			ci.c = int32(d.i64())
+			ci.sym = int32(d.i64())
+			ci.blk = int32(d.i64())
+			ci.pc = int32(d.i64())
+			ci.argOff = int32(d.i64())
+			ci.imm = d.i64()
+			ci.aux = d.i64()
+			if d.err == nil && int(ci.argOff)+int(ci.argN) > len(cf.args) {
+				return nil, fmt.Errorf("sim: program artifact: argument window out of range in %q", fn.Name)
+			}
+		}
+		// Structural sanity on block layout: starts must be monotone and in
+		// range, or frame (block, pc) ↔ flat-index conversion would index
+		// out of the stream.
+		for j := 0; j < int(nb) && d.err == nil; j++ {
+			s := cf.blockStart[j]
+			if s < 0 || int(s) > total || (j > 0 && s < cf.blockStart[j-1]) {
+				return nil, fmt.Errorf("sim: program artifact: block layout out of range in %q", fn.Name)
+			}
+		}
+		p.funcs[i] = cf
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("sim: program artifact: %d trailing bytes", len(payload)-d.off)
+	}
+	// Apply the specialization pass for every cost table the artifact was
+	// pinned to, so machines built from this program bind their variant
+	// without compiling or building anything.
+	for _, t := range tables {
+		p.variant(t)
+	}
+	mProgDecode.Inc()
+	return p, nil
+}

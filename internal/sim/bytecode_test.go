@@ -1,0 +1,219 @@
+package sim
+
+// Round-trip and rejection tests for the canonical program encoding. The
+// property battery over the scenario generator's synthetic modules lives in
+// fuzz_test.go (package sim_test — the generator transitively imports sim).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"astro/internal/hw"
+	"astro/internal/lang"
+	"astro/internal/workloads"
+)
+
+// eqPrograms compares the executable content of two programs: the flat
+// instruction streams, block layouts and argument arenas, plus the bound
+// function identities. (Lazily built cost variants are deliberately not
+// part of program identity.)
+func eqPrograms(a, b *Program) bool {
+	if len(a.funcs) != len(b.funcs) {
+		return false
+	}
+	for i := range a.funcs {
+		af, bf := &a.funcs[i], &b.funcs[i]
+		if af.fn != bf.fn ||
+			!reflect.DeepEqual(af.code, bf.code) ||
+			!reflect.DeepEqual(af.blockStart, bf.blockStart) ||
+			!reflect.DeepEqual(af.args, bf.args) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestProgramRoundTripWorkloads pins, for every workload in the registry:
+// EncodeProgram is deterministic across two independent compiles, and
+// DecodeProgram(Encode(p)) reproduces p exactly — same streams, same
+// layouts, same bytes when re-encoded.
+func TestProgramRoundTripWorkloads(t *testing.T) {
+	plat := hw.OdroidXU4()
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mod, err := spec.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			p1 := CompileModule(mod)
+			p2 := CompileModule(mod)
+			enc1 := EncodeProgram(p1, plat)
+			enc2 := EncodeProgram(p2, plat)
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("EncodeProgram not deterministic across independent compiles")
+			}
+			dec, err := DecodeProgram(enc1, mod, plat)
+			if err != nil {
+				t.Fatalf("DecodeProgram: %v", err)
+			}
+			if !eqPrograms(p1, dec) {
+				t.Fatalf("decoded program differs from compiled program")
+			}
+			if re := EncodeProgram(dec, plat); !bytes.Equal(enc1, re) {
+				t.Fatalf("re-encoding the decoded program changed the bytes")
+			}
+		})
+	}
+}
+
+// goldenSrc is deliberately tiny but exercises constants, float and int
+// arithmetic, a loop (branches, comparisons, superop and chain fusion) and
+// a builtin, so most encoder fields appear in the golden bytes.
+const goldenSrc = `
+func main() {
+	var x float = 1.0;
+	var i int = 0;
+	while (i < 10) {
+		x = x * 1.5 + 0.25;
+		i = i + 1;
+	}
+	print_float(x);
+}
+`
+
+// TestProgramGoldenEncoding pins the exact canonical encoding of a small
+// module on the odroid-xu4 cost tables. Any format drift — field order,
+// varint widths, header layout, opcode-space growth (bcVersion) — fails
+// this test loudly. Regenerate with ASTRO_UPDATE_GOLDEN=1 after an
+// intentional format change.
+func TestProgramGoldenEncoding(t *testing.T) {
+	mod, err := lang.Compile("golden", goldenSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	enc := EncodeProgram(CompileModule(mod), hw.OdroidXU4())
+	var b strings.Builder
+	h := hex.EncodeToString(enc)
+	for len(h) > 64 {
+		b.WriteString(h[:64])
+		b.WriteByte('\n')
+		h = h[64:]
+	}
+	b.WriteString(h)
+	b.WriteByte('\n')
+	got := b.String()
+
+	path := filepath.Join("testdata", "program_golden.hex")
+	if os.Getenv("ASTRO_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with ASTRO_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("canonical program encoding drifted from %s.\n"+
+			"If the format change is intentional, regenerate with ASTRO_UPDATE_GOLDEN=1 "+
+			"and call out the compatibility break in DESIGN.md.\ngot:\n%swant:\n%s",
+			path, got, want)
+	}
+}
+
+// TestDecodeProgramRejects drives every refusal path: corruption,
+// truncation, wrong module, wrong cost table, and a foreign compiler
+// generation. Each must produce an error — never a silently wrong program.
+func TestDecodeProgramRejects(t *testing.T) {
+	plat := hw.OdroidXU4()
+	mod, err := lang.Compile("golden", goldenSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	enc := EncodeProgram(CompileModule(mod), plat)
+
+	t.Run("corrupt-byte", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[len(bad)/2] ^= 0x40
+		if _, err := DecodeProgram(bad, mod, plat); err == nil || !strings.Contains(err.Error(), "corrupt") {
+			t.Fatalf("corrupt bytes: got %v, want checksum error", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeProgram(enc[:len(enc)-3], mod, plat); err == nil {
+			t.Fatal("truncated bytes decoded successfully")
+		}
+		if _, err := DecodeProgram(enc[:4], mod, plat); err == nil {
+			t.Fatal("short bytes decoded successfully")
+		}
+	})
+	t.Run("wrong-module", func(t *testing.T) {
+		other, err := lang.Compile("other", "func main() { print_int(1); }")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeProgram(enc, other, plat); err == nil || !strings.Contains(err.Error(), "different module") {
+			t.Fatalf("wrong module: got %v", err)
+		}
+	})
+	t.Run("wrong-cost-table", func(t *testing.T) {
+		pp := hw.DefaultZooParams()
+		pp.LittleBlend = 0.5 // a "medium" LITTLE: interpolated CPIs, different table bits
+		zoo, err := pp.Platform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if CostTableID(zoo) == CostTableID(plat) {
+			t.Fatal("test platforms unexpectedly share a cost-table identity")
+		}
+		if _, err := DecodeProgram(enc, mod, zoo); err == nil || !strings.Contains(err.Error(), "cost table") {
+			t.Fatalf("wrong cost table: got %v", err)
+		}
+	})
+	t.Run("foreign-version", func(t *testing.T) {
+		// bcVersion fits one varint byte right after the magic; bump it and
+		// re-sign so only the generation check can object.
+		bad := append([]byte(nil), enc[:len(enc)-bcChecksumLen]...)
+		bad[len(bcMagic)]++
+		sum := sha256.Sum256(bad)
+		bad = append(bad, sum[:bcChecksumLen]...)
+		if _, err := DecodeProgram(bad, mod, plat); err == nil || !strings.Contains(err.Error(), "generation") {
+			t.Fatalf("foreign version: got %v", err)
+		}
+		if ProgramBytesCurrent(bad) {
+			t.Fatal("ProgramBytesCurrent accepted a foreign generation")
+		}
+	})
+	if !ProgramBytesCurrent(enc) {
+		t.Fatal("ProgramBytesCurrent rejected a current artifact")
+	}
+	if ProgramBytesCurrent(nil) || ProgramBytesCurrent([]byte("ASTROIR1")) {
+		t.Fatal("ProgramBytesCurrent accepted junk")
+	}
+}
+
+// TestCostTableIDDistinguishes pins that the identity is a function of the
+// cost-table bits: equal tables (xu4 and tk1 share the calibrated A7/A15
+// CPIs) collapse to one ID, interpolated tables get another.
+func TestCostTableIDDistinguishes(t *testing.T) {
+	xu4 := hw.OdroidXU4()
+	if CostTableID(xu4) != CostTableID(hw.JetsonTK1()) {
+		t.Fatal("xu4 and tk1 share CPI tables but got different cost-table IDs")
+	}
+	pp := hw.DefaultZooParams()
+	pp.BigBlend = 0.75
+	zoo, err := pp.Platform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CostTableID(xu4) == CostTableID(zoo) {
+		t.Fatal("interpolated zoo platform collided with xu4's cost-table ID")
+	}
+}

@@ -138,6 +138,20 @@ const (
 	opLAddrStore                                             // LocalAddr ; Store through it
 	opGAddrLoad                                              // GlobalAddr ; Load of it
 	opGAddrStore                                             // GlobalAddr ; Store through it
+
+	// Chain superops: second-level fusion over ADJACENT superop heads (see
+	// fuseChains). The head of the second constituent superop keeps its
+	// original cinstr in place — the chain handler reads that cinstr's
+	// fields directly, and a quantum that expires mid-chain suspends at a
+	// constituent boundary whose instruction executes standalone.
+	opIChain5      // opConstIBin ; opConstBinMovI   (5 elements)
+	opFChain5      // opConstFBin ; opConstBinMovF   (5 elements)
+	opIncCmpBr     // opConstBinMovI ; opConstCmpCBr (6 elements)
+	opConst2CmpBr  // opConstConst ; opCmpCBr        (4 elements)
+	opIBinIBin     // opConstIBin ; opConstIBin      (4 elements)
+	opFBinFBin     // opConstFBin ; opConstFBin      (4 elements)
+	opMovConstBinI // opMovConst ; opBinMovI         (4 elements)
+	opBinMovICmpBr // opBinMovI ; opConstCmpCBr      (5 elements)
 )
 
 // Superop field use (the first element keeps dst/imm/a as compiled):
@@ -276,6 +290,57 @@ func fusePairs(code []cinstr) {
 			i += 2
 		}
 	}
+	// Third pass: chain ADJACENT superops. Only the first head's opcode
+	// changes; every constituent cinstr — including the second superop's
+	// head — keeps its original form in place, so a quantum that expires
+	// between any two elements suspends on an instruction that executes
+	// standalone. The shapes cover the front end's hottest emissions: the
+	// constant-operand expression ladder (`x = x*c1 + c2` lowers to
+	// ConstF;FMul;ConstF;FAdd), the statement seam where an assignment's
+	// Mov pairs with the next statement's constant (Mov;Const;bin;Mov),
+	// the induction step flowing into its guard (bin;Mov;Const;cmp;CBr),
+	// and the two-constant loop test (Const;Const;cmp;CBr).
+	for i := 0; i < len(code); i++ {
+		a := &code[i]
+		switch a.op {
+		case opConstIBin:
+			if i+4 < len(code) && code[i+2].op == opConstBinMovI {
+				a.op = opIChain5
+				i += 4
+			} else if i+3 < len(code) && code[i+2].op == opConstIBin {
+				a.op = opIBinIBin
+				i += 3
+			}
+		case opConstFBin:
+			if i+4 < len(code) && code[i+2].op == opConstBinMovF {
+				a.op = opFChain5
+				i += 4
+			} else if i+3 < len(code) && code[i+2].op == opConstFBin {
+				a.op = opFBinFBin
+				i += 3
+			}
+		case opConstBinMovI:
+			if i+5 < len(code) && code[i+3].op == opConstCmpCBr {
+				a.op = opIncCmpBr
+				i += 5
+			}
+		case opConstConst:
+			if i+3 < len(code) && code[i+2].op == opCmpCBr {
+				a.op = opConst2CmpBr
+				i += 3
+			}
+		case opMovConst:
+			if i+3 < len(code) && code[i+2].op == opBinMovI {
+				a.op = opMovConstBinI
+				i += 3
+			}
+		case opBinMovI:
+			if i+4 < len(code) && code[i+2].op == opConstCmpCBr {
+				a.op = opBinMovICmpBr
+				i += 4
+			}
+		}
+	}
 }
 
 // compiledFunc is one function's flat instruction stream. Blocks are laid
@@ -292,16 +357,81 @@ func (cf *compiledFunc) argRegs(ci *cinstr) []int32 {
 	return cf.args[ci.argOff : int(ci.argOff)+int(ci.argN)]
 }
 
-// program is a module lowered for fast dispatch. It is immutable and safe
-// for concurrent machines.
-type program struct {
+// Program is a module lowered for fast dispatch: the bytecode tier's
+// in-memory form. The instruction stream is immutable and safe for
+// concurrent machines; per-core-cost specializations are built lazily and
+// cached on the Program (see variant). A Program round-trips through the
+// canonical byte encoding (EncodeProgram/DecodeProgram) without changing
+// what it executes.
+type Program struct {
 	mod   *ir.Module
 	funcs []compiledFunc
+
+	mu       sync.Mutex
+	variants map[costTable]costVariant
 }
 
-// compileModule lowers every function of the module.
-func compileModule(mod *ir.Module) *program {
-	p := &program{mod: mod, funcs: make([]compiledFunc, len(mod.Funcs))}
+// costVariant is a Program's per-core-cost specialization: for one core
+// cost table, the fully resolved cycle charge of every flat instruction,
+// indexed [func][flat pc]. Baking the table into a flat array turns the
+// hot-path charge into a single load with no class dispatch; each entry is
+// the exact float makeCostTable produces (or the fixed cost interp.go
+// hard-codes), so cycle accounting stays bit-identical to the unspecialized
+// paths.
+type costVariant [][]float64
+
+// variant returns the cost-specialized charge arrays for one core cost
+// table, building and caching them on first use. Machines bind a variant
+// per core at construction time, so the hot path never allocates.
+func (p *Program) variant(t costTable) costVariant {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if v, ok := p.variants[t]; ok {
+		return v
+	}
+	v := make(costVariant, len(p.funcs))
+	for i := range p.funcs {
+		code := p.funcs[i].code
+		costs := make([]float64, len(code))
+		for j := range code {
+			costs[j] = staticCost(&code[j], &t)
+		}
+		v[i] = costs
+	}
+	if p.variants == nil {
+		p.variants = map[costTable]costVariant{}
+	}
+	p.variants[t] = v
+	return v
+}
+
+// staticCost resolves one instruction's cycle charge under a cost table.
+// clsFixed instructions carry the spec-independent costs interp.go charges
+// inline; sync ops never charge inside a burst (they bill through the sync
+// executor), so their entry is never read.
+func staticCost(ci *cinstr, t *costTable) float64 {
+	if ci.cls != clsFixed {
+		return t[ci.cls]
+	}
+	switch ci.op {
+	case ir.OpNop:
+		return 1
+	case ir.OpLogPhase:
+		return 25
+	case ir.OpToggleBlocked:
+		return 20
+	case ir.OpBuiltin:
+		return float64(ci.imm)
+	}
+	return 0
+}
+
+// CompileModule lowers every function of the module into the flat
+// register-machine stream, superop fusion included. Compilation is
+// deterministic: two compiles of equal modules produce identical streams,
+// and EncodeProgram pins that determinism down to the byte.
+func CompileModule(mod *ir.Module) *Program {
+	p := &Program{mod: mod, funcs: make([]compiledFunc, len(mod.Funcs))}
 	for i, fn := range mod.Funcs {
 		p.funcs[i] = compileFunc(mod, fn)
 	}
@@ -405,12 +535,15 @@ const progCacheCap = 64
 
 var progCache struct {
 	mu    sync.Mutex
-	m     map[*ir.Module]*program
+	m     map[*ir.Module]*Program
 	order []*ir.Module
 }
 
-// compiledProgram returns the cached lowering of mod, compiling on miss.
-func compiledProgram(mod *ir.Module) *program {
+// CompiledProgram returns the cached lowering of mod, compiling on miss.
+// The cache is keyed by module pointer, so callers that decode a fresh
+// module per job (workers) never hit it — shipping the encoded program over
+// the wire is what removes that recompilation.
+func CompiledProgram(mod *ir.Module) *Program {
 	progCache.mu.Lock()
 	if p, ok := progCache.m[mod]; ok {
 		progCache.mu.Unlock()
@@ -419,12 +552,12 @@ func compiledProgram(mod *ir.Module) *program {
 	}
 	progCache.mu.Unlock()
 
-	p := compileModule(mod)
+	p := CompileModule(mod)
 
 	progCache.mu.Lock()
 	defer progCache.mu.Unlock()
 	if progCache.m == nil {
-		progCache.m = map[*ir.Module]*program{}
+		progCache.m = map[*ir.Module]*Program{}
 	}
 	if cached, ok := progCache.m[mod]; ok {
 		return cached // raced with another machine; keep one copy

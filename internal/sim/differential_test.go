@@ -196,12 +196,38 @@ func runEncoded(t *testing.T, mod *ir.Module, plat *hw.Platform, opts Options) [
 	return data
 }
 
+// runEncodedProgram executes mod through the full bytecode tier — compile,
+// encode to the canonical byte format, decode back, execute the decoded
+// program via NewWithProgram — and returns the canonical result bytes.
+func runEncodedProgram(t *testing.T, mod *ir.Module, plat *hw.Platform, opts Options) []byte {
+	t.Helper()
+	prog, err := DecodeProgram(EncodeProgram(CompileModule(mod), plat), mod, plat)
+	if err != nil {
+		t.Fatalf("DecodeProgram: %v", err)
+	}
+	m, err := NewWithProgram(mod, plat, opts, prog)
+	if err != nil {
+		t.Fatalf("NewWithProgram: %v", err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatalf("EncodeResult: %v", err)
+	}
+	return data
+}
+
 // TestDifferentialFastPathWorkloads runs every bundled workload (parsec,
-// rodinia and micro suites) once on the precompiled fast path and once on
-// the legacy interpreter and requires the canonical result encodings to be
-// byte-identical: same times, energies, counters, checkpoints and outputs.
-// This is the contract that lets the fast path replace the interpreter for
-// all campaign and experiment runs without perturbing cached results.
+// rodinia and micro suites) on all three execution tiers — the default
+// compiled fast path, the legacy interpreter, and the bytecode tier (the
+// program round-tripped through its canonical byte encoding) — and requires
+// the canonical result encodings to be byte-identical: same times,
+// energies, counters, checkpoints and outputs. This is the contract that
+// lets any tier replace any other for all campaign and experiment runs
+// without perturbing cached results (DESIGN.md invariant 12).
 func TestDifferentialFastPathWorkloads(t *testing.T) {
 	plat := hw.OdroidXU4()
 	for _, spec := range workloads.All() {
@@ -226,6 +252,10 @@ func TestDifferentialFastPathWorkloads(t *testing.T) {
 			slow := runEncoded(t, mod, plat, legacy)
 			if !bytes.Equal(fast, slow) {
 				t.Fatalf("fast path diverged from interpreter:\nfast:   %.400s\nlegacy: %.400s", fast, slow)
+			}
+			decoded := runEncodedProgram(t, mod, plat, opts)
+			if !bytes.Equal(fast, decoded) {
+				t.Fatalf("bytecode tier diverged from fast path:\nfast:    %.400s\ndecoded: %.400s", fast, decoded)
 			}
 		})
 	}
@@ -278,6 +308,12 @@ func TestDifferentialFastPathActuated(t *testing.T) {
 	slow := run(legacy)
 	if !bytes.Equal(fast, slow) {
 		t.Fatalf("actuated fast path diverged from interpreter:\nfast:   %.400s\nlegacy: %.400s", fast, slow)
+	}
+	bytecodeOpts := base
+	bytecodeOpts.Actuator = &cyclingActuator{plat: plat}
+	decoded := runEncodedProgram(t, mod, plat, bytecodeOpts)
+	if !bytes.Equal(fast, decoded) {
+		t.Fatalf("actuated bytecode tier diverged from fast path:\nfast:    %.400s\ndecoded: %.400s", fast, decoded)
 	}
 }
 

@@ -41,6 +41,13 @@ func (m *Machine) runBurstFast(c *core, t *Thread, budget float64, bc *burstCtx)
 	fpc := int(cf.blockStart[fr.block]) + int(fr.pc)
 	regs := fr.regs
 	arrays := fr.arrays
+	// costv is the program's specialization for this core's cost table: the
+	// resolved charge of every flat instruction (see Program.variant). Fused
+	// handlers read it instead of re-dispatching on the constituent's class,
+	// which removes the second-element cost branches; the stored floats are
+	// the exact makeCostTable values, so accounting is unchanged.
+	costv := c.costv
+	costs := costv[fr.fnIdx]
 
 	status := stQuantum
 loop:
@@ -272,6 +279,7 @@ loop:
 			fr = &t.frames[len(t.frames)-1]
 			cf = &prog.funcs[fr.fnIdx]
 			code = cf.code
+			costs = costv[fr.fnIdx]
 			fpc = int(cf.blockStart[fr.block]) + int(fr.pc)
 			regs = fr.regs
 			arrays = fr.arrays
@@ -294,6 +302,7 @@ loop:
 			fr = &t.frames[len(t.frames)-1]
 			cf = &prog.funcs[ci.sym]
 			code = cf.code
+			costs = costv[ci.sym]
 			fpc = 0
 			regs = fr.regs
 			arrays = fr.arrays
@@ -378,13 +387,8 @@ loop:
 				fpc++
 				break loop
 			}
-			op2 := ir.Opcode(ci.sym)
-			regs[ci.a] = intBinExec(op2, regs[ci.b], regs[ci.c])
-			if op2 == ir.OpMul {
-				cycles += cInt2
-			} else {
-				cycles += cInt
-			}
+			regs[ci.a] = intBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
 			fpc += 2
 		case opConstFBin:
 			regs[ci.dst] = uint64(ci.imm)
@@ -394,23 +398,13 @@ loop:
 				fpc++
 				break loop
 			}
-			op2 := ir.Opcode(ci.sym)
-			regs[ci.a] = fpBinExec(op2, regs[ci.b], regs[ci.c])
-			if op2 == ir.OpFDiv {
-				cycles += cFP4
-			} else {
-				cycles += cFP
-			}
+			regs[ci.a] = fpBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
 			fp++
 			fpc += 2
 		case opBinMovI:
-			op1 := ir.Opcode(ci.sym)
-			regs[ci.dst] = intBinExec(op1, regs[ci.a], regs[ci.b])
-			if op1 == ir.OpMul {
-				cycles += cInt2
-			} else {
-				cycles += cInt
-			}
+			regs[ci.dst] = intBinExec(ir.Opcode(ci.sym), regs[ci.a], regs[ci.b])
+			cycles += costs[fpc]
 			nInstr++
 			if cycles >= budget {
 				fpc++
@@ -420,13 +414,8 @@ loop:
 			cycles += cIntHalf
 			fpc += 2
 		case opBinMovF:
-			op1 := ir.Opcode(ci.sym)
-			regs[ci.dst] = fpBinExec(op1, regs[ci.a], regs[ci.b])
-			if op1 == ir.OpFDiv {
-				cycles += cFP4
-			} else {
-				cycles += cFP
-			}
+			regs[ci.dst] = fpBinExec(ir.Opcode(ci.sym), regs[ci.a], regs[ci.b])
+			cycles += costs[fpc]
 			fp++
 			nInstr++
 			if cycles >= budget {
@@ -506,13 +495,8 @@ loop:
 				fpc++
 				break loop
 			}
-			op2 := ir.Opcode(ci.sym)
-			regs[ci.a] = intBinExec(op2, regs[ci.b], regs[ci.c])
-			if op2 == ir.OpMul {
-				cycles += cInt2
-			} else {
-				cycles += cInt
-			}
+			regs[ci.a] = intBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
 			nInstr++
 			if cycles >= budget {
 				fpc += 2
@@ -529,13 +513,8 @@ loop:
 				fpc++
 				break loop
 			}
-			op2 := ir.Opcode(ci.sym)
-			regs[ci.a] = fpBinExec(op2, regs[ci.b], regs[ci.c])
-			if op2 == ir.OpFDiv {
-				cycles += cFP4
-			} else {
-				cycles += cFP
-			}
+			regs[ci.a] = fpBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
 			fp++
 			nInstr++
 			if cycles >= budget {
@@ -581,6 +560,271 @@ loop:
 				fpc = int(ci.c)
 			} else {
 				fpc = int(ci.aux)
+			}
+			cycles += cBranch
+
+		// Chained superops (see compile.go): one dispatch over two adjacent
+		// superops. ci2 is the second constituent's head cinstr, untouched in
+		// place; per-element charges, retirements and inter-element budget
+		// checks replicate standalone execution exactly, and every suspension
+		// point is a constituent boundary.
+		case opIChain5: // ConstI; int bin; ConstI; int bin; Mov
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.a] = intBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			regs[ci2.a] = intBinExec(ir.Opcode(ci2.sym), regs[ci2.b], regs[ci2.c])
+			cycles += costs[fpc+3]
+			nInstr++
+			if cycles >= budget {
+				fpc += 4
+				break loop
+			}
+			regs[ci2.aux] = regs[ci2.a]
+			cycles += cIntHalf
+			fpc += 5
+		case opFChain5: // ConstF; fp bin; ConstF; fp bin; Mov
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.a] = fpBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
+			fp++
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			regs[ci2.a] = fpBinExec(ir.Opcode(ci2.sym), regs[ci2.b], regs[ci2.c])
+			cycles += costs[fpc+3]
+			fp++
+			nInstr++
+			if cycles >= budget {
+				fpc += 4
+				break loop
+			}
+			regs[ci2.aux] = regs[ci2.a]
+			cycles += cIntHalf
+			fpc += 5
+		case opIncCmpBr: // ConstI; int bin; Mov; ConstI; int cmp; CBr
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.a] = intBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			regs[ci.aux] = regs[ci.a]
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			ci2 := &code[fpc+3]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 4
+				break loop
+			}
+			bit := boolBit(intCmp(ir.Opcode(ci2.sym), int64(regs[ci2.b]), int64(regs[ci2.c])))
+			regs[ci2.a] = bit
+			cycles += cInt
+			nInstr++
+			if cycles >= budget {
+				fpc += 5
+				break loop
+			}
+			if bit != 0 {
+				fpc = int(int32(ci2.aux))
+			} else {
+				fpc = int(int32(ci2.aux >> 32))
+			}
+			cycles += cBranch
+		case opConst2CmpBr: // ConstI/F; ConstI/F; int cmp; CBr
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.c] = uint64(ci.aux)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			bit := boolBit(intCmp(ir.Opcode(ci2.sym), int64(regs[ci2.a]), int64(regs[ci2.b])))
+			regs[ci2.dst] = bit
+			cycles += cInt
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			if bit != 0 {
+				fpc = int(ci2.c)
+			} else {
+				fpc = int(ci2.aux)
+			}
+			cycles += cBranch
+		case opIBinIBin: // ConstI; int bin; ConstI; int bin
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.a] = intBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			regs[ci2.a] = intBinExec(ir.Opcode(ci2.sym), regs[ci2.b], regs[ci2.c])
+			cycles += costs[fpc+3]
+			fpc += 4
+		case opFBinFBin: // ConstF; fp bin; ConstF; fp bin
+			regs[ci.dst] = uint64(ci.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.a] = fpBinExec(ir.Opcode(ci.sym), regs[ci.b], regs[ci.c])
+			cycles += costs[fpc+1]
+			fp++
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			regs[ci2.a] = fpBinExec(ir.Opcode(ci2.sym), regs[ci2.b], regs[ci2.c])
+			cycles += costs[fpc+3]
+			fp++
+			fpc += 4
+		case opMovConstBinI: // Mov; ConstI; int bin; Mov
+			regs[ci.dst] = regs[ci.a]
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.c] = uint64(ci.aux)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = intBinExec(ir.Opcode(ci2.sym), regs[ci2.a], regs[ci2.b])
+			cycles += costs[fpc+2]
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			regs[ci2.c] = regs[ci2.dst]
+			cycles += cIntHalf
+			fpc += 4
+		case opBinMovICmpBr: // int bin; Mov; ConstI; int cmp; CBr
+			regs[ci.dst] = intBinExec(ir.Opcode(ci.sym), regs[ci.a], regs[ci.b])
+			cycles += costs[fpc]
+			nInstr++
+			if cycles >= budget {
+				fpc++
+				break loop
+			}
+			regs[ci.c] = regs[ci.dst]
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 2
+				break loop
+			}
+			ci2 := &code[fpc+2]
+			regs[ci2.dst] = uint64(ci2.imm)
+			cycles += cIntHalf
+			nInstr++
+			if cycles >= budget {
+				fpc += 3
+				break loop
+			}
+			bit := boolBit(intCmp(ir.Opcode(ci2.sym), int64(regs[ci2.b]), int64(regs[ci2.c])))
+			regs[ci2.a] = bit
+			cycles += cInt
+			nInstr++
+			if cycles >= budget {
+				fpc += 4
+				break loop
+			}
+			if bit != 0 {
+				fpc = int(int32(ci2.aux))
+			} else {
+				fpc = int(int32(ci2.aux >> 32))
 			}
 			cycles += cBranch
 

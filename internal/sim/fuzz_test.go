@@ -1,0 +1,171 @@
+package sim_test
+
+// Differential fuzz battery for the execution tiers. The fuzzer drives the
+// scenario generator (seeded synthesis of astc programs with threads,
+// mutexes, barriers and mixed phase structure) and requires all three
+// tiers — the compiled fast path, the legacy interpreter, and a program
+// round-tripped through its canonical byte encoding — to produce
+// byte-identical canonical results: final state, event trace, checkpoint
+// stream and per-core cycle counters all live in EncodeResult's output.
+// It also pins that compiling the same module twice yields byte-identical
+// EncodeProgram output (content-addressing would silently break otherwise).
+//
+// This lives in package sim_test because the scenario generator transitively
+// imports sim (scenario → campaign → sim).
+//
+// The committed corpus under testdata/fuzz/FuzzDifferentialTiers replays as
+// ordinary subtests in plain `go test` runs, so the battery is part of
+// tier-1 even when no fuzz engine is attached. CI additionally runs a short
+// `-fuzz` smoke (see .github/workflows).
+
+import (
+	"bytes"
+	"testing"
+
+	"astro/internal/hw"
+	"astro/internal/ir"
+	"astro/internal/scenario"
+	"astro/internal/sim"
+)
+
+// fuzzModule synthesizes a module from clamped fuzz inputs. Clamping keeps
+// every mutated input inside the generator's validated parameter space
+// (counts small enough that a single case runs in well under a second)
+// while still letting the fuzzer steer phase mix, threading, loop shape
+// and contention independently.
+func fuzzModule(t *testing.T, seed int64, cpu, io, blocked, mixed, threads, depth, trip, mutexes uint8, barrier bool) (*ir.Module, []int64) {
+	t.Helper()
+	pp := scenario.ProgramParams{
+		Seed:      seed,
+		CPU:       int(cpu % 3),
+		IO:        int(io % 2),
+		Blocked:   int(blocked % 2),
+		Mixed:     int(mixed % 2),
+		Threads:   1 + int(threads%4),
+		LoopDepth: 1 + int(depth%2),
+		Trip:      4 + int(trip%12),
+		Mutexes:   int(mutexes % 3),
+		Barrier:   barrier,
+	}
+	if pp.CPU+pp.IO+pp.Blocked+pp.Mixed == 0 {
+		pp.CPU = 1
+	}
+	spec, err := scenario.Generate(pp)
+	if err != nil {
+		t.Fatalf("scenario.Generate(%+v): %v", pp, err)
+	}
+	mod, err := spec.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", spec.Name, err)
+	}
+	return mod, spec.SmallArgs()
+}
+
+func FuzzDifferentialTiers(f *testing.F) {
+	// Seeds cover the interesting structural corners: pure CPU, IO+blocked,
+	// mutex contention, barrier stepping, deep loops, and the kitchen sink.
+	f.Add(int64(1), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(2), uint8(2), uint8(1), uint8(0), uint8(0), uint8(1), uint8(0), uint8(5), uint8(0), false)
+	f.Add(int64(3), uint8(0), uint8(1), uint8(1), uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(4), uint8(1), uint8(0), uint8(0), uint8(1), uint8(3), uint8(1), uint8(7), uint8(2), false)
+	f.Add(int64(5), uint8(1), uint8(1), uint8(1), uint8(1), uint8(3), uint8(1), uint8(11), uint8(2), true)
+	f.Add(int64(6), uint8(2), uint8(0), uint8(1), uint8(0), uint8(2), uint8(1), uint8(3), uint8(1), true)
+	f.Add(int64(7), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(20260808), uint8(2), uint8(1), uint8(1), uint8(1), uint8(3), uint8(1), uint8(11), uint8(2), true)
+
+	plat := hw.OdroidXU4()
+	f.Fuzz(func(t *testing.T, seed int64, cpu, io, blocked, mixed, threads, depth, trip, mutexes uint8, barrier bool) {
+		mod, args := fuzzModule(t, seed, cpu, io, blocked, mixed, threads, depth, trip, mutexes, barrier)
+
+		// Small quantum so bursts are interrupted mid-stream, exercising
+		// suspension and resumption at chain-superop element boundaries.
+		opts := sim.Options{
+			Seed:          seed,
+			Args:          args,
+			CheckpointS:   400e-6,
+			QuantumS:      50e-6,
+			TickS:         200e-6,
+			CaptureOutput: true,
+			BoundsCheck:   true,
+		}
+
+		run := func(o sim.Options, prog *sim.Program) []byte {
+			m, err := sim.NewWithProgram(mod, plat, o, prog)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := m.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			data, err := sim.EncodeResult(res)
+			if err != nil {
+				t.Fatalf("EncodeResult: %v", err)
+			}
+			return data
+		}
+
+		fast := run(opts, nil)
+
+		legacyOpts := opts
+		legacyOpts.LegacyInterp = true
+		legacy := run(legacyOpts, nil)
+		if !bytes.Equal(fast, legacy) {
+			t.Fatalf("fast path diverged from legacy interpreter\nfast:   %.400s\nlegacy: %.400s", fast, legacy)
+		}
+
+		enc := sim.EncodeProgram(sim.CompileModule(mod), plat)
+		if enc2 := sim.EncodeProgram(sim.CompileModule(mod), plat); !bytes.Equal(enc, enc2) {
+			t.Fatal("EncodeProgram not deterministic across independent compiles")
+		}
+		prog, err := sim.DecodeProgram(enc, mod, plat)
+		if err != nil {
+			t.Fatalf("DecodeProgram: %v", err)
+		}
+		decoded := run(opts, prog)
+		if !bytes.Equal(fast, decoded) {
+			t.Fatalf("bytecode tier diverged from fast path\nfast:    %.400s\ndecoded: %.400s", fast, decoded)
+		}
+	})
+}
+
+// TestRoundTripScenarioModules hammers the codec with 200 seeded synthetic
+// modules spanning the scenario parameter space: double-compile encode
+// determinism and decode→re-encode byte identity for each. Complements the
+// registry sweep in bytecode_test.go with generated program shapes.
+func TestRoundTripScenarioModules(t *testing.T) {
+	plat := hw.OdroidXU4()
+	for i := 0; i < 200; i++ {
+		pp := scenario.ProgramParams{
+			Seed:      int64(1000 + i),
+			CPU:       1 + i%3,
+			IO:        i % 2,
+			Blocked:   (i / 2) % 2,
+			Mixed:     (i / 4) % 2,
+			Threads:   1 + i%8,
+			LoopDepth: 1 + i%4,
+			Trip:      4 + i%29,
+			Mutexes:   i % 4,
+			Barrier:   i%3 == 0,
+		}
+		spec, err := scenario.Generate(pp)
+		if err != nil {
+			t.Fatalf("seed %d: Generate: %v", pp.Seed, err)
+		}
+		mod, err := spec.Compile()
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", pp.Seed, err)
+		}
+		enc := sim.EncodeProgram(sim.CompileModule(mod), plat)
+		if enc2 := sim.EncodeProgram(sim.CompileModule(mod), plat); !bytes.Equal(enc, enc2) {
+			t.Fatalf("seed %d: EncodeProgram not deterministic", pp.Seed)
+		}
+		prog, err := sim.DecodeProgram(enc, mod, plat)
+		if err != nil {
+			t.Fatalf("seed %d: DecodeProgram: %v", pp.Seed, err)
+		}
+		if re := sim.EncodeProgram(prog, plat); !bytes.Equal(enc, re) {
+			t.Fatalf("seed %d: decoded program re-encodes differently", pp.Seed)
+		}
+	}
+}

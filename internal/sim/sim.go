@@ -143,7 +143,7 @@ func (r *Result) AvgWatts() float64 {
 type Machine struct {
 	plat *hw.Platform
 	mod  *ir.Module
-	prog *program // precompiled fast-path code (nil with Options.LegacyInterp)
+	prog *Program // precompiled fast-path code (nil with Options.LegacyInterp)
 	opts Options
 
 	mem      []uint64
@@ -202,6 +202,8 @@ type core struct {
 	costs  costTable // resolved per-class cycle costs for spec
 	active bool
 
+	costv costVariant // per-instruction charges specialized for costs (nil with LegacyInterp)
+
 	cur        *Thread
 	runq       []*Thread
 	availAt    float64 // busy frontier: earliest next burst start
@@ -220,7 +222,22 @@ type core struct {
 // New builds a machine for the module on the platform. The module must have
 // a main function whose parameters are all int and match len(opts.Args).
 func New(mod *ir.Module, plat *hw.Platform, opts Options) (*Machine, error) {
+	return NewWithProgram(mod, plat, opts, nil)
+}
+
+// NewWithProgram builds a machine that executes an already-compiled program
+// — typically one decoded from its canonical byte encoding (DecodeProgram)
+// after being shipped over the wire — instead of compiling mod itself. prog
+// must have been compiled from (or decoded against) exactly this module;
+// since compilation and decoding both bind the module pointer, that is
+// checked by identity. A nil prog compiles locally through the cache, and
+// Options.LegacyInterp ignores prog entirely: the program is an acceleration
+// structure, never a behavioural input (DESIGN.md invariant 12).
+func NewWithProgram(mod *ir.Module, plat *hw.Platform, opts Options, prog *Program) (*Machine, error) {
 	opts.setDefaults()
+	if prog != nil && prog.mod != mod {
+		return nil, fmt.Errorf("sim: program was compiled from a different module than %q", mod.Name)
+	}
 	mainFn := mod.FuncByName("main")
 	if mainFn == nil {
 		return nil, fmt.Errorf("sim: module %q has no main", mod.Name)
@@ -268,7 +285,17 @@ func New(mod *ir.Module, plat *hw.Platform, opts Options) (*Machine, error) {
 		m.cores = append(m.cores, c)
 	}
 	if !opts.LegacyInterp {
-		m.prog = compiledProgram(mod)
+		if prog != nil {
+			m.prog = prog
+		} else {
+			m.prog = CompiledProgram(mod)
+		}
+		// Bind each core's cost-specialized charge arrays up front: the
+		// variant build is the per-core-cost specialization pass, and doing
+		// it here keeps the steady-state quantum at 0 allocs/op.
+		for _, c := range m.cores {
+			c.costv = m.prog.variant(c.costs)
+		}
 	}
 	for _, ci := range plat.ActiveCores(cfg) {
 		m.cores[ci].active = true
